@@ -1,0 +1,60 @@
+//! Criterion bench for the §6.3 benefit simulations (Figures 9–10) at a
+//! reduced scale, plus an ablation comparing the two baselines' cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbgp_experiments::benefits::{run, AdoptionMode, Archetype, Baseline, BenefitsConfig};
+use dbgp_topology::WaxmanParams;
+
+fn small_cfg(archetype: Archetype, baseline: Baseline) -> BenefitsConfig {
+    BenefitsConfig {
+        waxman: WaxmanParams { n: 150, ..Default::default() },
+        archetype,
+        baseline,
+        adoption_percents: vec![0, 50, 100],
+        seeds: vec![1, 2],
+        max_paths: 10,
+        bw_range: (10, 1024),
+        dest_sample: Some(30),
+        adoption_mode: AdoptionMode::Random,
+    }
+}
+
+fn bench_benefits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("benefits");
+    for (name, archetype) in [
+        ("fig9-extra-paths", Archetype::ExtraPaths),
+        ("fig10-bottleneck-bw", Archetype::BottleneckBandwidth),
+    ] {
+        for (bname, baseline) in [("dbgp", Baseline::Dbgp), ("bgp", Baseline::Bgp)] {
+            let cfg = small_cfg(archetype, baseline);
+            group.bench_with_input(
+                BenchmarkId::new(name, bname),
+                &cfg,
+                |b, cfg| b.iter(|| std::hint::black_box(run(cfg))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology/waxman");
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                std::hint::black_box(dbgp_topology::waxman::generate(
+                    WaxmanParams { n, ..Default::default() },
+                    42,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_benefits, bench_topology
+}
+criterion_main!(benches);

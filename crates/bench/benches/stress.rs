@@ -1,0 +1,84 @@
+//! Criterion version of the §5 stress test: per-advertisement processing
+//! cost for the classic speaker and for D-BGP at each paper IA size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbgp_bench::stress::{classic_frames, ia_frames};
+use dbgp_bgp::{NeighborConfig, PeerId, Speaker, TransportEvent};
+use dbgp_core::{DbgpConfig, DbgpNeighbor, DbgpSpeaker, DbgpUpdate, NeighborId};
+use dbgp_wire::message::{BgpMessage, OpenMsg};
+use dbgp_wire::Ipv4Addr;
+
+fn established_classic_speaker() -> Speaker {
+    let mut speaker = Speaker::new(4_200_000, Ipv4Addr::new(10, 0, 0, 1));
+    speaker.add_peer(
+        PeerId(0),
+        NeighborConfig::new(4_200_000, Ipv4Addr::new(10, 0, 0, 1), 4_200_001, Ipv4Addr::new(10, 0, 0, 2)),
+    );
+    speaker.start(0);
+    speaker.transport_event(0, PeerId(0), TransportEvent::Connected);
+    let open = BgpMessage::Open(OpenMsg::new(4_200_001, 90, Ipv4Addr::new(10, 0, 9, 9))).encode(true);
+    speaker.receive(1, PeerId(0), &open);
+    speaker.receive(2, PeerId(0), &BgpMessage::Keepalive.encode(true));
+    assert!(speaker.is_established(PeerId(0)));
+    speaker
+}
+
+fn bench_classic(c: &mut Criterion) {
+    let frames = classic_frames(512, 7);
+    let mut group = c.benchmark_group("stress/classic-bgp");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("process-512-updates", |b| {
+        b.iter_batched(
+            established_classic_speaker,
+            |mut speaker| {
+                let mut now = 10;
+                for frame in &frames {
+                    now += 1;
+                    std::hint::black_box(speaker.receive(now, PeerId(0), frame));
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_dbgp_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stress/dbgp-ia");
+    for payload in [0usize, 4 << 10, 32 << 10, 256 << 10] {
+        let frames = ia_frames(64, payload, 5, 7);
+        group.throughput(Throughput::Elements(frames.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}KB", payload / 1024)),
+            &frames,
+            |b, frames| {
+                b.iter_batched(
+                    || {
+                        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(4_200_000));
+                        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(4_200_001));
+                        speaker.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(4_200_002));
+                        speaker
+                    },
+                    |mut speaker| {
+                        for frame in frames {
+                            let mut buf = bytes::Bytes::copy_from_slice(frame);
+                            let update = DbgpUpdate::decode(&mut buf).unwrap();
+                            for ia in update.ias {
+                                std::hint::black_box(speaker.receive_ia(NeighborId(0), ia));
+                            }
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_classic, bench_dbgp_sizes
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks for the wire codecs: the serialization cost that
+//! drives the §5 throughput curve, isolated from the pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbgp_wire::message::BgpMessage;
+use dbgp_workload::WorkloadGen;
+
+fn bench_ia_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/ia");
+    for payload in [0usize, 4 << 10, 32 << 10, 256 << 10] {
+        let mut gen = WorkloadGen::new(3);
+        let ia = gen.ia(payload, 5);
+        let encoded = ia.encode();
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{}KB", payload / 1024)),
+            &ia,
+            |b, ia| b.iter(|| std::hint::black_box(ia.encode())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode", format!("{}KB", payload / 1024)),
+            &encoded,
+            |b, encoded| {
+                b.iter(|| std::hint::black_box(dbgp_wire::Ia::decode(encoded.clone()).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_update_codec(c: &mut Criterion) {
+    let mut gen = WorkloadGen::new(4);
+    let update = gen.update();
+    let encoded = BgpMessage::Update(update.clone()).encode(true);
+    let mut group = c.benchmark_group("wire/bgp-update");
+    group.bench_function("encode", |b| {
+        b.iter(|| std::hint::black_box(BgpMessage::Update(update.clone()).encode(true)))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::from(&encoded[..]);
+            std::hint::black_box(BgpMessage::decode(&mut buf, true).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ia_codec, bench_update_codec);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates Figure 10 (§6.3): incremental benefits for the
+//! bottleneck-bandwidth archetype, D-BGP baseline vs BGP baseline.
+//!
+//! Usage: `fig10 [--quick]` (see fig9).
+
+use dbgp_experiments::benefits::{run, Baseline, BenefitsConfig};
+use dbgp_topology::WaxmanParams;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tune = |mut cfg: BenefitsConfig| {
+        if quick {
+            cfg.waxman = WaxmanParams { n: 300, ..Default::default() };
+            cfg.seeds = (1..=5).collect();
+        }
+        cfg
+    };
+    println!(
+        "Figure 10: bottleneck-bandwidth archetype — average bottleneck bandwidth to\n\
+         all destinations at upgraded ASes ({} ASes, {} seeds, 95% CI)",
+        if quick { 300 } else { 1000 },
+        if quick { 5 } else { 9 },
+    );
+    let dbgp = run(&tune(BenefitsConfig::figure10(Baseline::Dbgp)));
+    let bgp = run(&tune(BenefitsConfig::figure10(Baseline::Bgp)));
+
+    println!(
+        "{:>10} {:>16} {:>10} {:>16} {:>10}",
+        "adoption%", "D-BGP mean", "±95%", "BGP mean", "±95%"
+    );
+    for (d, b) in dbgp.points.iter().zip(&bgp.points) {
+        println!(
+            "{:>10} {:>16.1} {:>10.1} {:>16.1} {:>10.1}",
+            d.adoption, d.mean, d.ci95, b.mean, b.ci95
+        );
+    }
+    println!("status quo (0% adoption): {:.1}", dbgp.status_quo);
+    println!("best case (100% adoption): {:.1}", dbgp.best_case);
+    // The crossover the paper highlights: where each baseline first
+    // exceeds the status quo.
+    for (name, series) in [("D-BGP", &dbgp), ("BGP", &bgp)] {
+        let crossover = series
+            .points
+            .iter()
+            .find(|p| p.adoption > 0 && p.mean > series.status_quo)
+            .map(|p| format!("{}%", p.adoption))
+            .unwrap_or_else(|| "never".to_string());
+        println!("{name} baseline first beats the status quo at: {crossover}");
+    }
+    let json = serde_json::json!({ "dbgp_baseline": dbgp, "bgp_baseline": bgp });
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/fig10.json", serde_json::to_string_pretty(&json).unwrap()).ok();
+    println!("(wrote results/fig10.json)");
+}

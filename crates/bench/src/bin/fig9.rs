@@ -1,0 +1,45 @@
+//! Regenerates Figure 9 (§6.3): incremental benefits for the
+//! extra-paths archetype, D-BGP baseline vs BGP baseline.
+//!
+//! Usage: `fig9 [--quick]`. `--quick` runs a 300-AS, 5-seed version for
+//! fast iteration; the default matches the paper (1,000 ASes, 9 seeds,
+//! adoption 0–100% in steps of 10).
+
+use dbgp_experiments::benefits::{run, Baseline, BenefitsConfig};
+use dbgp_topology::WaxmanParams;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tune = |mut cfg: BenefitsConfig| {
+        if quick {
+            cfg.waxman = WaxmanParams { n: 300, ..Default::default() };
+            cfg.seeds = (1..=5).collect();
+        }
+        cfg
+    };
+    println!(
+        "Figure 9: extra-paths archetype — average number of paths available to all\n\
+         destinations at upgraded stubs ({} ASes, {} seeds, 95% CI)",
+        if quick { 300 } else { 1000 },
+        if quick { 5 } else { 9 },
+    );
+    let dbgp = run(&tune(BenefitsConfig::figure9(Baseline::Dbgp)));
+    let bgp = run(&tune(BenefitsConfig::figure9(Baseline::Bgp)));
+
+    println!(
+        "{:>10} {:>16} {:>10} {:>16} {:>10}",
+        "adoption%", "D-BGP mean", "±95%", "BGP mean", "±95%"
+    );
+    for (d, b) in dbgp.points.iter().zip(&bgp.points) {
+        println!(
+            "{:>10} {:>16.1} {:>10.1} {:>16.1} {:>10.1}",
+            d.adoption, d.mean, d.ci95, b.mean, b.ci95
+        );
+    }
+    println!("status quo (0% adoption): {:.1}", dbgp.status_quo);
+    println!("best case (100% adoption): {:.1}", dbgp.best_case);
+    let json = serde_json::json!({ "dbgp_baseline": dbgp, "bgp_baseline": bgp });
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/fig9.json", serde_json::to_string_pretty(&json).unwrap()).ok();
+    println!("(wrote results/fig9.json)");
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 1: the 14 analyzed protocols, their scenarios, and
+//! the control-/data-plane support each needs.
+
+use dbgp_experiments::taxonomy::{table1, Scenario};
+
+fn main() {
+    let entries = table1();
+    println!("Table 1: Protocols analyzed, grouped by evolvability scenario");
+    println!("{:-<100}", "");
+    for scenario in [Scenario::CriticalFix, Scenario::CustomProtocol, Scenario::Replacement] {
+        println!("\n{scenario}");
+        println!("{:<12} {:<42} {:<24} {}", "Protocol", "Summary", "Control plane (*)", "Data plane (<>)");
+        for e in entries.iter().filter(|e| e.scenario == scenario) {
+            println!(
+                "{:<12} {:<42} {:<24} {}",
+                e.name,
+                e.summary,
+                e.control_plane.join(", "),
+                e.data_plane.join(", ")
+            );
+        }
+    }
+    let json = serde_json::to_string_pretty(&entries).expect("serializable");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/table1.json", json).ok();
+    println!("\n(wrote results/table1.json)");
+}

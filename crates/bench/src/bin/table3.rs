@@ -1,0 +1,42 @@
+//! Regenerates Table 3 (§6.2): D-BGP's control-plane overhead at a
+//! tier-1 AS under the Basic / + path lengths / + sharing analyses,
+//! against the single-protocol baseline — and the 1.3x–2.5x headline.
+
+use dbgp_experiments::overhead::{fmt_bytes, overhead_factor, table3, OverheadParams};
+
+fn main() {
+    println!("Table 3: Control-plane overhead of D-BGP (min - max over Table 2 ranges)");
+    println!(
+        "{:<22} {:>22} {:>22} {:>26} {:>26}",
+        "Name", "IA size: CFs", "IA size: CRs", "# of advertisements", "Total overhead"
+    );
+    println!("{:-<122}", "");
+    let rows = table3();
+    for (name, min, max) in &rows {
+        println!(
+            "{:<22} {:>22} {:>22} {:>26} {:>26}",
+            name,
+            format!("{} - {}", fmt_bytes(min.cf_bytes), fmt_bytes(max.cf_bytes)),
+            format!("{} - {}", fmt_bytes(min.cr_bytes), fmt_bytes(max.cr_bytes)),
+            format!("{} - {}", min.advertisements, max.advertisements),
+            format!("{} - {}", fmt_bytes(min.total_bytes), fmt_bytes(max.total_bytes)),
+        );
+    }
+    let lo = overhead_factor(&OverheadParams::paper_min());
+    let hi = overhead_factor(&OverheadParams::paper_max());
+    println!("{:-<122}", "");
+    println!(
+        "D-BGP overhead factor vs a single-protocol Internet: {lo:.2}x - {hi:.2}x  \
+         (paper: 1.3x - 2.5x)"
+    );
+    let json = serde_json::json!({
+        "rows": rows.iter().map(|(name, min, max)| serde_json::json!({
+            "name": name, "min": min, "max": max,
+        })).collect::<Vec<_>>(),
+        "factor_min": lo,
+        "factor_max": hi,
+    });
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/table3.json", serde_json::to_string_pretty(&json).unwrap()).ok();
+    println!("(wrote results/table3.json)");
+}

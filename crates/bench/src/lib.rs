@@ -1,0 +1,6 @@
+//! Shared harness code for the benchmark binaries and Criterion benches:
+//! the §5 stress test, implemented once and reported two ways.
+
+pub mod stress;
+
+pub use stress::{run_classic_bgp, run_dbgp, StressResult};

@@ -1,0 +1,160 @@
+//! The §5 Beagle/Quagga stress test, re-hosted on our speakers.
+//!
+//! The paper's setup: peers replay 150,000 advertisements each at the
+//! router under test; the metric is prefixes processed per second, for
+//! (a) Quagga with plain BGP, (b) Beagle with plain BGP (overhead of the
+//! evolvability extensions ≈ none), and (c) Beagle exchanging IAs of
+//! 32 KB / 256 KB (throughput falls with IA size because of
+//! serialization cost).
+//!
+//! Our analogues: (a) the classic `dbgp-bgp` speaker fed wire-encoded
+//! UPDATEs through a fully established session; (b) the D-BGP speaker
+//! fed IAs with no extra payload; (c) the D-BGP speaker fed IAs with the
+//! paper's payload sizes. The timed region covers decode, the full
+//! pipeline, and re-encoding of the advertisements generated for a
+//! downstream neighbor — the same work a border router does per
+//! advertisement.
+
+use dbgp_bgp::{NeighborConfig, PeerId, Speaker, TransportEvent};
+use dbgp_core::{DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId};
+use dbgp_wire::message::{BgpMessage, OpenMsg};
+use dbgp_wire::Ipv4Addr;
+use dbgp_workload::WorkloadGen;
+use std::time::Instant;
+
+/// Outcome of one stress run.
+#[derive(Debug, Clone)]
+pub struct StressResult {
+    /// Configuration label.
+    pub label: String,
+    /// Advertisements processed.
+    pub advertisements: u64,
+    /// Wall-clock seconds in the timed region.
+    pub seconds: f64,
+    /// Throughput in prefixes per second.
+    pub per_sec: f64,
+}
+
+impl StressResult {
+    fn new(label: impl Into<String>, advertisements: u64, seconds: f64) -> Self {
+        StressResult {
+            label: label.into(),
+            advertisements,
+            seconds,
+            per_sec: advertisements as f64 / seconds.max(1e-9),
+        }
+    }
+}
+
+/// Pre-encode `n` classic UPDATE frames (outside any timed region).
+pub fn classic_frames(n: usize, seed: u64) -> Vec<bytes::Bytes> {
+    let mut gen = WorkloadGen::new(seed);
+    gen.update_trace(n)
+        .into_iter()
+        .map(|u| BgpMessage::Update(u).encode(true))
+        .collect()
+}
+
+/// Stress the classic BGP speaker: the "Quagga" datapoint.
+pub fn run_classic_bgp(n: usize, seed: u64) -> StressResult {
+    let frames = classic_frames(n, seed);
+    let mut speaker = Speaker::new(4_200_000, Ipv4Addr::new(10, 0, 0, 1));
+    let upstream = PeerId(0);
+    speaker.add_peer(
+        upstream,
+        NeighborConfig::new(4_200_000, Ipv4Addr::new(10, 0, 0, 1), 4_200_001, Ipv4Addr::new(10, 0, 0, 2)),
+    );
+    // Drive the session to Established with real wire messages.
+    speaker.start(0);
+    speaker.transport_event(0, upstream, TransportEvent::Connected);
+    let open = BgpMessage::Open(OpenMsg::new(4_200_001, 90, Ipv4Addr::new(10, 0, 9, 9))).encode(true);
+    speaker.receive(1, upstream, &open);
+    let ka = BgpMessage::Keepalive.encode(true);
+    speaker.receive(2, upstream, &ka);
+    assert!(speaker.is_established(upstream), "session must establish before the stress run");
+
+    let start = Instant::now();
+    let mut now = 10u64;
+    for frame in &frames {
+        now += 1;
+        let outputs = speaker.receive(now, upstream, frame);
+        std::hint::black_box(outputs);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(speaker.loc_rib().len(), frames.len(), "every prefix installed");
+    StressResult::new("classic BGP (Quagga analogue)", frames.len() as u64, seconds)
+}
+
+/// Pre-encode `n` D-BGP update frames with the given IA payload.
+pub fn ia_frames(n: usize, payload_bytes: usize, n_protocols: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut gen = WorkloadGen::new(seed);
+    gen.ia_trace(n, payload_bytes, n_protocols)
+        .into_iter()
+        .map(|ia| DbgpUpdate::announce(ia).encode().to_vec())
+        .collect()
+}
+
+/// Stress the D-BGP speaker with IA payloads of `payload_bytes`
+/// (0 = the "Beagle, BGP-only advertisements" datapoint).
+pub fn run_dbgp(n: usize, payload_bytes: usize, seed: u64) -> StressResult {
+    let frames = ia_frames(n, payload_bytes, 5, seed);
+    let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(4_200_000));
+    speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(4_200_001));
+    speaker.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(4_200_002));
+
+    let label = if payload_bytes == 0 {
+        "D-BGP, BGP-only IAs (Beagle analogue)".to_string()
+    } else {
+        format!("D-BGP, {} KB IAs", payload_bytes / 1024)
+    };
+    let start = Instant::now();
+    for frame in &frames {
+        let mut buf = bytes::Bytes::copy_from_slice(frame);
+        let update = DbgpUpdate::decode(&mut buf).expect("frame decodes");
+        for ia in update.ias {
+            let outputs = speaker.receive_ia(NeighborId(0), ia);
+            // Re-encode advertisements for the downstream neighbor, as a
+            // forwarding border router would.
+            for output in outputs {
+                if let DbgpOutput::SendIa(_, ia) = output {
+                    std::hint::black_box(DbgpUpdate::announce(ia).encode());
+                }
+            }
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(speaker.processed(), frames.len() as u64);
+    StressResult::new(label, frames.len() as u64, seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_stress_processes_everything() {
+        let result = run_classic_bgp(500, 1);
+        assert_eq!(result.advertisements, 500);
+        assert!(result.per_sec > 0.0);
+    }
+
+    #[test]
+    fn dbgp_stress_processes_everything() {
+        let result = run_dbgp(200, 0, 1);
+        assert_eq!(result.advertisements, 200);
+    }
+
+    #[test]
+    fn throughput_falls_with_ia_size() {
+        // The §5 shape: bigger IAs, fewer prefixes per second. Use
+        // enough advertisements to dominate noise.
+        let small = run_dbgp(300, 0, 2);
+        let big = run_dbgp(300, 256 << 10, 2);
+        assert!(
+            big.per_sec < small.per_sec,
+            "256KB IAs ({:.0}/s) must be slower than empty IAs ({:.0}/s)",
+            big.per_sec,
+            small.per_sec
+        );
+    }
+}

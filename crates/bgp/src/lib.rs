@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! A classic BGP-4 speaker, written from scratch and sans-IO.
+//!
+//! This crate is the workspace's "Quagga": the baseline inter-domain
+//! routing implementation that D-BGP (`dbgp-core`) extends. It provides:
+//!
+//! * [`session`] — the RFC 4271 §8 finite-state machine, timer-driven
+//!   through an explicit `poll(now)` interface;
+//! * [`route`] — the parsed per-prefix route model;
+//! * [`rib`] — Adj-RIB-In / Loc-RIB / Adj-RIB-Out;
+//! * [`decision`] — the §9.1.2.2 best-path selection chain;
+//! * [`policy`] — route maps (match/set clauses) for import/export;
+//! * [`speaker`] — the whole speaker: byte-oriented, host-driven, with
+//!   split-horizon, loop detection, policy application and incremental
+//!   advertisement generation.
+//!
+//! Nothing here knows about Integrated Advertisements; `dbgp-core`
+//! builds the multi-protocol pipeline on top of these pieces.
+
+pub mod config;
+pub mod decision;
+pub mod policy;
+pub mod rib;
+pub mod route;
+pub mod session;
+pub mod speaker;
+
+pub use config::{NeighborConfig, PeerConfig, PeerId};
+pub use decision::{best, compare, Candidate};
+pub use policy::{Clause, MatchCond, PrefixMatch, RouteMap, SetAction};
+pub use rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, RouteSource};
+pub use route::Route;
+pub use session::{Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary};
+pub use speaker::{Output, Speaker, TransportEvent};

@@ -1,0 +1,276 @@
+//! Route maps: the operator policy engine applied at import and export.
+//!
+//! Modeled on the route-map idiom every production BGP implementation
+//! shares: an ordered list of clauses, each with match conditions and
+//! (for permits) set actions. First matching clause decides. D-BGP's
+//! *global filters* (paper §3.3) reuse this machinery at the IA level in
+//! `dbgp-core`; here it operates on classic routes.
+
+use crate::route::Route;
+use dbgp_wire::Ipv4Prefix;
+
+/// How a prefix match condition compares prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixMatch {
+    /// The route's prefix must equal the given one.
+    Exact,
+    /// The route's prefix must be the given one or a more-specific.
+    OrLonger,
+}
+
+/// A single match condition; all conditions in a clause must hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchCond {
+    /// Match on the route's prefix.
+    Prefix(Ipv4Prefix, PrefixMatch),
+    /// Match routes whose AS path mentions this AS anywhere.
+    AsPathContains(u32),
+    /// Match routes carrying this community tag.
+    HasCommunity(u32),
+    /// Match routes received from / sent to this neighbour AS.
+    PeerAs(u32),
+    /// Match every route.
+    Any,
+}
+
+impl MatchCond {
+    fn matches(&self, prefix: &Ipv4Prefix, route: &Route, peer_as: u32) -> bool {
+        match self {
+            MatchCond::Prefix(p, PrefixMatch::Exact) => prefix == p,
+            MatchCond::Prefix(p, PrefixMatch::OrLonger) => p.covers(prefix),
+            MatchCond::AsPathContains(asn) => route.as_path.contains(*asn),
+            MatchCond::HasCommunity(c) => route.communities.contains(c),
+            MatchCond::PeerAs(asn) => peer_as == *asn,
+            MatchCond::Any => true,
+        }
+    }
+}
+
+/// An attribute rewrite applied by a permitting clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetAction {
+    /// Set LOCAL_PREF.
+    LocalPref(u32),
+    /// Set MED.
+    Med(u32),
+    /// Remove the MED.
+    ClearMed,
+    /// Add a community tag (idempotent).
+    AddCommunity(u32),
+    /// Remove a community tag.
+    RemoveCommunity(u32),
+    /// Prepend an AS `count` times (traffic engineering).
+    Prepend {
+        /// AS number to prepend.
+        asn: u32,
+        /// Number of copies.
+        count: u8,
+    },
+}
+
+impl SetAction {
+    fn apply(&self, route: &mut Route) {
+        match self {
+            SetAction::LocalPref(v) => route.local_pref = Some(*v),
+            SetAction::Med(v) => route.med = Some(*v),
+            SetAction::ClearMed => route.med = None,
+            SetAction::AddCommunity(c) => {
+                if !route.communities.contains(c) {
+                    route.communities.push(*c);
+                }
+            }
+            SetAction::RemoveCommunity(c) => route.communities.retain(|x| x != c),
+            SetAction::Prepend { asn, count } => {
+                for _ in 0..*count {
+                    route.as_path.prepend(*asn);
+                }
+            }
+        }
+    }
+}
+
+/// One clause: if all `matches` hold, the clause decides (permit with
+/// rewrites, or deny).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Accept (after applying `actions`) or reject.
+    pub permit: bool,
+    /// Conditions, all of which must match.
+    pub matches: Vec<MatchCond>,
+    /// Rewrites applied on permit.
+    pub actions: Vec<SetAction>,
+}
+
+impl Clause {
+    /// A permit clause.
+    pub fn permit(matches: Vec<MatchCond>, actions: Vec<SetAction>) -> Self {
+        Clause { permit: true, matches, actions }
+    }
+
+    /// A deny clause.
+    pub fn deny(matches: Vec<MatchCond>) -> Self {
+        Clause { permit: false, matches, actions: Vec::new() }
+    }
+}
+
+/// An ordered route map. First matching clause wins; if none match, the
+/// implicit default applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteMap {
+    /// Ordered clauses.
+    pub clauses: Vec<Clause>,
+    /// Disposition when no clause matches. Real route maps default to
+    /// deny; our permissive default suits an open research topology, and
+    /// tests cover both.
+    pub default_permit: bool,
+}
+
+impl RouteMap {
+    /// The map that accepts everything unchanged.
+    pub fn permit_all() -> Self {
+        RouteMap { clauses: Vec::new(), default_permit: true }
+    }
+
+    /// The map that rejects everything.
+    pub fn deny_all() -> Self {
+        RouteMap { clauses: Vec::new(), default_permit: false }
+    }
+
+    /// A map with the given clauses and deny-by-default semantics.
+    pub fn new(clauses: Vec<Clause>) -> Self {
+        RouteMap { clauses, default_permit: false }
+    }
+
+    /// Run the map. Returns `true` (and may rewrite `route`) on permit.
+    pub fn apply(&self, prefix: &Ipv4Prefix, route: &mut Route, peer_as: u32) -> bool {
+        for clause in &self.clauses {
+            if clause.matches.iter().all(|m| m.matches(prefix, route, peer_as)) {
+                if clause.permit {
+                    for action in &clause.actions {
+                        action.apply(route);
+                    }
+                }
+                return clause.permit;
+            }
+        }
+        self.default_permit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgp_wire::attrs::AsPath;
+    use dbgp_wire::Ipv4Addr;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route() -> Route {
+        let mut r = Route::originated(Ipv4Addr::new(10, 0, 0, 1));
+        r.as_path = AsPath::from_sequence(vec![100, 200]);
+        r.communities = vec![555];
+        r
+    }
+
+    #[test]
+    fn permit_all_and_deny_all() {
+        let mut r = route();
+        assert!(RouteMap::permit_all().apply(&p("10.0.0.0/8"), &mut r, 100));
+        assert!(!RouteMap::deny_all().apply(&p("10.0.0.0/8"), &mut r, 100));
+    }
+
+    #[test]
+    fn first_matching_clause_wins() {
+        let map = RouteMap::new(vec![
+            Clause::deny(vec![MatchCond::Prefix(p("10.0.0.0/8"), PrefixMatch::OrLonger)]),
+            Clause::permit(vec![MatchCond::Any], vec![]),
+        ]);
+        let mut r = route();
+        assert!(!map.apply(&p("10.5.0.0/16"), &mut r, 100), "covered by the deny");
+        assert!(map.apply(&p("192.168.0.0/16"), &mut r, 100), "falls to permit-any");
+    }
+
+    #[test]
+    fn exact_vs_orlonger() {
+        let exact = RouteMap::new(vec![Clause::permit(
+            vec![MatchCond::Prefix(p("10.0.0.0/8"), PrefixMatch::Exact)],
+            vec![],
+        )]);
+        let mut r = route();
+        assert!(exact.apply(&p("10.0.0.0/8"), &mut r, 1));
+        assert!(!exact.apply(&p("10.5.0.0/16"), &mut r, 1));
+    }
+
+    #[test]
+    fn all_conditions_must_hold() {
+        let map = RouteMap::new(vec![Clause::permit(
+            vec![MatchCond::PeerAs(100), MatchCond::HasCommunity(555)],
+            vec![],
+        )]);
+        let mut r = route();
+        assert!(map.apply(&p("10.0.0.0/8"), &mut r, 100));
+        assert!(!map.apply(&p("10.0.0.0/8"), &mut r, 101));
+        r.communities.clear();
+        assert!(!map.apply(&p("10.0.0.0/8"), &mut r, 100));
+    }
+
+    #[test]
+    fn as_path_match() {
+        let map = RouteMap::new(vec![Clause::deny(vec![MatchCond::AsPathContains(200)])]);
+        let mut r = route();
+        assert!(!map.apply(&p("10.0.0.0/8"), &mut r, 1), "path mentions 200");
+    }
+
+    #[test]
+    fn set_actions_rewrite_route() {
+        let map = RouteMap::new(vec![Clause::permit(
+            vec![MatchCond::Any],
+            vec![
+                SetAction::LocalPref(250),
+                SetAction::Med(42),
+                SetAction::AddCommunity(777),
+                SetAction::RemoveCommunity(555),
+                SetAction::Prepend { asn: 65000, count: 2 },
+            ],
+        )]);
+        let mut r = route();
+        assert!(map.apply(&p("10.0.0.0/8"), &mut r, 1));
+        assert_eq!(r.local_pref, Some(250));
+        assert_eq!(r.med, Some(42));
+        assert_eq!(r.communities, vec![777]);
+        assert_eq!(r.as_path.hop_count(), 4);
+        assert_eq!(r.as_path.first_as(), Some(65000));
+    }
+
+    #[test]
+    fn deny_clause_does_not_rewrite() {
+        let map = RouteMap {
+            clauses: vec![Clause {
+                permit: false,
+                matches: vec![MatchCond::Any],
+                actions: vec![SetAction::LocalPref(999)],
+            }],
+            default_permit: true,
+        };
+        let mut r = route();
+        assert!(!map.apply(&p("10.0.0.0/8"), &mut r, 1));
+        assert_eq!(r.local_pref, None);
+    }
+
+    #[test]
+    fn add_community_is_idempotent() {
+        let mut r = route();
+        SetAction::AddCommunity(555).apply(&mut r);
+        assert_eq!(r.communities, vec![555]);
+    }
+
+    #[test]
+    fn clear_med() {
+        let mut r = route();
+        r.med = Some(10);
+        SetAction::ClearMed.apply(&mut r);
+        assert_eq!(r.med, None);
+    }
+}

@@ -1,0 +1,284 @@
+//! Routing information bases: Adj-RIB-In, Loc-RIB and Adj-RIB-Out
+//! (RFC 4271 §3.2).
+
+use crate::config::PeerId;
+use crate::route::Route;
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix};
+use std::collections::{BTreeMap, HashMap};
+
+/// Routes received from each peer, post-import-policy.
+#[derive(Debug, Clone, Default)]
+pub struct AdjRibIn {
+    routes: HashMap<PeerId, BTreeMap<Ipv4Prefix, Route>>,
+}
+
+impl AdjRibIn {
+    /// Create an empty Adj-RIB-In.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a route from a peer, replacing any previous one (implicit
+    /// withdraw). Returns the replaced route.
+    pub fn insert(&mut self, peer: PeerId, prefix: Ipv4Prefix, route: Route) -> Option<Route> {
+        self.routes.entry(peer).or_default().insert(prefix, route)
+    }
+
+    /// Remove a route (explicit withdraw). Returns the removed route.
+    pub fn remove(&mut self, peer: PeerId, prefix: &Ipv4Prefix) -> Option<Route> {
+        self.routes.get_mut(&peer).and_then(|m| m.remove(prefix))
+    }
+
+    /// Remove everything learned from `peer` (session reset). Returns the
+    /// affected prefixes.
+    pub fn drop_peer(&mut self, peer: PeerId) -> Vec<Ipv4Prefix> {
+        self.routes
+            .remove(&peer)
+            .map(|m| m.into_keys().collect())
+            .unwrap_or_default()
+    }
+
+    /// The route `peer` gave us for `prefix`, if any.
+    pub fn get(&self, peer: PeerId, prefix: &Ipv4Prefix) -> Option<&Route> {
+        self.routes.get(&peer).and_then(|m| m.get(prefix))
+    }
+
+    /// All (peer, route) candidates for one prefix.
+    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(PeerId, &Route)> {
+        let mut out: Vec<(PeerId, &Route)> = self
+            .routes
+            .iter()
+            .filter_map(|(peer, m)| m.get(prefix).map(|r| (*peer, r)))
+            .collect();
+        out.sort_by_key(|(peer, _)| *peer);
+        out
+    }
+
+    /// Every prefix any peer has advertised.
+    pub fn prefixes(&self) -> Vec<Ipv4Prefix> {
+        let mut out: Vec<Ipv4Prefix> =
+            self.routes.values().flat_map(|m| m.keys().copied()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Total route count across all peers.
+    pub fn len(&self) -> usize {
+        self.routes.values().map(BTreeMap::len).sum()
+    }
+
+    /// True if no routes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Where a Loc-RIB entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteSource {
+    /// Chosen from a peer's Adj-RIB-In.
+    Peer(PeerId),
+    /// Locally originated.
+    Local,
+}
+
+/// One selected best route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocRibEntry {
+    /// Winning route.
+    pub route: Route,
+    /// Who supplied it.
+    pub source: RouteSource,
+}
+
+/// The speaker's view of best paths, one per prefix.
+#[derive(Debug, Clone, Default)]
+pub struct LocRib {
+    entries: BTreeMap<Ipv4Prefix, LocRibEntry>,
+}
+
+impl LocRib {
+    /// Create an empty Loc-RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) the best route for a prefix. Returns the
+    /// previous entry.
+    pub fn install(&mut self, prefix: Ipv4Prefix, entry: LocRibEntry) -> Option<LocRibEntry> {
+        self.entries.insert(prefix, entry)
+    }
+
+    /// Remove the route for a prefix entirely.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<LocRibEntry> {
+        self.entries.remove(prefix)
+    }
+
+    /// Exact-prefix lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&LocRibEntry> {
+        self.entries.get(prefix)
+    }
+
+    /// Longest-prefix-match lookup for a destination address, as the
+    /// data plane would perform it.
+    pub fn longest_match(&self, addr: Ipv4Addr) -> Option<(&Ipv4Prefix, &LocRibEntry)> {
+        self.entries
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .max_by_key(|(p, _)| p.len())
+    }
+
+    /// Iterate all entries in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Prefix, &LocRibEntry)> {
+        self.entries.iter()
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// What we last advertised to each peer, so withdrawals and implicit
+/// replacements can be generated precisely.
+#[derive(Debug, Clone, Default)]
+pub struct AdjRibOut {
+    routes: HashMap<PeerId, BTreeMap<Ipv4Prefix, Route>>,
+}
+
+impl AdjRibOut {
+    /// Create an empty Adj-RIB-Out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an advertisement. Returns `true` if this changed what the
+    /// peer sees (new route or different attributes).
+    pub fn advertise(&mut self, peer: PeerId, prefix: Ipv4Prefix, route: Route) -> bool {
+        let slot = self.routes.entry(peer).or_default();
+        match slot.get(&prefix) {
+            Some(existing) if *existing == route => false,
+            _ => {
+                slot.insert(prefix, route);
+                true
+            }
+        }
+    }
+
+    /// Record a withdrawal. Returns `true` if the peer had the route.
+    pub fn withdraw(&mut self, peer: PeerId, prefix: &Ipv4Prefix) -> bool {
+        self.routes.get_mut(&peer).is_some_and(|m| m.remove(prefix).is_some())
+    }
+
+    /// Forget everything advertised to `peer` (session reset).
+    pub fn drop_peer(&mut self, peer: PeerId) {
+        self.routes.remove(&peer);
+    }
+
+    /// What we last sent `peer` for `prefix`.
+    pub fn get(&self, peer: PeerId, prefix: &Ipv4Prefix) -> Option<&Route> {
+        self.routes.get(&peer).and_then(|m| m.get(prefix))
+    }
+
+    /// All prefixes currently advertised to `peer`.
+    pub fn prefixes_for(&self, peer: PeerId) -> Vec<Ipv4Prefix> {
+        self.routes
+            .get(&peer)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgp_wire::attrs::AsPath;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route(first_as: u32) -> Route {
+        let mut r = Route::originated(Ipv4Addr::new(10, 0, 0, 1));
+        r.as_path = AsPath::from_sequence(vec![first_as]);
+        r
+    }
+
+    #[test]
+    fn adj_in_insert_replace_remove() {
+        let mut rib = AdjRibIn::new();
+        assert!(rib.insert(PeerId(1), p("10.0.0.0/8"), route(1)).is_none());
+        // Implicit withdraw: replacement returns the old route.
+        let old = rib.insert(PeerId(1), p("10.0.0.0/8"), route(2));
+        assert_eq!(old, Some(route(1)));
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.remove(PeerId(1), &p("10.0.0.0/8")), Some(route(2)));
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn adj_in_candidates_are_per_prefix_and_ordered() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(PeerId(2), p("10.0.0.0/8"), route(2));
+        rib.insert(PeerId(1), p("10.0.0.0/8"), route(1));
+        rib.insert(PeerId(1), p("192.168.0.0/16"), route(3));
+        let cands = rib.candidates(&p("10.0.0.0/8"));
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].0, PeerId(1));
+        assert_eq!(cands[1].0, PeerId(2));
+    }
+
+    #[test]
+    fn adj_in_drop_peer_reports_prefixes() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(PeerId(1), p("10.0.0.0/8"), route(1));
+        rib.insert(PeerId(1), p("192.168.0.0/16"), route(1));
+        rib.insert(PeerId(2), p("10.0.0.0/8"), route(2));
+        let mut dropped = rib.drop_peer(PeerId(1));
+        dropped.sort();
+        assert_eq!(dropped, vec![p("10.0.0.0/8"), p("192.168.0.0/16")]);
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn loc_rib_longest_match() {
+        let mut rib = LocRib::new();
+        rib.install(
+            p("10.0.0.0/8"),
+            LocRibEntry { route: route(1), source: RouteSource::Peer(PeerId(1)) },
+        );
+        rib.install(
+            p("10.5.0.0/16"),
+            LocRibEntry { route: route(2), source: RouteSource::Peer(PeerId(2)) },
+        );
+        let (prefix, entry) = rib.longest_match(Ipv4Addr::new(10, 5, 1, 1)).unwrap();
+        assert_eq!(*prefix, p("10.5.0.0/16"));
+        assert_eq!(entry.source, RouteSource::Peer(PeerId(2)));
+        let (prefix, _) = rib.longest_match(Ipv4Addr::new(10, 6, 1, 1)).unwrap();
+        assert_eq!(*prefix, p("10.0.0.0/8"));
+        assert!(rib.longest_match(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn adj_out_dedupes_identical_advertisements() {
+        let mut rib = AdjRibOut::new();
+        assert!(rib.advertise(PeerId(1), p("10.0.0.0/8"), route(1)));
+        assert!(!rib.advertise(PeerId(1), p("10.0.0.0/8"), route(1)), "no change, no send");
+        assert!(rib.advertise(PeerId(1), p("10.0.0.0/8"), route(2)), "changed attributes");
+    }
+
+    #[test]
+    fn adj_out_withdraw_only_if_advertised() {
+        let mut rib = AdjRibOut::new();
+        assert!(!rib.withdraw(PeerId(1), &p("10.0.0.0/8")));
+        rib.advertise(PeerId(1), p("10.0.0.0/8"), route(1));
+        assert!(rib.withdraw(PeerId(1), &p("10.0.0.0/8")));
+        assert!(!rib.withdraw(PeerId(1), &p("10.0.0.0/8")));
+    }
+}

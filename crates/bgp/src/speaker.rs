@@ -1,0 +1,760 @@
+//! A complete classic BGP-4 speaker, sans-IO.
+//!
+//! The speaker owns one [`Session`] per configured neighbor plus the
+//! three RIBs, and exposes a byte-oriented interface: feed it received
+//! bytes and transport events with a timestamp, and execute the
+//! [`Output`]s it returns (bytes to send, connections to open, ...).
+//! All message framing goes through the real wire codec, so every test
+//! that drives two speakers against each other also exercises
+//! serialization.
+//!
+//! In the paper's terms this is "Quagga": the baseline BGP
+//! implementation whose advertisement processing D-BGP (in `dbgp-core`)
+//! interposes on.
+
+use crate::config::{NeighborConfig, PeerId};
+use crate::decision::{self, Candidate};
+use crate::rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, RouteSource};
+use crate::route::Route;
+use crate::session::{Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary};
+use bytes::{Bytes, BytesMut};
+use dbgp_wire::message::{BgpMessage, NotificationMsg, UpdateMsg};
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix, WireError};
+use std::collections::BTreeMap;
+
+/// Transport-level inputs the host forwards to the speaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// The connection to the peer came up.
+    Connected,
+    /// A connection attempt failed.
+    Failed,
+    /// An established connection closed.
+    Closed,
+}
+
+/// Instructions the speaker hands back to its host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// Transmit these bytes to the peer.
+    SendBytes(PeerId, Bytes),
+    /// Open the transport connection to the peer.
+    TcpConnect(PeerId),
+    /// Close the transport connection to the peer.
+    TcpClose(PeerId),
+    /// The session with this peer reached Established.
+    PeerUp(PeerId, SessionSummary),
+    /// The session with this peer went down.
+    PeerDown(PeerId, DownReason),
+    /// The best route for a prefix changed (`None` = now unreachable).
+    /// The host's data plane should update its FIB.
+    BestRouteChanged(Ipv4Prefix, Option<LocRibEntry>),
+}
+
+struct Peer {
+    cfg: NeighborConfig,
+    session: Session,
+    rx: BytesMut,
+    summary: Option<SessionSummary>,
+}
+
+/// A classic BGP-4 speaker.
+pub struct Speaker {
+    asn: u32,
+    router_id: Ipv4Addr,
+    peers: BTreeMap<PeerId, Peer>,
+    adj_in: AdjRibIn,
+    loc_rib: LocRib,
+    adj_out: AdjRibOut,
+    originated: BTreeMap<Ipv4Prefix, Route>,
+}
+
+impl Speaker {
+    /// Create a speaker for AS `asn` with the given router ID.
+    pub fn new(asn: u32, router_id: Ipv4Addr) -> Self {
+        Speaker {
+            asn,
+            router_id,
+            peers: BTreeMap::new(),
+            adj_in: AdjRibIn::new(),
+            loc_rib: LocRib::new(),
+            adj_out: AdjRibOut::new(),
+            originated: BTreeMap::new(),
+        }
+    }
+
+    /// Our AS number.
+    pub fn asn(&self) -> u32 {
+        self.asn
+    }
+
+    /// Our router ID.
+    pub fn router_id(&self) -> Ipv4Addr {
+        self.router_id
+    }
+
+    /// Register a neighbor. Panics if the peer ID is already used.
+    pub fn add_peer(&mut self, id: PeerId, cfg: NeighborConfig) {
+        assert!(!self.peers.contains_key(&id), "duplicate peer {id}");
+        let session = Session::new(cfg.session.clone());
+        self.peers.insert(id, Peer { cfg, session, rx: BytesMut::new(), summary: None });
+    }
+
+    /// Enable all sessions (ManualStart).
+    pub fn start(&mut self, now: Millis) -> Vec<Output> {
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let actions = self.peers.get_mut(&id).unwrap().session.handle(now, SessionEvent::ManualStart);
+            self.run_actions(now, id, actions, &mut out);
+        }
+        out
+    }
+
+    /// Forward a transport event for one peer.
+    pub fn transport_event(&mut self, now: Millis, id: PeerId, ev: TransportEvent) -> Vec<Output> {
+        let event = match ev {
+            TransportEvent::Connected => SessionEvent::TcpConnected,
+            TransportEvent::Failed => SessionEvent::TcpFailed,
+            TransportEvent::Closed => SessionEvent::TcpClosed,
+        };
+        let mut out = Vec::new();
+        if let Some(peer) = self.peers.get_mut(&id) {
+            let actions = peer.session.handle(now, event);
+            self.run_actions(now, id, actions, &mut out);
+        }
+        out
+    }
+
+    /// Feed received bytes from one peer; decodes as many complete
+    /// messages as are buffered.
+    pub fn receive(&mut self, now: Millis, id: PeerId, data: &[u8]) -> Vec<Output> {
+        let mut out = Vec::new();
+        let Some(peer) = self.peers.get_mut(&id) else { return out };
+        peer.rx.extend_from_slice(data);
+        loop {
+            let Some(peer) = self.peers.get_mut(&id) else { break };
+            let four_octet = peer.session.four_octet() || peer.session.state() != SessionState::Established;
+            match BgpMessage::decode(&mut peer.rx, four_octet) {
+                Ok(Some(msg)) => {
+                    let actions = peer.session.handle(now, SessionEvent::Message(msg));
+                    self.run_actions(now, id, actions, &mut out);
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    out.extend(self.fail_session(now, id, &err));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fire any due timers across all sessions.
+    pub fn poll(&mut self, now: Millis) -> Vec<Output> {
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let actions = self.peers.get_mut(&id).unwrap().session.poll(now);
+            self.run_actions(now, id, actions, &mut out);
+        }
+        out
+    }
+
+    /// Earliest instant any session timer fires.
+    pub fn next_deadline(&self) -> Option<Millis> {
+        self.peers.values().filter_map(|p| p.session.next_deadline()).min()
+    }
+
+    /// Originate a prefix locally and propagate it.
+    pub fn originate(&mut self, now: Millis, prefix: Ipv4Prefix) -> Vec<Output> {
+        let mut out = Vec::new();
+        let route = Route::originated(self.router_id);
+        self.originated.insert(prefix, route);
+        self.redecide(now, prefix, &mut out);
+        out
+    }
+
+    /// Stop originating a prefix.
+    pub fn withdraw_origin(&mut self, now: Millis, prefix: Ipv4Prefix) -> Vec<Output> {
+        let mut out = Vec::new();
+        if self.originated.remove(&prefix).is_some() {
+            self.redecide(now, prefix, &mut out);
+        }
+        out
+    }
+
+    /// Read access to the Loc-RIB.
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// Read access to the Adj-RIB-In.
+    pub fn adj_rib_in(&self) -> &AdjRibIn {
+        &self.adj_in
+    }
+
+    /// The session state for a peer.
+    pub fn session_state(&self, id: PeerId) -> Option<SessionState> {
+        self.peers.get(&id).map(|p| p.session.state())
+    }
+
+    /// True once the session with `id` is Established.
+    pub fn is_established(&self, id: PeerId) -> bool {
+        self.session_state(id) == Some(SessionState::Established)
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    /// Kill a session after a wire decode error: send the mapped
+    /// NOTIFICATION and reset.
+    fn fail_session(&mut self, now: Millis, id: PeerId, err: &WireError) -> Vec<Output> {
+        let mut out = Vec::new();
+        let Some(peer) = self.peers.get_mut(&id) else { return out };
+        let notification = NotificationMsg::from_wire_error(err);
+        let four = peer.session.four_octet();
+        out.push(Output::SendBytes(id, BgpMessage::Notification(notification).encode(four)));
+        out.push(Output::TcpClose(id));
+        peer.rx.clear();
+        // We initiated the teardown: model it as the transport closing,
+        // so PeerDown carries TransportClosed rather than implying the
+        // peer sent the NOTIFICATION we generated.
+        let actions = peer.session.handle(now, SessionEvent::TcpClosed);
+        self.run_actions(now, id, actions, &mut out);
+        out
+    }
+
+    fn run_actions(&mut self, now: Millis, id: PeerId, actions: Vec<Action>, out: &mut Vec<Output>) {
+        for action in actions {
+            match action {
+                Action::TcpConnect => out.push(Output::TcpConnect(id)),
+                Action::TcpClose => out.push(Output::TcpClose(id)),
+                Action::Send(msg) => {
+                    let peer = self.peers.get_mut(&id).unwrap();
+                    let bytes = msg.encode(peer.session.four_octet() || !matches!(msg, BgpMessage::Update(_)));
+                    out.push(Output::SendBytes(id, bytes));
+                }
+                Action::Up(summary) => {
+                    self.peers.get_mut(&id).unwrap().summary = Some(summary);
+                    out.push(Output::PeerUp(id, summary));
+                    // Initial table transfer: advertise our whole view.
+                    let prefixes: Vec<Ipv4Prefix> =
+                        self.loc_rib.iter().map(|(p, _)| *p).collect();
+                    for prefix in prefixes {
+                        self.propagate_to(now, id, prefix, out);
+                    }
+                }
+                Action::Down(reason) => {
+                    let peer = self.peers.get_mut(&id).unwrap();
+                    peer.summary = None;
+                    peer.rx.clear();
+                    out.push(Output::PeerDown(id, reason));
+                    self.adj_out.drop_peer(id);
+                    for prefix in self.adj_in.drop_peer(id) {
+                        self.redecide(now, prefix, out);
+                    }
+                }
+                Action::Deliver(update) => self.process_update(now, id, update, out),
+            }
+        }
+    }
+
+    fn process_update(&mut self, now: Millis, id: PeerId, update: UpdateMsg, out: &mut Vec<Output>) {
+        for prefix in &update.withdrawn {
+            if self.adj_in.remove(id, prefix).is_some() {
+                self.redecide(now, *prefix, out);
+            }
+        }
+        if update.nlri.is_empty() {
+            return;
+        }
+        let Ok(route) = Route::from_attrs(&update.attributes) else {
+            // Wire validation already guarantees mandatory attributes;
+            // treat any residual failure as a session-level error.
+            out.extend(self.fail_session(
+                now,
+                id,
+                &WireError::MissingWellKnownAttribute(dbgp_wire::attrs::code::ORIGIN),
+            ));
+            return;
+        };
+        // Receiver-side loop detection (RFC 4271 §9.1.2): a path carrying
+        // our own AS is invisible to the decision process.
+        let looped = route.as_path.contains(self.asn);
+        let peer_as = self.peers[&id].cfg.peer_as;
+        for prefix in &update.nlri {
+            if looped {
+                if self.adj_in.remove(id, prefix).is_some() {
+                    self.redecide(now, *prefix, out);
+                }
+                continue;
+            }
+            let mut candidate = route.clone();
+            let import = &self.peers[&id].cfg.import;
+            if import.apply(prefix, &mut candidate, peer_as) {
+                self.adj_in.insert(id, *prefix, candidate);
+            } else if self.adj_in.remove(id, prefix).is_none() {
+                continue; // rejected and never stored: nothing changes
+            }
+            self.redecide(now, *prefix, out);
+        }
+    }
+
+    /// Re-run the decision process for one prefix and propagate any
+    /// change.
+    fn redecide(&mut self, now: Millis, prefix: Ipv4Prefix, out: &mut Vec<Output>) {
+        let new_entry = self.select_best(&prefix);
+        let changed = match (self.loc_rib.get(&prefix), &new_entry) {
+            (None, None) => false,
+            (Some(old), Some(new)) => old != new,
+            _ => true,
+        };
+        if !changed {
+            return;
+        }
+        match new_entry.clone() {
+            Some(entry) => {
+                self.loc_rib.install(prefix, entry);
+            }
+            None => {
+                self.loc_rib.remove(&prefix);
+            }
+        }
+        out.push(Output::BestRouteChanged(prefix, new_entry));
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        for id in ids {
+            if self.is_established(id) {
+                self.propagate_to(now, id, prefix, out);
+            }
+        }
+    }
+
+    fn select_best(&self, prefix: &Ipv4Prefix) -> Option<LocRibEntry> {
+        let local = self.originated.get(prefix);
+        let learned = self.adj_in.candidates(prefix);
+        let mut candidates: Vec<Candidate<'_>> = Vec::with_capacity(learned.len() + 1);
+        if let Some(route) = local {
+            candidates.push(Candidate::local(route));
+        }
+        for (peer_id, route) in learned {
+            let peer = &self.peers[&peer_id];
+            candidates.push(Candidate {
+                route,
+                source: RouteSource::Peer(peer_id),
+                peer_as: peer.cfg.peer_as,
+                ebgp: !peer.cfg.is_ibgp(),
+                peer_router_id: peer.summary.map(|s| s.peer_id).unwrap_or(Ipv4Addr(u32::MAX)),
+            });
+        }
+        decision::best(&candidates).map(|i| LocRibEntry {
+            route: candidates[i].route.clone(),
+            source: candidates[i].source,
+        })
+    }
+
+    /// Compute what `peer` should see for `prefix`, diff against
+    /// Adj-RIB-Out, and emit the UPDATE if anything changed.
+    fn propagate_to(&mut self, _now: Millis, id: PeerId, prefix: Ipv4Prefix, out: &mut Vec<Output>) {
+        let export = self.export_route(id, &prefix);
+        match export {
+            Some(route) => {
+                if self.adj_out.advertise(id, prefix, route.clone()) {
+                    let peer = &self.peers[&id];
+                    let ibgp = peer.cfg.is_ibgp();
+                    let update = UpdateMsg::announce(vec![prefix], route.to_attrs(ibgp));
+                    let bytes = BgpMessage::Update(update)
+                        .encode(peer.session.four_octet());
+                    out.push(Output::SendBytes(id, bytes));
+                }
+            }
+            None => {
+                if self.adj_out.withdraw(id, &prefix) {
+                    let peer = &self.peers[&id];
+                    let update = UpdateMsg::withdraw(vec![prefix]);
+                    let bytes = BgpMessage::Update(update).encode(peer.session.four_octet());
+                    out.push(Output::SendBytes(id, bytes));
+                }
+            }
+        }
+    }
+
+    /// The route to advertise to `peer` for `prefix`, or `None` to
+    /// withdraw/suppress.
+    fn export_route(&self, id: PeerId, prefix: &Ipv4Prefix) -> Option<Route> {
+        let entry = self.loc_rib.get(prefix)?;
+        let peer = &self.peers[&id];
+        match entry.source {
+            // Split horizon: never send a route back to its source.
+            RouteSource::Peer(src) if src == id => return None,
+            // No iBGP reflection: iBGP-learned routes do not go to other
+            // iBGP peers (we are not a route reflector).
+            RouteSource::Peer(src) => {
+                let src_ibgp = self.peers[&src].cfg.is_ibgp();
+                if src_ibgp && peer.cfg.is_ibgp() {
+                    return None;
+                }
+            }
+            RouteSource::Local => {}
+        }
+        let mut route = if peer.cfg.is_ibgp() {
+            entry.route.clone()
+        } else {
+            entry.route.for_ebgp_export(self.asn, peer.cfg.local_addr)
+        };
+        if !peer.cfg.export.apply(prefix, &mut route, peer.cfg.peer_as) {
+            return None;
+        }
+        Some(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Clause, MatchCond, PrefixMatch, RouteMap, SetAction};
+    use std::collections::VecDeque;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    /// A toy fabric that connects speakers with lossless in-order pipes
+    /// and pumps until quiescence — the unit-test stand-in for the full
+    /// simulator in `dbgp-sim`.
+    struct Fabric {
+        speakers: Vec<Speaker>,
+        /// (speaker index, peer id) -> (remote speaker index, remote peer id)
+        links: BTreeMap<(usize, PeerId), (usize, PeerId)>,
+        queue: VecDeque<(usize, PeerId, Bytes)>,
+        now: Millis,
+        route_events: Vec<(usize, Ipv4Prefix, Option<LocRibEntry>)>,
+    }
+
+    impl Fabric {
+        fn new(speakers: Vec<Speaker>) -> Self {
+            Fabric {
+                speakers,
+                links: BTreeMap::new(),
+                queue: VecDeque::new(),
+                now: 0,
+                route_events: Vec::new(),
+            }
+        }
+
+        /// Wire a<->b with fresh peer IDs on each side.
+        fn connect(&mut self, a: usize, pa: PeerId, b: usize, pb: PeerId) {
+            self.links.insert((a, pa), (b, pb));
+            self.links.insert((b, pb), (a, pa));
+        }
+
+        fn absorb(&mut self, idx: usize, outputs: Vec<Output>) {
+            for output in outputs {
+                match output {
+                    Output::SendBytes(peer, bytes) => {
+                        if let Some(&(remote, rpeer)) = self.links.get(&(idx, peer)) {
+                            self.queue.push_back((remote, rpeer, bytes));
+                        }
+                    }
+                    Output::TcpConnect(peer) => {
+                        // Instant transport: both ends connect (or the
+                        // attempt fails if the link is not wired yet).
+                        let Some(&(remote, rpeer)) = self.links.get(&(idx, peer)) else {
+                            let now = self.now;
+                            let o = self.speakers[idx].transport_event(now, peer, TransportEvent::Failed);
+                            self.absorb(idx, o);
+                            continue;
+                        };
+                        let now = self.now;
+                        let o1 = self.speakers[idx].transport_event(now, peer, TransportEvent::Connected);
+                        self.absorb(idx, o1);
+                        let o2 =
+                            self.speakers[remote].transport_event(now, rpeer, TransportEvent::Connected);
+                        self.absorb(remote, o2);
+                    }
+                    Output::TcpClose(_) => {}
+                    Output::BestRouteChanged(prefix, entry) => {
+                        self.route_events.push((idx, prefix, entry));
+                    }
+                    Output::PeerUp(..) | Output::PeerDown(..) => {}
+                }
+            }
+        }
+
+        fn start(&mut self) {
+            for idx in 0..self.speakers.len() {
+                let outputs = self.speakers[idx].start(self.now);
+                self.absorb(idx, outputs);
+            }
+            self.run();
+        }
+
+        /// Deliver queued bytes until nothing moves.
+        fn run(&mut self) {
+            while let Some((idx, peer, bytes)) = self.queue.pop_front() {
+                self.now += 1;
+                let now = self.now;
+                let outputs = self.speakers[idx].receive(now, peer, &bytes);
+                self.absorb(idx, outputs);
+            }
+        }
+
+        fn originate(&mut self, idx: usize, prefix: Ipv4Prefix) {
+            self.now += 1;
+            let now = self.now;
+            let outputs = self.speakers[idx].originate(now, prefix);
+            self.absorb(idx, outputs);
+            self.run();
+        }
+    }
+
+    fn speaker(asn: u32) -> Speaker {
+        Speaker::new(asn, Ipv4Addr::new(10, 0, 0, asn as u8))
+    }
+
+    fn neighbor(local_as: u32, peer_as: u32) -> NeighborConfig {
+        NeighborConfig::new(
+            local_as,
+            Ipv4Addr::new(10, 0, 0, local_as as u8),
+            peer_as,
+            Ipv4Addr::new(10, local_as as u8, peer_as as u8, 1),
+        )
+    }
+
+    /// Line topology 1 - 2 - 3, AS numbers 101, 102, 103.
+    fn line3() -> Fabric {
+        let mut s1 = speaker(101);
+        let mut s2 = speaker(102);
+        let mut s3 = speaker(103);
+        s1.add_peer(PeerId(0), neighbor(101, 102));
+        s2.add_peer(PeerId(0), neighbor(102, 101));
+        s2.add_peer(PeerId(1), neighbor(102, 103));
+        s3.add_peer(PeerId(0), neighbor(103, 102));
+        let mut fabric = Fabric::new(vec![s1, s2, s3]);
+        fabric.connect(0, PeerId(0), 1, PeerId(0));
+        fabric.connect(1, PeerId(1), 2, PeerId(0));
+        fabric.start();
+        fabric
+    }
+
+    #[test]
+    fn sessions_establish_across_fabric() {
+        let fabric = line3();
+        assert!(fabric.speakers[0].is_established(PeerId(0)));
+        assert!(fabric.speakers[1].is_established(PeerId(0)));
+        assert!(fabric.speakers[1].is_established(PeerId(1)));
+        assert!(fabric.speakers[2].is_established(PeerId(0)));
+    }
+
+    #[test]
+    fn route_propagates_with_as_path_growth() {
+        let mut fabric = line3();
+        fabric.originate(0, p("128.6.0.0/16"));
+        // AS 103's view: path 102 101.
+        let entry = fabric.speakers[2].loc_rib().get(&p("128.6.0.0/16")).unwrap();
+        assert_eq!(entry.route.as_path.hop_count(), 2);
+        assert_eq!(entry.route.as_path.first_as(), Some(102));
+        assert_eq!(entry.route.as_path.origin_as(), Some(101));
+        // AS 102's view: path 101.
+        let entry = fabric.speakers[1].loc_rib().get(&p("128.6.0.0/16")).unwrap();
+        assert_eq!(entry.route.as_path.hop_count(), 1);
+    }
+
+    #[test]
+    fn withdrawal_propagates() {
+        let mut fabric = line3();
+        fabric.originate(0, p("128.6.0.0/16"));
+        assert!(fabric.speakers[2].loc_rib().get(&p("128.6.0.0/16")).is_some());
+        fabric.now += 1;
+        let now = fabric.now;
+        let outputs = fabric.speakers[0].withdraw_origin(now, p("128.6.0.0/16"));
+        fabric.absorb(0, outputs);
+        fabric.run();
+        assert!(fabric.speakers[2].loc_rib().get(&p("128.6.0.0/16")).is_none());
+        assert!(fabric.speakers[1].loc_rib().get(&p("128.6.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn split_horizon_no_echo() {
+        let mut fabric = line3();
+        fabric.originate(0, p("10.0.0.0/8"));
+        // Speaker 1 must not have learned its own origination back.
+        assert!(fabric.speakers[0].adj_rib_in().is_empty());
+    }
+
+    #[test]
+    fn loop_detection_in_ring() {
+        // Ring: 1-2, 2-3, 3-1. A route from 1 must not loop forever.
+        let mut s1 = speaker(101);
+        let mut s2 = speaker(102);
+        let mut s3 = speaker(103);
+        s1.add_peer(PeerId(0), neighbor(101, 102));
+        s1.add_peer(PeerId(1), neighbor(101, 103));
+        s2.add_peer(PeerId(0), neighbor(102, 101));
+        s2.add_peer(PeerId(1), neighbor(102, 103));
+        s3.add_peer(PeerId(0), neighbor(103, 102));
+        s3.add_peer(PeerId(1), neighbor(103, 101));
+        let mut fabric = Fabric::new(vec![s1, s2, s3]);
+        fabric.connect(0, PeerId(0), 1, PeerId(0));
+        fabric.connect(1, PeerId(1), 2, PeerId(0));
+        fabric.connect(2, PeerId(1), 0, PeerId(1));
+        fabric.start();
+        fabric.originate(0, p("192.0.2.0/24"));
+        // Quiescence itself proves no loop; everyone has a route and
+        // nobody's Adj-RIB-In holds a looped path.
+        for idx in [1, 2] {
+            let entry = fabric.speakers[idx].loc_rib().get(&p("192.0.2.0/24")).unwrap();
+            assert_eq!(entry.route.as_path.hop_count(), 1, "direct path wins at {idx}");
+        }
+        assert!(fabric.speakers[0].adj_rib_in().is_empty(), "own AS filtered");
+    }
+
+    #[test]
+    fn best_path_prefers_shorter_route() {
+        // Diamond: 1-2-4, 1-3a-3b-4 (longer). AS 104 should pick via 102.
+        let mut s1 = speaker(101);
+        let mut s2 = speaker(102);
+        let mut s3a = speaker(105);
+        let mut s3b = speaker(106);
+        let mut s4 = speaker(104);
+        s1.add_peer(PeerId(0), neighbor(101, 102));
+        s1.add_peer(PeerId(1), neighbor(101, 105));
+        s2.add_peer(PeerId(0), neighbor(102, 101));
+        s2.add_peer(PeerId(1), neighbor(102, 104));
+        s3a.add_peer(PeerId(0), neighbor(105, 101));
+        s3a.add_peer(PeerId(1), neighbor(105, 106));
+        s3b.add_peer(PeerId(0), neighbor(106, 105));
+        s3b.add_peer(PeerId(1), neighbor(106, 104));
+        s4.add_peer(PeerId(0), neighbor(104, 102));
+        s4.add_peer(PeerId(1), neighbor(104, 106));
+        let mut fabric = Fabric::new(vec![s1, s2, s3a, s3b, s4]);
+        fabric.connect(0, PeerId(0), 1, PeerId(0));
+        fabric.connect(0, PeerId(1), 2, PeerId(0));
+        fabric.connect(2, PeerId(1), 3, PeerId(0));
+        fabric.connect(1, PeerId(1), 4, PeerId(0));
+        fabric.connect(3, PeerId(1), 4, PeerId(1));
+        fabric.start();
+        fabric.originate(0, p("203.0.113.0/24"));
+        let entry = fabric.speakers[4].loc_rib().get(&p("203.0.113.0/24")).unwrap();
+        assert_eq!(entry.route.as_path.hop_count(), 2, "2-hop path via AS 102");
+        assert_eq!(entry.source, RouteSource::Peer(PeerId(0)));
+    }
+
+    #[test]
+    fn import_policy_denies_route() {
+        let mut s1 = speaker(101);
+        let mut s2 = speaker(102);
+        s1.add_peer(PeerId(0), neighbor(101, 102));
+        let mut n = neighbor(102, 101);
+        n.import = RouteMap::new(vec![Clause::deny(vec![MatchCond::Prefix(
+            p("10.0.0.0/8"),
+            PrefixMatch::OrLonger,
+        )])]);
+        n.import.default_permit = true;
+        s2.add_peer(PeerId(0), n);
+        let mut fabric = Fabric::new(vec![s1, s2]);
+        fabric.connect(0, PeerId(0), 1, PeerId(0));
+        fabric.start();
+        fabric.originate(0, p("10.1.0.0/16"));
+        fabric.originate(0, p("192.168.0.0/16"));
+        assert!(fabric.speakers[1].loc_rib().get(&p("10.1.0.0/16")).is_none(), "denied");
+        assert!(fabric.speakers[1].loc_rib().get(&p("192.168.0.0/16")).is_some(), "permitted");
+    }
+
+    #[test]
+    fn export_policy_local_pref_steers_choice() {
+        // AS 103 hears 10/8 from both 101 (direct) and 102 (longer). Its
+        // import policy boosts LOCAL_PREF on the longer path; it must
+        // choose it despite the extra hop.
+        let mut s1 = speaker(101);
+        let mut s2 = speaker(102);
+        let mut s3 = speaker(103);
+        s1.add_peer(PeerId(0), neighbor(101, 102));
+        s1.add_peer(PeerId(1), neighbor(101, 103));
+        s2.add_peer(PeerId(0), neighbor(102, 101));
+        s2.add_peer(PeerId(1), neighbor(102, 103));
+        let mut direct = neighbor(103, 101);
+        direct.import = RouteMap::permit_all();
+        let mut via2 = neighbor(103, 102);
+        via2.import = RouteMap {
+            clauses: vec![Clause::permit(vec![MatchCond::Any], vec![SetAction::LocalPref(200)])],
+            default_permit: true,
+        };
+        s3.add_peer(PeerId(0), direct);
+        s3.add_peer(PeerId(1), via2);
+        let mut fabric = Fabric::new(vec![s1, s2, s3]);
+        fabric.connect(0, PeerId(0), 1, PeerId(0));
+        fabric.connect(0, PeerId(1), 2, PeerId(0));
+        fabric.connect(1, PeerId(1), 2, PeerId(1));
+        fabric.start();
+        fabric.originate(0, p("10.0.0.0/8"));
+        let entry = fabric.speakers[2].loc_rib().get(&p("10.0.0.0/8")).unwrap();
+        assert_eq!(entry.source, RouteSource::Peer(PeerId(1)), "boosted path wins");
+        assert_eq!(entry.route.as_path.hop_count(), 2);
+    }
+
+    #[test]
+    fn next_hop_rewritten_at_each_ebgp_hop() {
+        let mut fabric = line3();
+        fabric.originate(0, p("128.6.0.0/16"));
+        let entry2 = fabric.speakers[1].loc_rib().get(&p("128.6.0.0/16")).unwrap();
+        let entry3 = fabric.speakers[2].loc_rib().get(&p("128.6.0.0/16")).unwrap();
+        assert_ne!(entry2.route.next_hop, entry3.route.next_hop);
+    }
+
+    #[test]
+    fn peer_down_flushes_learned_routes() {
+        let mut fabric = line3();
+        fabric.originate(0, p("128.6.0.0/16"));
+        assert!(fabric.speakers[2].loc_rib().get(&p("128.6.0.0/16")).is_some());
+        // Kill the 2-3 link from 3's perspective.
+        let now = fabric.now + 1;
+        let outputs = fabric.speakers[2].transport_event(now, PeerId(0), TransportEvent::Closed);
+        assert!(outputs.iter().any(|o| matches!(o, Output::PeerDown(..))));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, Output::BestRouteChanged(pr, None) if *pr == p("128.6.0.0/16"))));
+        assert!(fabric.speakers[2].loc_rib().get(&p("128.6.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn late_joiner_gets_full_table() {
+        // 1 and 2 converge first; 3 then connects and must receive the
+        // already-installed route via the initial table transfer.
+        let mut s1 = speaker(101);
+        let mut s2 = speaker(102);
+        let mut s3 = speaker(103);
+        s1.add_peer(PeerId(0), neighbor(101, 102));
+        s2.add_peer(PeerId(0), neighbor(102, 101));
+        s2.add_peer(PeerId(1), neighbor(102, 103));
+        s3.add_peer(PeerId(0), neighbor(103, 102));
+        let mut fabric = Fabric::new(vec![s1, s2, s3]);
+        fabric.connect(0, PeerId(0), 1, PeerId(0));
+        // Note: link 1-2 only; speaker 3 not wired yet. Start speakers 0/1.
+        let o = fabric.speakers[0].start(0);
+        fabric.absorb(0, o);
+        let o = fabric.speakers[1].start(0);
+        fabric.absorb(1, o);
+        fabric.run();
+        fabric.originate(0, p("128.6.0.0/16"));
+        assert!(fabric.speakers[1].loc_rib().get(&p("128.6.0.0/16")).is_some());
+        // Now bring up 2-3.
+        fabric.connect(1, PeerId(1), 2, PeerId(0));
+        let o = fabric.speakers[2].start(fabric.now);
+        fabric.absorb(2, o);
+        fabric.run();
+        assert!(fabric.speakers[2].is_established(PeerId(0)));
+        let entry = fabric.speakers[2].loc_rib().get(&p("128.6.0.0/16")).unwrap();
+        assert_eq!(entry.route.as_path.hop_count(), 2);
+    }
+
+    #[test]
+    fn garbage_bytes_reset_session() {
+        let mut fabric = line3();
+        let now = fabric.now + 1;
+        let outputs = fabric.speakers[2].receive(now, PeerId(0), &[0u8; 32]);
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, Output::SendBytes(_, b) if b[18] == 3 /* NOTIFICATION */)));
+        assert_eq!(fabric.speakers[2].session_state(PeerId(0)), Some(SessionState::Idle));
+    }
+}

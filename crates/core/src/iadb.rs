@@ -1,0 +1,147 @@
+//! The IA database: every Integrated Advertisement received and retained,
+//! keyed by (neighbor, prefix).
+//!
+//! The IA factory (paper §3.3, step 6) indexes into this database when it
+//! builds the outgoing IA for a selected best path, so control
+//! information for protocols the local AS does not run is copied through
+//! verbatim — the pass-through feature.
+
+use crate::neighbor::NeighborId;
+use dbgp_wire::{Ia, Ipv4Prefix};
+use std::collections::{BTreeMap, HashMap};
+
+/// Store of received IAs.
+#[derive(Debug, Clone, Default)]
+pub struct IaDb {
+    entries: HashMap<NeighborId, BTreeMap<Ipv4Prefix, Ia>>,
+}
+
+impl IaDb {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store an IA, replacing the neighbor's previous one for the prefix
+    /// (implicit withdraw). Returns the replaced IA.
+    pub fn insert(&mut self, neighbor: NeighborId, ia: Ia) -> Option<Ia> {
+        self.entries.entry(neighbor).or_default().insert(ia.prefix, ia)
+    }
+
+    /// Remove the IA a neighbor advertised for a prefix.
+    pub fn remove(&mut self, neighbor: NeighborId, prefix: &Ipv4Prefix) -> Option<Ia> {
+        self.entries.get_mut(&neighbor).and_then(|m| m.remove(prefix))
+    }
+
+    /// Drop everything from a neighbor (session reset); returns affected
+    /// prefixes.
+    pub fn drop_neighbor(&mut self, neighbor: NeighborId) -> Vec<Ipv4Prefix> {
+        self.entries
+            .remove(&neighbor)
+            .map(|m| m.into_keys().collect())
+            .unwrap_or_default()
+    }
+
+    /// The IA `neighbor` advertised for `prefix`.
+    pub fn get(&self, neighbor: NeighborId, prefix: &Ipv4Prefix) -> Option<&Ia> {
+        self.entries.get(&neighbor).and_then(|m| m.get(prefix))
+    }
+
+    /// All (neighbor, IA) pairs for a prefix, in neighbor order.
+    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(NeighborId, &Ia)> {
+        let mut out: Vec<(NeighborId, &Ia)> = self
+            .entries
+            .iter()
+            .filter_map(|(n, m)| m.get(prefix).map(|ia| (*n, ia)))
+            .collect();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// Every distinct prefix known.
+    pub fn prefixes(&self) -> Vec<Ipv4Prefix> {
+        let mut out: Vec<Ipv4Prefix> =
+            self.entries.values().flat_map(|m| m.keys().copied()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Total stored IA count.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(BTreeMap::len).sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total wire bytes of all stored IAs — the "state kept at a tier-1"
+    /// quantity of the §6.2 overhead analysis.
+    pub fn total_wire_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .flat_map(|m| m.values())
+            .map(Ia::wire_size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgp_wire::Ipv4Addr;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ia(prefix: &str, first_hop: u32) -> Ia {
+        let mut ia = Ia::originate(p(prefix), Ipv4Addr::new(1, 1, 1, 1));
+        ia.prepend_as(first_hop);
+        ia
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut db = IaDb::new();
+        assert!(db.insert(NeighborId(1), ia("10.0.0.0/8", 5)).is_none());
+        assert!(db.get(NeighborId(1), &p("10.0.0.0/8")).is_some());
+        let replaced = db.insert(NeighborId(1), ia("10.0.0.0/8", 6));
+        assert_eq!(replaced.unwrap().path_vector.len(), 1);
+        assert_eq!(db.len(), 1);
+        assert!(db.remove(NeighborId(1), &p("10.0.0.0/8")).is_some());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn candidates_ordered_by_neighbor() {
+        let mut db = IaDb::new();
+        db.insert(NeighborId(3), ia("10.0.0.0/8", 3));
+        db.insert(NeighborId(1), ia("10.0.0.0/8", 1));
+        db.insert(NeighborId(2), ia("192.168.0.0/16", 2));
+        let cands = db.candidates(&p("10.0.0.0/8"));
+        assert_eq!(cands.iter().map(|(n, _)| n.0).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn drop_neighbor_reports_prefixes() {
+        let mut db = IaDb::new();
+        db.insert(NeighborId(1), ia("10.0.0.0/8", 1));
+        db.insert(NeighborId(1), ia("192.168.0.0/16", 1));
+        let mut dropped = db.drop_neighbor(NeighborId(1));
+        dropped.sort();
+        assert_eq!(dropped, vec![p("10.0.0.0/8"), p("192.168.0.0/16")]);
+    }
+
+    #[test]
+    fn total_wire_bytes_sums_entries() {
+        let mut db = IaDb::new();
+        assert_eq!(db.total_wire_bytes(), 0);
+        db.insert(NeighborId(1), ia("10.0.0.0/8", 1));
+        let one = db.total_wire_bytes();
+        db.insert(NeighborId(2), ia("10.0.0.0/8", 2));
+        assert_eq!(db.total_wire_bytes(), 2 * one);
+    }
+}

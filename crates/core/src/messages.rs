@@ -1,0 +1,134 @@
+//! The D-BGP update message: the unit the simulator's transport carries
+//! between D-BGP speakers.
+//!
+//! Mirrors a BGP UPDATE — withdrawn prefixes plus advertisements — but
+//! the advertisements are whole Integrated Advertisements. The codec is
+//! length-prefixed so a stream can carry several messages back to back.
+//! (During the transitional phase IAs can instead ride inside a classic
+//! UPDATE as the optional-transitive attribute `attrs::code::IA_PAYLOAD`;
+//! see [`crate::transitional`].)
+
+use dbgp_wire::error::{WireError, WireResult};
+use dbgp_wire::varint::{get_uvarint, put_uvarint};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dbgp_wire::{Ia, Ipv4Prefix};
+
+/// One D-BGP update: withdrawals plus new IAs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DbgpUpdate {
+    /// Prefixes no longer reachable via the sender.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// New or replacing advertisements.
+    pub ias: Vec<Ia>,
+}
+
+impl DbgpUpdate {
+    /// An update advertising a single IA.
+    pub fn announce(ia: Ia) -> Self {
+        DbgpUpdate { withdrawn: Vec::new(), ias: vec![ia] }
+    }
+
+    /// An update withdrawing a single prefix.
+    pub fn withdraw(prefix: Ipv4Prefix) -> Self {
+        DbgpUpdate { withdrawn: vec![prefix], ias: Vec::new() }
+    }
+
+    /// Encode to a self-delimiting frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, self.withdrawn.len() as u64);
+        for prefix in &self.withdrawn {
+            prefix.encode(&mut buf);
+        }
+        put_uvarint(&mut buf, self.ias.len() as u64);
+        for ia in &self.ias {
+            let body = ia.encode();
+            put_uvarint(&mut buf, body.len() as u64);
+            buf.put_slice(&body);
+        }
+        buf.freeze()
+    }
+
+    /// Decode one frame (consumes exactly one update from `buf`).
+    pub fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let nwith = get_uvarint(buf)? as usize;
+        if nwith > buf.remaining() {
+            return Err(WireError::MalformedIa("withdrawn count too large"));
+        }
+        let mut withdrawn = Vec::with_capacity(nwith);
+        for _ in 0..nwith {
+            withdrawn.push(Ipv4Prefix::decode(buf)?);
+        }
+        let nias = get_uvarint(buf)? as usize;
+        if nias > buf.remaining() + 1 {
+            return Err(WireError::MalformedIa("IA count too large"));
+        }
+        let mut ias = Vec::with_capacity(nias);
+        for _ in 0..nias {
+            let len = get_uvarint(buf)? as usize;
+            if buf.remaining() < len {
+                return Err(WireError::Truncated { context: "IA frame" });
+            }
+            let body = buf.split_to(len);
+            ias.push(Ia::decode(body)?);
+        }
+        Ok(DbgpUpdate { withdrawn, ias })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgp_wire::Ipv4Addr;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample_ia(prefix: &str) -> Ia {
+        let mut ia = Ia::originate(p(prefix), Ipv4Addr::new(1, 2, 3, 4));
+        ia.prepend_as(42);
+        ia
+    }
+
+    #[test]
+    fn roundtrip_mixed_update() {
+        let update = DbgpUpdate {
+            withdrawn: vec![p("192.168.0.0/16"), p("10.0.0.0/8")],
+            ias: vec![sample_ia("128.6.0.0/16"), sample_ia("203.0.113.0/24")],
+        };
+        let mut bytes = update.encode();
+        let decoded = DbgpUpdate::decode(&mut bytes).unwrap();
+        assert_eq!(decoded, update);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn roundtrip_back_to_back_frames() {
+        let u1 = DbgpUpdate::announce(sample_ia("10.0.0.0/8"));
+        let u2 = DbgpUpdate::withdraw(p("10.0.0.0/8"));
+        let mut stream = BytesMut::new();
+        stream.put_slice(&u1.encode());
+        stream.put_slice(&u2.encode());
+        let mut bytes = stream.freeze();
+        assert_eq!(DbgpUpdate::decode(&mut bytes).unwrap(), u1);
+        assert_eq!(DbgpUpdate::decode(&mut bytes).unwrap(), u2);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = DbgpUpdate::announce(sample_ia("10.0.0.0/8")).encode();
+        for cut in 0..bytes.len() {
+            let mut partial = bytes.slice(..cut);
+            assert!(DbgpUpdate::decode(&mut partial).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_update_roundtrips() {
+        let update = DbgpUpdate::default();
+        let mut bytes = update.encode();
+        assert_eq!(DbgpUpdate::decode(&mut bytes).unwrap(), update);
+    }
+}

@@ -1,0 +1,161 @@
+//! Decision modules: the pluggable per-protocol path-selection units of
+//! D-BGP's processing pipeline (paper §3.3, Figure 5).
+//!
+//! Each deployable protocol supplies one implementation of
+//! [`DecisionModule`]. The module encapsulates the protocol's RIB and
+//! path-selection algorithm, its protocol-specific import/export filters,
+//! and (for two-way protocols like Wiser) its out-of-band mailbox.
+//! Exactly one module is *active* per address range; the speaker routes
+//! extracted control information to it and asks it to pick best paths.
+
+use crate::neighbor::NeighborId;
+use dbgp_wire::{Ia, Ipv4Prefix, ProtocolId};
+
+/// One candidate path for a prefix, as presented to a decision module.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateIa<'a> {
+    /// The neighbor the IA came from.
+    pub neighbor: NeighborId,
+    /// That neighbor's AS number.
+    pub neighbor_as: u32,
+    /// The stored incoming IA (post-global-import-filters).
+    pub ia: &'a Ia,
+}
+
+/// Context handed to a module when an IA is imported.
+#[derive(Debug, Clone, Copy)]
+pub struct ImportContext<'a> {
+    /// The neighbor the IA arrived from.
+    pub neighbor: NeighborId,
+    /// That neighbor's AS number.
+    pub neighbor_as: u32,
+    /// The destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// The full IA (shared fields + every protocol's descriptors).
+    pub ia: &'a Ia,
+}
+
+/// Context handed to a module when the factory builds the outgoing IA
+/// for a selected best path.
+#[derive(Debug, Clone, Copy)]
+pub struct ExportContext {
+    /// The neighbor the new IA will be sent to.
+    pub neighbor: NeighborId,
+    /// That neighbor's AS number.
+    pub neighbor_as: u32,
+    /// Our own AS number.
+    pub local_as: u32,
+    /// The destination prefix.
+    pub prefix: Ipv4Prefix,
+}
+
+/// A protocol's decision module.
+///
+/// Implementations live in `dbgp-protocols`; `dbgp-core` ships only the
+/// baseline [`BgpDecision`]. The paper's observation that deploying a new
+/// protocol takes a few hundred lines (§6.1) corresponds to implementing
+/// this trait.
+pub trait DecisionModule {
+    /// The protocol this module decides for.
+    fn protocol(&self) -> ProtocolId;
+
+    /// Protocol-specific import filter, consulted at selection time for
+    /// each candidate. Returning `false` excludes the IA from this
+    /// protocol's decision process (it is still stored and passed
+    /// through). The default accepts everything.
+    fn accept(&mut self, _ctx: ImportContext<'_>) -> bool {
+        true
+    }
+
+    /// Select the best path among candidates for one prefix. `None`
+    /// declares the prefix unreachable. Candidates are presented in
+    /// deterministic (neighbor-id) order.
+    fn select_best(&mut self, prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize>;
+
+    /// Protocol-specific export filter: update this protocol's own
+    /// descriptors on the outgoing IA (e.g., Wiser adds its internal cost
+    /// to the path cost; BGPSec appends an attestation). Descriptors of
+    /// other protocols have already been copied over by the factory and
+    /// must not be touched.
+    fn export(&mut self, _ia: &mut Ia, _ctx: ExportContext) {}
+
+    /// Deliver an out-of-band message (e.g., Wiser's cost exchange,
+    /// MIRO's negotiation) addressed to this module. Default: ignored.
+    fn deliver_oob(&mut self, _from: u32, _payload: &[u8]) {}
+
+    /// Called when a prefix is originated locally so the module can
+    /// attach its descriptors to the very first IA.
+    fn decorate_origin(&mut self, _ia: &mut Ia, _local_as: u32) {}
+}
+
+/// The baseline decision module: BGP's path selection reduced to its
+/// policy-free core (shortest path vector, then lowest neighbor AS),
+/// exactly the reduction the paper's simulator uses (§6.3).
+#[derive(Debug, Default, Clone)]
+pub struct BgpDecision;
+
+impl BgpDecision {
+    /// Create the baseline module.
+    pub fn new() -> Self {
+        BgpDecision
+    }
+}
+
+impl DecisionModule for BgpDecision {
+    fn protocol(&self) -> ProtocolId {
+        ProtocolId::BGP
+    }
+
+    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.ia.hop_count(), c.neighbor_as, c.neighbor.0))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgp_wire::Ipv4Addr;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ia(hops: &[u32]) -> Ia {
+        let mut ia = Ia::originate(p("10.0.0.0/8"), Ipv4Addr::new(1, 1, 1, 1));
+        for &h in hops.iter().rev() {
+            ia.prepend_as(h);
+        }
+        ia
+    }
+
+    #[test]
+    fn bgp_module_prefers_shortest_path() {
+        let short = ia(&[1, 2]);
+        let long = ia(&[3, 4, 5]);
+        let cands = [
+            CandidateIa { neighbor: NeighborId(0), neighbor_as: 3, ia: &long },
+            CandidateIa { neighbor: NeighborId(1), neighbor_as: 1, ia: &short },
+        ];
+        assert_eq!(BgpDecision::new().select_best(p("10.0.0.0/8"), &cands), Some(1));
+    }
+
+    #[test]
+    fn bgp_module_ties_on_lowest_neighbor_as() {
+        let a = ia(&[1, 2]);
+        let b = ia(&[3, 4]);
+        let cands = [
+            CandidateIa { neighbor: NeighborId(0), neighbor_as: 9, ia: &a },
+            CandidateIa { neighbor: NeighborId(1), neighbor_as: 4, ia: &b },
+        ];
+        assert_eq!(BgpDecision::new().select_best(p("10.0.0.0/8"), &cands), Some(1));
+    }
+
+    #[test]
+    fn bgp_module_empty_is_none() {
+        assert_eq!(BgpDecision::new().select_best(p("10.0.0.0/8"), &[]), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! Neighbor identity and configuration at the D-BGP layer.
+
+use std::fmt;
+
+/// Identifies one D-BGP neighbor of a speaker (one per adjacent AS under
+/// the paper's centralized-control model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NeighborId(pub u32);
+
+impl fmt::Display for NeighborId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nbr{}", self.0)
+    }
+}
+
+/// Per-neighbor configuration for a D-BGP speaker.
+#[derive(Debug, Clone)]
+pub struct DbgpNeighbor {
+    /// The neighbor's AS number.
+    pub asn: u32,
+    /// Whether the neighbor speaks D-BGP. Legacy (plain-BGP) neighbors
+    /// receive IAs with all extra fields dropped — the transitional mode
+    /// of paper §3.5.
+    pub speaks_dbgp: bool,
+    /// Whether the neighbor belongs to the same island as this speaker.
+    /// Governs whether the egress filter abstracts intra-island detail
+    /// before sending (paper §3.3).
+    pub same_island: bool,
+}
+
+impl DbgpNeighbor {
+    /// A D-BGP-capable neighbor outside our island.
+    pub fn dbgp(asn: u32) -> Self {
+        DbgpNeighbor { asn, speaks_dbgp: true, same_island: false }
+    }
+
+    /// A D-BGP-capable neighbor inside our island.
+    pub fn island_peer(asn: u32) -> Self {
+        DbgpNeighbor { asn, speaks_dbgp: true, same_island: true }
+    }
+
+    /// A legacy BGP-only neighbor.
+    pub fn legacy(asn: u32) -> Self {
+        DbgpNeighbor { asn, speaks_dbgp: false, same_island: false }
+    }
+}

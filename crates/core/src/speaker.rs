@@ -1,0 +1,763 @@
+//! The D-BGP speaker: the full IA-processing pipeline of the paper's
+//! Figure 5, steps 1–7.
+//!
+//! One speaker stands for one AS (the paper's centralized-control model;
+//! distributed per-router control composes identically because the
+//! pipeline is per-advertisement). The speaker is sans-IO: feed it IAs
+//! and withdrawals from neighbors, and it returns the IAs/withdrawals to
+//! send plus data-plane notifications.
+//!
+//! Pipeline walk-through (numbers match Figure 5):
+//!
+//! 1. **Global import filters** — loop detection over the mixed
+//!    AS/island path vector, operator protocol blacklist.
+//! 2. The IA is stored in the **IA DB** and handed to the **protocol
+//!    extractor**, which determines the active protocol for the prefix.
+//! 3. The active **decision module**'s import filter screens candidates.
+//! 4. The module's path-selection algorithm picks the best path.
+//! 5. The module's export filter (and every other resident module's) will
+//!    run when the new IA is built.
+//! 6. The **IA factory** builds the outgoing IA from the stored incoming
+//!    one — pass-through by construction.
+//! 7. **Global export filters** apply island declaration/abstraction and
+//!    stripping, and the IA goes to each neighbor.
+
+use crate::factory::{self, FactoryContext};
+use crate::filters::{self, FilterConfig, IslandConfig, RejectReason};
+use crate::iadb::IaDb;
+use crate::module::{BgpDecision, CandidateIa, DecisionModule, ImportContext};
+use crate::neighbor::{DbgpNeighbor, NeighborId};
+use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
+use std::collections::BTreeMap;
+
+/// Speaker-level configuration.
+#[derive(Debug, Clone)]
+pub struct DbgpConfig {
+    /// Our AS number.
+    pub asn: u32,
+    /// Island membership, if any.
+    pub island: Option<IslandConfig>,
+    /// Global filter settings.
+    pub filters: FilterConfig,
+    /// The default active protocol (per §3.3 only one protocol selects
+    /// paths for a given address range).
+    pub active: ProtocolId,
+    /// Per-prefix-range overrides of the active protocol; the
+    /// longest-matching override wins.
+    pub active_overrides: Vec<(Ipv4Prefix, ProtocolId)>,
+}
+
+impl DbgpConfig {
+    /// A plain BGP-speaking D-BGP AS (the default state of a gulf AS).
+    pub fn gulf(asn: u32) -> Self {
+        DbgpConfig {
+            asn,
+            island: None,
+            filters: FilterConfig::default(),
+            active: ProtocolId::BGP,
+            active_overrides: Vec::new(),
+        }
+    }
+
+    /// An island member running `active` as its selection protocol.
+    pub fn island_member(asn: u32, island: IslandConfig, active: ProtocolId) -> Self {
+        DbgpConfig {
+            asn,
+            island: Some(island),
+            filters: FilterConfig::default(),
+            active,
+            active_overrides: Vec::new(),
+        }
+    }
+}
+
+/// The best path currently installed for a prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chosen {
+    /// The neighbor the winning IA came from; `None` for locally
+    /// originated prefixes.
+    pub neighbor: Option<NeighborId>,
+    /// The winning *incoming* IA (our own AS not yet prepended).
+    pub ia: Ia,
+}
+
+/// Outputs of the speaker, to be executed by the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbgpOutput {
+    /// Advertise this IA to the neighbor.
+    SendIa(NeighborId, Ia),
+    /// Withdraw this prefix from the neighbor.
+    SendWithdraw(NeighborId, Ipv4Prefix),
+    /// The locally installed best path changed (`None` = unreachable);
+    /// the data plane should be updated.
+    BestChanged(Ipv4Prefix, Option<Chosen>),
+    /// An incoming IA was rejected by the global import filter.
+    Rejected(NeighborId, Ipv4Prefix, RejectReason),
+}
+
+/// A D-BGP speaker for one AS.
+pub struct DbgpSpeaker {
+    cfg: DbgpConfig,
+    neighbors: BTreeMap<NeighborId, DbgpNeighbor>,
+    modules: BTreeMap<ProtocolId, Box<dyn DecisionModule>>,
+    iadb: IaDb,
+    loc: BTreeMap<Ipv4Prefix, Chosen>,
+    originated: BTreeMap<Ipv4Prefix, Ia>,
+    adj_out: BTreeMap<(NeighborId, Ipv4Prefix), Ia>,
+    /// Count of IAs processed (for the stress benchmarks).
+    processed: u64,
+}
+
+impl DbgpSpeaker {
+    /// Create a speaker with the baseline BGP decision module
+    /// pre-registered.
+    pub fn new(cfg: DbgpConfig) -> Self {
+        let mut speaker = DbgpSpeaker {
+            cfg,
+            neighbors: BTreeMap::new(),
+            modules: BTreeMap::new(),
+            iadb: IaDb::new(),
+            loc: BTreeMap::new(),
+            originated: BTreeMap::new(),
+            adj_out: BTreeMap::new(),
+            processed: 0,
+        };
+        speaker.register_module(Box::new(BgpDecision::new()));
+        speaker
+    }
+
+    /// Our AS number.
+    pub fn asn(&self) -> u32 {
+        self.cfg.asn
+    }
+
+    /// Our configuration.
+    pub fn config(&self) -> &DbgpConfig {
+        &self.cfg
+    }
+
+    /// Register a protocol's decision module (replacing any previous one
+    /// for the same protocol).
+    pub fn register_module(&mut self, module: Box<dyn DecisionModule>) {
+        self.modules.insert(module.protocol(), module);
+    }
+
+    /// Mutable access to a registered module (for out-of-band delivery
+    /// and inspection).
+    pub fn module_mut(&mut self, protocol: ProtocolId) -> Option<&mut (dyn DecisionModule + '_)> {
+        self.modules.get_mut(&protocol).map(|b| b.as_mut() as &mut dyn DecisionModule)
+    }
+
+    /// Add a neighbor.
+    pub fn add_neighbor(&mut self, id: NeighborId, neighbor: DbgpNeighbor) -> Vec<DbgpOutput> {
+        self.neighbors.insert(id, neighbor);
+        // Initial table transfer: the new neighbor gets our whole view.
+        let prefixes: Vec<Ipv4Prefix> = self.loc.keys().copied().collect();
+        let mut out = Vec::new();
+        for prefix in prefixes {
+            self.propagate_to(id, prefix, &mut out);
+        }
+        out
+    }
+
+    /// Remove a neighbor (session loss): flush its IAs and re-decide.
+    pub fn neighbor_down(&mut self, id: NeighborId) -> Vec<DbgpOutput> {
+        self.neighbors.remove(&id);
+        self.adj_out.retain(|(n, _), _| *n != id);
+        let mut out = Vec::new();
+        for prefix in self.iadb.drop_neighbor(id) {
+            self.redecide(prefix, &mut out);
+        }
+        out
+    }
+
+    /// The active protocol for a prefix (longest matching override, else
+    /// the default).
+    pub fn active_protocol(&self, prefix: &Ipv4Prefix) -> ProtocolId {
+        self.cfg
+            .active_overrides
+            .iter()
+            .filter(|(range, _)| range.covers(prefix))
+            .max_by_key(|(range, _)| range.len())
+            .map(|(_, p)| *p)
+            .unwrap_or(self.cfg.active)
+    }
+
+    /// Switch the default active protocol and re-run selection everywhere
+    /// (an island "deploying" a new protocol).
+    pub fn set_active_protocol(&mut self, protocol: ProtocolId) -> Vec<DbgpOutput> {
+        self.cfg.active = protocol;
+        let mut out = Vec::new();
+        let mut prefixes = self.iadb.prefixes();
+        prefixes.extend(self.originated.keys().copied());
+        prefixes.sort();
+        prefixes.dedup();
+        for prefix in prefixes {
+            self.redecide(prefix, &mut out);
+        }
+        out
+    }
+
+    /// Originate a prefix. Every resident module gets to decorate the
+    /// origin IA (attach portals, pathlets, within-island paths,
+    /// attestations, ...).
+    pub fn originate(&mut self, prefix: Ipv4Prefix, next_hop: Ipv4Addr) -> Vec<DbgpOutput> {
+        let mut ia = Ia::originate(prefix, next_hop);
+        let local_as = self.cfg.asn;
+        for module in self.modules.values_mut() {
+            module.decorate_origin(&mut ia, local_as);
+        }
+        self.originated.insert(prefix, ia);
+        let mut out = Vec::new();
+        self.redecide(prefix, &mut out);
+        out
+    }
+
+    /// Originate a fully custom IA (tests and replacement protocols use
+    /// this to control descriptors precisely).
+    pub fn originate_ia(&mut self, ia: Ia) -> Vec<DbgpOutput> {
+        let prefix = ia.prefix;
+        self.originated.insert(prefix, ia);
+        let mut out = Vec::new();
+        self.redecide(prefix, &mut out);
+        out
+    }
+
+    /// Stop originating a prefix.
+    pub fn withdraw_origin(&mut self, prefix: Ipv4Prefix) -> Vec<DbgpOutput> {
+        let mut out = Vec::new();
+        if self.originated.remove(&prefix).is_some() {
+            self.redecide(prefix, &mut out);
+        }
+        out
+    }
+
+    /// Process one received IA — pipeline steps 1–7.
+    pub fn receive_ia(&mut self, from: NeighborId, mut ia: Ia) -> Vec<DbgpOutput> {
+        self.processed += 1;
+        let mut out = Vec::new();
+        if !self.neighbors.contains_key(&from) {
+            return out;
+        }
+        // (1) Global import filters.
+        if let Err(reason) =
+            filters::global_import(&self.cfg.filters, self.cfg.asn, self.cfg.island, &mut ia)
+        {
+            out.push(DbgpOutput::Rejected(from, ia.prefix, reason));
+            // A looped IA implicitly withdraws whatever this neighbor
+            // previously advertised for the prefix.
+            if self.iadb.remove(from, &ia.prefix).is_some() {
+                self.redecide(ia.prefix, &mut out);
+            }
+            return out;
+        }
+        let prefix = ia.prefix;
+        // (2) Store in the IA DB.
+        self.iadb.insert(from, ia);
+        // (3)-(7) Extract, decide, build, filter, send.
+        let changed = self.redecide(prefix, &mut out);
+        // Even when the best path is unchanged, a new candidate can
+        // alter what resident modules export (e.g. R-BGP's failover
+        // path, Wiser's bookkeeping), so re-evaluate exports; the
+        // Adj-RIB-Out diff suppresses no-op sends, keeping the protocol
+        // quiescent.
+        if !changed {
+            self.propagate_all(prefix, &mut out);
+        }
+        out
+    }
+
+    /// Process a withdrawal from a neighbor.
+    pub fn receive_withdraw(&mut self, from: NeighborId, prefix: Ipv4Prefix) -> Vec<DbgpOutput> {
+        let mut out = Vec::new();
+        if self.iadb.remove(from, &prefix).is_some() {
+            let changed = self.redecide(prefix, &mut out);
+            if !changed {
+                self.propagate_all(prefix, &mut out);
+            }
+        }
+        out
+    }
+
+    /// The installed best path for a prefix.
+    pub fn best(&self, prefix: &Ipv4Prefix) -> Option<&Chosen> {
+        self.loc.get(prefix)
+    }
+
+    /// Iterate the full local routing table.
+    pub fn routes(&self) -> impl Iterator<Item = (&Ipv4Prefix, &Chosen)> {
+        self.loc.iter()
+    }
+
+    /// Read access to the IA database.
+    pub fn iadb(&self) -> &IaDb {
+        &self.iadb
+    }
+
+    /// Number of IAs fed through the pipeline so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    /// Returns whether the installed best path changed.
+    fn redecide(&mut self, prefix: Ipv4Prefix, out: &mut Vec<DbgpOutput>) -> bool {
+        let new_chosen = self.select(prefix);
+        let changed = self.loc.get(&prefix) != new_chosen.as_ref();
+        if !changed {
+            return false;
+        }
+        match new_chosen.clone() {
+            Some(chosen) => {
+                self.loc.insert(prefix, chosen);
+            }
+            None => {
+                self.loc.remove(&prefix);
+            }
+        }
+        out.push(DbgpOutput::BestChanged(prefix, new_chosen));
+        self.propagate_all(prefix, out);
+        true
+    }
+
+    fn propagate_all(&mut self, prefix: Ipv4Prefix, out: &mut Vec<DbgpOutput>) {
+        // A change in candidates can also change what the active module
+        // would select-adjacent state (e.g. R-BGP recomputes its
+        // failover during select); run selection once so module state is
+        // fresh before exports are built.
+        let ids: Vec<NeighborId> = self.neighbors.keys().copied().collect();
+        for id in ids {
+            self.propagate_to(id, prefix, out);
+        }
+    }
+
+    /// Steps 3–4: extract the active protocol's information and run its
+    /// decision module over the candidates.
+    fn select(&mut self, prefix: Ipv4Prefix) -> Option<Chosen> {
+        // Locally originated prefixes always win (they are "ours").
+        if let Some(ia) = self.originated.get(&prefix) {
+            return Some(Chosen { neighbor: None, ia: ia.clone() });
+        }
+        let active = self.active_protocol(&prefix);
+        // An active protocol without a registered module falls back to
+        // the baseline -- matching §3.5's "switch between the baseline's
+        // algorithm and the new protocol's" mitigation, and keeping a
+        // misconfigured speaker connected.
+        let key = if self.modules.contains_key(&active) { active } else { ProtocolId::BGP };
+        let module = self.modules.get_mut(&key)?;
+        let neighbors = &self.neighbors;
+        let candidates: Vec<CandidateIa<'_>> = self
+            .iadb
+            .candidates(&prefix)
+            .into_iter()
+            .filter_map(|(n, ia)| {
+                let asn = neighbors.get(&n)?.asn;
+                Some(CandidateIa { neighbor: n, neighbor_as: asn, ia })
+            })
+            .filter(|c| {
+                module.accept(ImportContext {
+                    neighbor: c.neighbor,
+                    neighbor_as: c.neighbor_as,
+                    prefix,
+                    ia: c.ia,
+                })
+            })
+            .collect();
+        let best = module.select_best(prefix, &candidates)?;
+        let c = &candidates[best];
+        Some(Chosen { neighbor: Some(c.neighbor), ia: c.ia.clone() })
+    }
+
+    /// Steps 5–7 for one neighbor: build (or withdraw) and send.
+    fn propagate_to(&mut self, id: NeighborId, prefix: Ipv4Prefix, out: &mut Vec<DbgpOutput>) {
+        let neighbor = match self.neighbors.get(&id) {
+            Some(n) => n.clone(),
+            None => return,
+        };
+        let export = self.loc.get(&prefix).and_then(|chosen| {
+            // Split horizon: never send a path back to its source.
+            if chosen.neighbor == Some(id) {
+                return None;
+            }
+            Some(chosen.ia.clone())
+        });
+        match export {
+            Some(chosen_ia) => {
+                let neighbor_in_island = self.cfg.island.is_some() && neighbor.same_island;
+                let ctx = FactoryContext {
+                    local_as: self.cfg.asn,
+                    island: self.cfg.island,
+                    filters: &self.cfg.filters,
+                    neighbor: id,
+                    neighbor_as: neighbor.asn,
+                    neighbor_in_island,
+                };
+                let mut modules: Vec<&mut dyn DecisionModule> =
+                    self.modules.values_mut().map(|b| b.as_mut() as &mut dyn DecisionModule).collect();
+                let mut ia = match factory::build_outgoing(&chosen_ia, ctx, &mut modules) {
+                    Ok(ia) => ia,
+                    Err(_) => return,
+                };
+                // Transitional mode (§3.5): legacy BGP neighbors get the
+                // IA with every extra field dropped.
+                if !neighbor.speaks_dbgp {
+                    ia.retain_protocols(&[ProtocolId::BGP]);
+                    ia.memberships.clear();
+                    ia.island_descriptors.clear();
+                }
+                let key = (id, prefix);
+                if self.adj_out.get(&key) != Some(&ia) {
+                    self.adj_out.insert(key, ia.clone());
+                    out.push(DbgpOutput::SendIa(id, ia));
+                }
+            }
+            None => {
+                if self.adj_out.remove(&(id, prefix)).is_some() {
+                    out.push(DbgpOutput::SendWithdraw(id, prefix));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgp_wire::ia::dkey;
+    use dbgp_wire::{IslandId, PathElem};
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn nh(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, n)
+    }
+
+    /// A chain of D-BGP speakers: speakers[i] peers with speakers[i+1].
+    /// Messages pump synchronously until quiescent.
+    struct Chain {
+        speakers: Vec<DbgpSpeaker>,
+    }
+
+    impl Chain {
+        /// Build a chain from per-AS configs. Neighbor IDs: for speaker
+        /// i, neighbor 0 is i-1 (toward head) and neighbor 1 is i+1.
+        fn new(mut cfgs: Vec<DbgpConfig>, same_island_links: &[bool]) -> Chain {
+            let asns: Vec<u32> = cfgs.iter().map(|c| c.asn).collect();
+            let mut speakers: Vec<DbgpSpeaker> = cfgs.drain(..).map(DbgpSpeaker::new).collect();
+            for i in 0..speakers.len() {
+                if i > 0 {
+                    let mut n = DbgpNeighbor::dbgp(asns[i - 1]);
+                    n.same_island = same_island_links[i - 1];
+                    speakers[i].add_neighbor(NeighborId(0), n);
+                }
+                if i + 1 < speakers.len() {
+                    let mut n = DbgpNeighbor::dbgp(asns[i + 1]);
+                    n.same_island = same_island_links[i];
+                    speakers[i].add_neighbor(NeighborId(1), n);
+                }
+            }
+            Chain { speakers }
+        }
+
+        /// Execute outputs from speaker `idx`, forwarding sends along the
+        /// chain until quiescent.
+        fn pump(&mut self, idx: usize, outputs: Vec<DbgpOutput>) {
+            let mut work: Vec<(usize, DbgpOutput)> =
+                outputs.into_iter().map(|o| (idx, o)).collect();
+            while let Some((at, output)) = work.pop() {
+                match output {
+                    DbgpOutput::SendIa(n, ia) => {
+                        let (to, from_id) = if n == NeighborId(0) {
+                            (at - 1, NeighborId(1))
+                        } else {
+                            (at + 1, NeighborId(0))
+                        };
+                        let outs = self.speakers[to].receive_ia(from_id, ia);
+                        work.extend(outs.into_iter().map(|o| (to, o)));
+                    }
+                    DbgpOutput::SendWithdraw(n, prefix) => {
+                        let (to, from_id) = if n == NeighborId(0) {
+                            (at - 1, NeighborId(1))
+                        } else {
+                            (at + 1, NeighborId(0))
+                        };
+                        let outs = self.speakers[to].receive_withdraw(from_id, prefix);
+                        work.extend(outs.into_iter().map(|o| (to, o)));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        fn originate(&mut self, idx: usize, prefix: Ipv4Prefix) {
+            let outs = self.speakers[idx].originate(prefix, nh(idx as u8));
+            self.pump(idx, outs);
+        }
+    }
+
+    fn gulf_chain(asns: &[u32]) -> Chain {
+        let cfgs = asns.iter().map(|&a| DbgpConfig::gulf(a)).collect();
+        Chain::new(cfgs, &vec![false; asns.len()])
+    }
+
+    #[test]
+    fn ia_propagates_along_chain_with_path_growth() {
+        let mut chain = gulf_chain(&[1, 2, 3, 4]);
+        chain.originate(0, p("128.6.0.0/16"));
+        let best = chain.speakers[3].best(&p("128.6.0.0/16")).unwrap();
+        assert_eq!(
+            best.ia.path_vector,
+            vec![PathElem::As(3), PathElem::As(2), PathElem::As(1)],
+            "AS 4 receives the path with every upstream AS prepended"
+        );
+    }
+
+    #[test]
+    fn foreign_descriptors_pass_through_gulf() {
+        // Origin attaches a Wiser cost + SCION island descriptor; the
+        // pure-BGP gulf ASes (2, 3) must pass them through to AS 4.
+        let mut chain = gulf_chain(&[1, 2, 3, 4]);
+        let ia = Ia::builder(p("128.6.0.0/16"), nh(0))
+            .path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST, 100u64.to_be_bytes().to_vec())
+            .island_descriptor(
+                IslandId(500),
+                ProtocolId::SCION,
+                dkey::SCION_PATHS,
+                b"br1 br2".to_vec(),
+            )
+            .build()
+            .unwrap();
+        let outs = chain.speakers[0].originate_ia(ia);
+        chain.pump(0, outs);
+        let best = chain.speakers[3].best(&p("128.6.0.0/16")).unwrap();
+        assert!(best.ia.path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST).is_some());
+        assert_eq!(best.ia.island_descriptors.len(), 1);
+        assert!(best
+            .ia
+            .protocols_on_path()
+            .contains(&ProtocolId::SCION));
+    }
+
+    #[test]
+    fn blacklisting_gulf_as_strips_protocol() {
+        // Gulf AS 3 blacklists Wiser: AS 4 must not see the cost, but
+        // must still see the SCION descriptor.
+        let mut cfgs: Vec<DbgpConfig> = [1, 2, 3, 4].iter().map(|&a| DbgpConfig::gulf(a)).collect();
+        cfgs[2].filters.strip_protocols = vec![ProtocolId::WISER];
+        let mut chain = Chain::new(cfgs, &[false; 4]);
+        let ia = Ia::builder(p("128.6.0.0/16"), nh(0))
+            .path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST, 1u64.to_be_bytes().to_vec())
+            .island_descriptor(IslandId(500), ProtocolId::SCION, dkey::SCION_PATHS, vec![1])
+            .build()
+            .unwrap();
+        let outs = chain.speakers[0].originate_ia(ia);
+        chain.pump(0, outs);
+        let best = chain.speakers[3].best(&p("128.6.0.0/16")).unwrap();
+        assert!(best.ia.path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST).is_none());
+        assert_eq!(best.ia.island_descriptors.len(), 1);
+    }
+
+    #[test]
+    fn as_loop_rejected_and_counts_as_withdraw() {
+        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(5));
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(6));
+        let mut good = Ia::originate(p("10.0.0.0/8"), nh(1));
+        good.prepend_as(6);
+        let outs = speaker.receive_ia(NeighborId(0), good);
+        assert!(matches!(outs[0], DbgpOutput::BestChanged(_, Some(_))));
+        // Same neighbor now sends a looped IA for the prefix.
+        let mut looped = Ia::originate(p("10.0.0.0/8"), nh(1));
+        looped.prepend_as(5);
+        looped.prepend_as(6);
+        let outs = speaker.receive_ia(NeighborId(0), looped);
+        assert!(matches!(outs[0], DbgpOutput::Rejected(_, _, RejectReason::AsLoop)));
+        assert!(
+            matches!(outs[1], DbgpOutput::BestChanged(_, None)),
+            "previous route implicitly withdrawn"
+        );
+        assert!(speaker.best(&p("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn island_members_declare_and_egress_abstracts() {
+        // Chain: AS1 (origin, gulf) - AS2,AS3 (island 900, abstraction) -
+        // AS4 (gulf). AS4 must see [I900, 1].
+        let island = IslandConfig { id: IslandId(900), abstraction: true };
+        let cfgs = vec![
+            DbgpConfig::gulf(1),
+            DbgpConfig::island_member(2, island, ProtocolId::BGP),
+            DbgpConfig::island_member(3, island, ProtocolId::BGP),
+            DbgpConfig::gulf(4),
+        ];
+        // Links: 1-2 (cross), 2-3 (same island), 3-4 (cross).
+        let mut chain = Chain::new(cfgs, &[false, true, false]);
+        chain.originate(0, p("128.6.0.0/16"));
+        // Inside the island, AS 3 sees full member detail.
+        let at3 = chain.speakers[2].best(&p("128.6.0.0/16")).unwrap();
+        assert_eq!(at3.ia.path_vector, vec![PathElem::As(2), PathElem::As(1)]);
+        assert_eq!(at3.ia.island_of(0), Some(IslandId(900)));
+        // Outside, AS 4 sees the abstracted island.
+        let at4 = chain.speakers[3].best(&p("128.6.0.0/16")).unwrap();
+        assert_eq!(
+            at4.ia.path_vector,
+            vec![PathElem::Island(IslandId(900)), PathElem::As(1)]
+        );
+        assert_eq!(at4.ia.hop_count(), 2, "island counts one hop");
+    }
+
+    #[test]
+    fn declared_island_without_abstraction_keeps_members_visible() {
+        let island = IslandConfig { id: IslandId(900), abstraction: false };
+        let cfgs = vec![
+            DbgpConfig::gulf(1),
+            DbgpConfig::island_member(2, island, ProtocolId::BGP),
+            DbgpConfig::island_member(3, island, ProtocolId::BGP),
+            DbgpConfig::gulf(4),
+        ];
+        let mut chain = Chain::new(cfgs, &[false, true, false]);
+        chain.originate(0, p("128.6.0.0/16"));
+        let at4 = chain.speakers[3].best(&p("128.6.0.0/16")).unwrap();
+        assert_eq!(
+            at4.ia.path_vector,
+            vec![PathElem::As(3), PathElem::As(2), PathElem::As(1)]
+        );
+        // Membership annotations tell AS 4 which entries are the island —
+        // requirement G-R4's "how to layer headers" information.
+        assert_eq!(at4.ia.island_of(0), Some(IslandId(900)));
+        assert_eq!(at4.ia.island_of(1), Some(IslandId(900)));
+        assert_eq!(at4.ia.island_of(2), None);
+    }
+
+    #[test]
+    fn withdrawal_propagates_through_chain() {
+        let mut chain = gulf_chain(&[1, 2, 3]);
+        chain.originate(0, p("10.0.0.0/8"));
+        assert!(chain.speakers[2].best(&p("10.0.0.0/8")).is_some());
+        let outs = chain.speakers[0].withdraw_origin(p("10.0.0.0/8"));
+        chain.pump(0, outs);
+        assert!(chain.speakers[2].best(&p("10.0.0.0/8")).is_none());
+        assert!(chain.speakers[1].best(&p("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn legacy_neighbor_gets_stripped_ia() {
+        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(2));
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+        speaker.add_neighbor(NeighborId(1), DbgpNeighbor::legacy(3));
+        let ia = Ia::builder(p("10.0.0.0/8"), nh(1))
+            .as_hop(1)
+            .path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST, vec![1])
+            .island_descriptor(IslandId(5), ProtocolId::SCION, dkey::SCION_PATHS, vec![2])
+            .build()
+            .unwrap();
+        let outs = speaker.receive_ia(NeighborId(0), ia);
+        let sent = outs
+            .iter()
+            .find_map(|o| match o {
+                DbgpOutput::SendIa(NeighborId(1), ia) => Some(ia),
+                _ => None,
+            })
+            .expect("legacy neighbor still gets baseline reachability");
+        assert!(sent.path_descriptors.is_empty());
+        assert!(sent.island_descriptors.is_empty());
+        assert_eq!(sent.path_vector, vec![PathElem::As(2), PathElem::As(1)]);
+    }
+
+    #[test]
+    fn baseline_only_mode_models_bgp_internet() {
+        // With baseline_only_export set (the §6.3 BGP-baseline case), a
+        // gulf AS drops all new-protocol information even for D-BGP
+        // neighbors.
+        let mut cfg = DbgpConfig::gulf(2);
+        cfg.filters.baseline_only_export = true;
+        let mut speaker = DbgpSpeaker::new(cfg);
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+        speaker.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(3));
+        let ia = Ia::builder(p("10.0.0.0/8"), nh(1))
+            .as_hop(1)
+            .path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST, vec![1])
+            .build()
+            .unwrap();
+        let outs = speaker.receive_ia(NeighborId(0), ia);
+        let sent = outs
+            .iter()
+            .find_map(|o| match o {
+                DbgpOutput::SendIa(NeighborId(1), ia) => Some(ia),
+                _ => None,
+            })
+            .unwrap();
+        assert!(sent.path_descriptors.is_empty());
+    }
+
+    #[test]
+    fn split_horizon_suppresses_echo() {
+        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(2));
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+        let mut ia = Ia::originate(p("10.0.0.0/8"), nh(1));
+        ia.prepend_as(1);
+        let outs = speaker.receive_ia(NeighborId(0), ia);
+        assert!(
+            !outs.iter().any(|o| matches!(o, DbgpOutput::SendIa(NeighborId(0), _))),
+            "no echo to source"
+        );
+    }
+
+    #[test]
+    fn better_path_replaces_and_readvertises() {
+        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(9));
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+        speaker.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(2));
+        speaker.add_neighbor(NeighborId(2), DbgpNeighbor::dbgp(3));
+        let mut long = Ia::originate(p("10.0.0.0/8"), nh(1));
+        long.prepend_as(50);
+        long.prepend_as(1);
+        speaker.receive_ia(NeighborId(0), long);
+        assert_eq!(speaker.best(&p("10.0.0.0/8")).unwrap().neighbor, Some(NeighborId(0)));
+        let mut short = Ia::originate(p("10.0.0.0/8"), nh(2));
+        short.prepend_as(2);
+        let outs = speaker.receive_ia(NeighborId(1), short);
+        assert_eq!(speaker.best(&p("10.0.0.0/8")).unwrap().neighbor, Some(NeighborId(1)));
+        // Neighbor 2 (uninvolved) must get the replacement advertisement.
+        assert!(outs.iter().any(|o| matches!(o, DbgpOutput::SendIa(NeighborId(2), _))));
+    }
+
+    #[test]
+    fn neighbor_down_flushes_routes() {
+        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(9));
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+        let mut ia = Ia::originate(p("10.0.0.0/8"), nh(1));
+        ia.prepend_as(1);
+        speaker.receive_ia(NeighborId(0), ia);
+        assert!(speaker.best(&p("10.0.0.0/8")).is_some());
+        let outs = speaker.neighbor_down(NeighborId(0));
+        assert!(matches!(outs[0], DbgpOutput::BestChanged(_, None)));
+        assert!(speaker.best(&p("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn late_neighbor_gets_table_transfer() {
+        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(9));
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+        let mut ia = Ia::originate(p("10.0.0.0/8"), nh(1));
+        ia.prepend_as(1);
+        speaker.receive_ia(NeighborId(0), ia);
+        let outs = speaker.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(2));
+        assert!(outs.iter().any(|o| matches!(o, DbgpOutput::SendIa(NeighborId(1), _))));
+    }
+
+    #[test]
+    fn active_protocol_overrides_by_longest_match() {
+        let mut cfg = DbgpConfig::gulf(9);
+        cfg.active_overrides = vec![
+            (p("10.0.0.0/8"), ProtocolId::WISER),
+            (p("10.5.0.0/16"), ProtocolId::SCION),
+        ];
+        let speaker = DbgpSpeaker::new(cfg);
+        assert_eq!(speaker.active_protocol(&p("10.5.1.0/24")), ProtocolId::SCION);
+        assert_eq!(speaker.active_protocol(&p("10.9.0.0/16")), ProtocolId::WISER);
+        assert_eq!(speaker.active_protocol(&p("192.168.0.0/16")), ProtocolId::BGP);
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! The paper's evaluation, as code: the §6.2 control-plane overhead
+//! model (Tables 2–3), the §6.3 incremental-benefits simulations
+//! (Figures 9–10), and the Table-1 protocol taxonomy.
+//!
+//! Each regenerator binary in `dbgp-bench` is a thin printer over these
+//! functions; the science lives here, under test.
+
+pub mod benefits;
+pub mod overhead;
+pub mod overlay;
+pub mod taxonomy;
+
+pub use benefits::{AdoptionMode, Archetype, Baseline, BenefitsConfig, Series, SeriesPoint};
+pub use overhead::{table3, OverheadParams, OverheadRow};
+pub use overlay::{OverlayConfig, OverlayPoint};
+pub use taxonomy::{table1, ProtocolEntry, Scenario};

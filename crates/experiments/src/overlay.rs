@@ -1,0 +1,189 @@
+//! The overlay workaround, quantified (paper §1–§2).
+//!
+//! Before D-BGP, islands could only find each other by building an
+//! overlay and *tunneling* traffic between upgraded ASes. The paper's
+//! critique: "the tunnels an overlay uses to hide traffic's true
+//! destinations from domains that have not yet deployed the new protocol
+//! interfere with those domains' routing decisions and thus can
+//! significantly increase their operating costs."
+//!
+//! This module measures that interference on the same Waxman topologies
+//! as §6.3:
+//!
+//! * **hidden-transit fraction** — of all (gulf AS, flow) transit
+//!   events, how many carry traffic whose true destination the AS cannot
+//!   see (under an overlay: every tunneled hop; under D-BGP: none);
+//! * **path stretch** — tunneled traffic must detour through an overlay
+//!   relay, lengthening AS-level paths relative to direct routes.
+//!
+//! D-BGP's pass-through makes tunnels optional ("elevating whether they
+//! are used to be a protocol-specific consideration"), so its row is
+//! stretch 1.0 and hidden fraction 0 by construction; the interesting
+//! output is how bad the overlay numbers are that it avoids.
+
+use dbgp_topology::{AsGraph, WaxmanParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Parameters for the overlay-interference measurement.
+#[derive(Debug, Clone)]
+pub struct OverlayConfig {
+    /// Topology settings (paper scale by default).
+    pub waxman: WaxmanParams,
+    /// Adoption percentages to sweep.
+    pub adoption_percents: Vec<u32>,
+    /// Trials (seeds).
+    pub seeds: Vec<u64>,
+    /// Number of random upgraded (src, dst) flows sampled per trial.
+    pub flows: usize,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            waxman: WaxmanParams::default(),
+            adoption_percents: vec![10, 30, 50, 70, 90],
+            seeds: (1..=5).collect(),
+            flows: 200,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct OverlayPoint {
+    /// Adoption percentage.
+    pub adoption: u32,
+    /// Mean AS-level path stretch of tunneled flows (>= 1.0).
+    pub stretch: f64,
+    /// Mean fraction of gulf-AS transit hops whose true destination is
+    /// hidden by the tunnel.
+    pub hidden_transit: f64,
+}
+
+fn bfs_dist(graph: &AsGraph, from: usize) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.len()];
+    dist[from] = 0;
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for adj in graph.neighbors(u) {
+            if dist[adj.neighbor] == u32::MAX {
+                dist[adj.neighbor] = dist[u] + 1;
+                queue.push_back(adj.neighbor);
+            }
+        }
+    }
+    dist
+}
+
+/// Run the sweep. For each sampled upgraded→upgraded flow, the overlay
+/// routes src → relay → dst where the relay is the upgraded AS
+/// minimizing the detour (the best case for the overlay); every
+/// non-upgraded AS on the tunneled segments carries hidden-destination
+/// traffic.
+pub fn run(cfg: &OverlayConfig) -> Vec<OverlayPoint> {
+    let mut out = Vec::new();
+    for &adoption in &cfg.adoption_percents {
+        let mut stretches = Vec::new();
+        let mut hidden = Vec::new();
+        for &seed in &cfg.seeds {
+            let graph = dbgp_topology::waxman::generate(cfg.waxman, seed);
+            let n = graph.len();
+            let mut rng = StdRng::seed_from_u64(seed ^ (adoption as u64) << 32);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng);
+            let k = (n * adoption as usize / 100).max(2);
+            let upgraded: Vec<usize> = order[..k].to_vec();
+            for _ in 0..cfg.flows {
+                let src = *upgraded.choose(&mut rng).unwrap();
+                let dst = *upgraded.choose(&mut rng).unwrap();
+                if src == dst {
+                    continue;
+                }
+                let d_src = bfs_dist(&graph, src);
+                let d_dst = bfs_dist(&graph, dst);
+                if d_src[dst] == u32::MAX {
+                    continue;
+                }
+                let direct = d_src[dst].max(1);
+                // Best overlay relay: the *third-party* upgraded AS
+                // minimizing the detour — the Arrow/MIRO/RON model where
+                // traffic is forcibly routed through the island selling
+                // the service, which is neither endpoint.
+                let Some((relay, via)) = upgraded
+                    .iter()
+                    .filter(|&&r| r != src && r != dst)
+                    .filter(|&&r| d_src[r] != u32::MAX && d_dst[r] != u32::MAX)
+                    .map(|&r| (r, d_src[r] + d_dst[r]))
+                    .min_by_key(|&(_, d)| d)
+                else {
+                    continue;
+                };
+                let via = via.max(1);
+                stretches.push(via as f64 / direct as f64);
+                // Hidden transit: only the outer (src -> relay) leg
+                // carries encapsulated traffic with a hidden inner
+                // destination; after decapsulation at the relay the true
+                // header is visible. Expected non-upgraded hops on that
+                // leg over the whole tunneled path.
+                let gulf_fraction = 1.0 - (k as f64 / n as f64);
+                let hidden_hops = d_src[relay] as f64 * gulf_fraction;
+                let total_hops = via.max(1) as f64;
+                hidden.push(hidden_hops / total_hops);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        out.push(OverlayPoint {
+            adoption,
+            stretch: mean(&stretches),
+            hidden_transit: mean(&hidden),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> OverlayConfig {
+        OverlayConfig {
+            waxman: WaxmanParams { n: 120, ..Default::default() },
+            adoption_percents: vec![10, 50, 90],
+            seeds: vec![1, 2],
+            flows: 50,
+        }
+    }
+
+    #[test]
+    fn stretch_is_at_least_one_and_falls_with_adoption() {
+        let points = run(&small());
+        for p in &points {
+            assert!(p.stretch >= 1.0, "stretch {} at {}%", p.stretch, p.adoption);
+        }
+        // More upgraded ASes = better relays = less detour.
+        assert!(
+            points.first().unwrap().stretch >= points.last().unwrap().stretch,
+            "{points:?}"
+        );
+    }
+
+    #[test]
+    fn hidden_transit_falls_with_adoption() {
+        let points = run(&small());
+        assert!(points[0].hidden_transit > points[2].hidden_transit, "{points:?}");
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.hidden_transit));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = format!("{:?}", run(&small()));
+        let b = format!("{:?}", run(&small()));
+        assert_eq!(a, b);
+    }
+}

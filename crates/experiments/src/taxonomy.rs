@@ -1,0 +1,185 @@
+//! Table 1: the 14 recently proposed inter-domain protocols the paper
+//! analyzed, grouped by evolvability scenario, with the extra
+//! control-plane information (⋆) and data-plane support (◇) each needs.
+
+use serde::Serialize;
+
+/// Which deployment scenario (§2.2–§2.4) fits the protocol best.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scenario {
+    /// Baseline → baseline with critical fix.
+    CriticalFix,
+    /// Baseline → baseline ∥ custom protocol.
+    CustomProtocol,
+    /// Baseline → replacement protocol.
+    Replacement,
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scenario::CriticalFix => "Baseline -> critical fix",
+            Scenario::CustomProtocol => "Baseline -> custom protocol",
+            Scenario::Replacement => "Baseline -> replacement protocol",
+        })
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProtocolEntry {
+    /// Protocol name as in the paper.
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Scenario grouping.
+    pub scenario: Scenario,
+    /// Extra control-plane information to disseminate (the ⋆ items).
+    pub control_plane: &'static [&'static str],
+    /// Data-plane support needed (the ◇ items).
+    pub data_plane: &'static [&'static str],
+}
+
+/// The full Table 1, in the paper's order.
+pub fn table1() -> Vec<ProtocolEntry> {
+    use Scenario::*;
+    vec![
+        ProtocolEntry {
+            name: "BGPSec",
+            summary: "Prevents path hijacking",
+            scenario: CriticalFix,
+            control_plane: &["Path attestations"],
+            data_plane: &[],
+        },
+        ProtocolEntry {
+            name: "EQ-BGP",
+            summary: "Adds end-to-end QoS",
+            scenario: CriticalFix,
+            control_plane: &["QoS metrics"],
+            data_plane: &[],
+        },
+        ProtocolEntry {
+            name: "Xiao et al.",
+            summary: "Adds end-to-end QoS",
+            scenario: CriticalFix,
+            control_plane: &["QoS metrics"],
+            data_plane: &[],
+        },
+        ProtocolEntry {
+            name: "LISP",
+            summary: "Supports mobility",
+            scenario: CriticalFix,
+            control_plane: &["Dest. ingress IDs"],
+            data_plane: &[],
+        },
+        ProtocolEntry {
+            name: "R-BGP",
+            summary: "Enables quick failover",
+            scenario: CriticalFix,
+            control_plane: &["Extra backup paths"],
+            data_plane: &[],
+        },
+        ProtocolEntry {
+            name: "Wiser",
+            summary: "Limits ingress traffic",
+            scenario: CriticalFix,
+            control_plane: &["Path costs"],
+            data_plane: &[],
+        },
+        ProtocolEntry {
+            name: "MIRO",
+            summary: "Exposes alt. paths",
+            scenario: CustomProtocol,
+            control_plane: &["Service's existence"],
+            data_plane: &["Tunnels"],
+        },
+        ProtocolEntry {
+            name: "Arrow",
+            summary: "Exposes alt. paths + intra-island QoS",
+            scenario: CustomProtocol,
+            control_plane: &["Service's existence"],
+            data_plane: &["Tunnels"],
+        },
+        ProtocolEntry {
+            name: "RON",
+            summary: "Creates low-latency paths",
+            scenario: CustomProtocol,
+            control_plane: &["Service's existence"],
+            data_plane: &["Tunnels"],
+        },
+        ProtocolEntry {
+            name: "NIRA",
+            summary: "Path-based routing",
+            scenario: Replacement,
+            control_plane: &["Multiple paths"],
+            data_plane: &["Fwd w/custom hdrs", "multi-network-proto hdrs"],
+        },
+        ProtocolEntry {
+            name: "SCION",
+            summary: "Path-based routing",
+            scenario: Replacement,
+            control_plane: &["Multiple paths"],
+            data_plane: &["Fwd w/custom hdrs", "multi-network-proto hdrs"],
+        },
+        ProtocolEntry {
+            name: "Pathlets",
+            summary: "Multi-hop routing",
+            scenario: Replacement,
+            control_plane: &["Pathlets"],
+            data_plane: &["Fwd w/custom hdrs", "multi-network-proto hdrs"],
+        },
+        ProtocolEntry {
+            name: "YAMR",
+            summary: "Multi-hop routing",
+            scenario: Replacement,
+            control_plane: &["Pathlets"],
+            data_plane: &["Fwd w/custom hdrs", "multi-network-proto hdrs"],
+        },
+        ProtocolEntry {
+            name: "HLP",
+            summary: "Hybrid PV/LS (link-state within islands only)",
+            scenario: Replacement,
+            control_plane: &["Path costs"],
+            data_plane: &[],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_fourteen_protocols() {
+        assert_eq!(table1().len(), 14);
+    }
+
+    #[test]
+    fn scenario_counts_match_paper_grouping() {
+        let t = table1();
+        let count = |s: Scenario| t.iter().filter(|e| e.scenario == s).count();
+        assert_eq!(count(Scenario::CriticalFix), 6);
+        assert_eq!(count(Scenario::CustomProtocol), 3);
+        assert_eq!(count(Scenario::Replacement), 5);
+    }
+
+    #[test]
+    fn replacements_need_data_plane_support_except_hlp() {
+        for entry in table1() {
+            if entry.scenario == Scenario::Replacement && entry.name != "HLP" {
+                assert!(
+                    !entry.data_plane.is_empty(),
+                    "{} should need data-plane support",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_protocol_disseminates_something() {
+        for entry in table1() {
+            assert!(!entry.control_plane.is_empty(), "{}", entry.name);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Inter-domain routing protocols deployed over D-BGP.
+//!
+//! One module per protocol from the paper's experiments and examples,
+//! each implementing `dbgp_core::DecisionModule` plus the protocol's own
+//! machinery (portals, translation modules, headers, attestations):
+//!
+//! * [`wiser`] — Wiser path costs with out-of-band cost exchange
+//!   (critical fix; §2.2, §3.4, §6.1);
+//! * [`pathlet`] — Pathlet Routing with ingress/egress translation and
+//!   redistribution modules (replacement; §2.4, §6.1, Figures 6–8);
+//! * [`scion`] — a SCION-like path-based protocol exposing multiple
+//!   within-island paths (replacement; §2.4, Figure 3);
+//! * [`miro`] — MIRO alternate-path service with portal discovery and
+//!   negotiation (custom protocol; §2.3, Figure 2);
+//! * [`bgpsec`] — BGPSec-lite attestation chains over `dbgp-crypto`
+//!   (critical fix; §3.2, §3.5);
+//! * [`eqbgp`] — EQ-BGP-style bottleneck bandwidth (critical fix and the
+//!   Figure-10 archetype).
+//!
+//! Together, the per-protocol deployment code here mirrors the paper's
+//! §6.1 measurement that D-BGP reduces "deploy a new protocol across
+//! gulfs" to a few hundred lines per protocol.
+
+pub mod addrmap;
+pub mod bgpsec;
+pub mod eqbgp;
+pub mod hlp;
+pub mod miro;
+pub mod pathlet;
+pub mod rbgp;
+pub mod scion;
+pub mod wiser;
+
+pub use addrmap::{AddrMapModule, AddressMapService, MapQuery};
+pub use bgpsec::{BgpsecModule, ChainStatus};
+pub use eqbgp::BottleneckBwModule;
+pub use hlp::{HlpModule, LinkStateDb, Lsa};
+pub use miro::{MiroModule, MiroOffer, MiroPortal, MiroRequest, Tunnel};
+pub use pathlet::{Pathlet, PathletAd, PathletDb, PathletHeader, PathletModule, PathletNode};
+pub use rbgp::{BackupPath, RbgpModule};
+pub use scion::{PathSet, ScionHeader, ScionModule};
+pub use wiser::{CostReport, WiserModule};

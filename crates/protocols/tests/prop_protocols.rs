@@ -1,0 +1,186 @@
+//! Property tests across the protocol modules: codec totality,
+//! composition invariants, scaling bounds and attestation security.
+
+use dbgp_crypto::KeyRegistry;
+use dbgp_protocols::hlp::{LinkStateDb, Lsa};
+use dbgp_protocols::pathlet::{decode_pathlets, encode_pathlets, Pathlet, PathletDb, PathletNode};
+use dbgp_protocols::rbgp::BackupPath;
+use dbgp_protocols::scion::PathSet;
+use dbgp_protocols::{MiroOffer, MiroRequest};
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 8u8..=28).prop_map(|(a, l)| Ipv4Prefix::new(Ipv4Addr(a), l).unwrap())
+}
+
+fn arb_pathlet() -> impl Strategy<Value = Pathlet> {
+    (
+        1u32..10_000,
+        1u32..100,
+        prop_oneof![
+            (1u32..100).prop_map(PathletNode::Router),
+            arb_prefix().prop_map(PathletNode::Dest),
+        ],
+    )
+        .prop_map(|(fid, from, to)| Pathlet { fid, from: PathletNode::Router(from), to })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pathlet_codec_roundtrips(pathlets in proptest::collection::vec(arb_pathlet(), 0..8)) {
+        let encoded = encode_pathlets(&pathlets);
+        prop_assert_eq!(decode_pathlets(&encoded), Some(pathlets));
+    }
+
+    #[test]
+    fn pathlet_codec_never_panics_on_noise(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_pathlets(&data);
+    }
+
+    /// Every composed header is walkable: each FID exists, consecutive
+    /// pathlets chain end-to-start, and the last ends at a prefix
+    /// covering the destination.
+    #[test]
+    fn composed_headers_are_walkable(
+        pathlets in proptest::collection::vec(arb_pathlet(), 1..16),
+        dest in arb_prefix(),
+        start in 1u32..100,
+    ) {
+        let mut db = PathletDb::new();
+        for p in &pathlets {
+            db.insert(p.clone());
+        }
+        for header in db.compose(start, &dest, 10) {
+            let mut at = PathletNode::Router(start);
+            for fid in &header.fids {
+                let p = db.get(*fid).expect("header references a known FID");
+                prop_assert_eq!(&p.from, &at, "chain break at fid {}", fid);
+                at = p.to.clone();
+            }
+            match at {
+                PathletNode::Dest(covered) => {
+                    prop_assert!(covered == dest || covered.covers(&dest));
+                }
+                other => prop_assert!(false, "header ends mid-island: {other:?}"),
+            }
+        }
+    }
+
+    /// Composition never returns duplicate headers and respects the cap.
+    #[test]
+    fn composition_is_capped_and_duplicate_free(
+        pathlets in proptest::collection::vec(arb_pathlet(), 1..20),
+        dest in arb_prefix(),
+        cap in 1usize..8,
+    ) {
+        let mut db = PathletDb::new();
+        for p in &pathlets {
+            db.insert(p.clone());
+        }
+        let headers = db.compose(1, &dest, cap);
+        prop_assert!(headers.len() <= cap);
+        let mut seen = std::collections::HashSet::new();
+        for h in &headers {
+            prop_assert!(seen.insert(h.fids.clone()), "duplicate {:?}", h.fids);
+        }
+    }
+
+    #[test]
+    fn scion_path_set_roundtrips(paths in proptest::collection::vec(
+        proptest::collection::vec(1u32..10_000, 1..8), 0..6)) {
+        let ps = PathSet { paths };
+        prop_assert_eq!(PathSet::from_bytes(&ps.to_bytes()), Some(ps));
+    }
+
+    #[test]
+    fn scion_path_set_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = PathSet::from_bytes(&data);
+    }
+
+    #[test]
+    fn miro_codecs_roundtrip(dst in arb_prefix(), price in any::<u64>(),
+                             path in proptest::collection::vec(1u32..100_000, 0..6),
+                             endpoint in any::<u32>()) {
+        let req = MiroRequest { dst, max_price: price };
+        prop_assert_eq!(MiroRequest::from_bytes(&req.to_bytes()), Some(req));
+        let offer = MiroOffer { path, price, tunnel_endpoint: Ipv4Addr(endpoint) };
+        prop_assert_eq!(MiroOffer::from_bytes(&offer.to_bytes()), Some(offer));
+    }
+
+    #[test]
+    fn rbgp_backup_roundtrips(ases in proptest::collection::vec(1u32..1_000_000, 0..10)) {
+        let b = BackupPath { ases };
+        prop_assert_eq!(BackupPath::from_bytes(&b.to_bytes()), Some(b));
+    }
+
+    #[test]
+    fn lsa_codec_roundtrips(router in 1u32..1000, seq in any::<u64>(),
+                            links in proptest::collection::vec((1u32..1000, 1u64..10_000), 0..8)) {
+        let lsa = Lsa { router, seq, links };
+        prop_assert_eq!(Lsa::from_bytes(&lsa.to_bytes()), Some(lsa));
+    }
+
+    /// Dijkstra over random LSDBs: triangle inequality over discovered
+    /// distances, and symmetry when the graph is symmetric.
+    #[test]
+    fn dijkstra_respects_triangle_inequality(
+        edges in proptest::collection::vec((0u32..8, 0u32..8, 1u64..100), 1..20),
+    ) {
+        let mut adj: std::collections::HashMap<u32, Vec<(u32, u64)>> = Default::default();
+        for &(a, b, c) in &edges {
+            if a == b {
+                continue;
+            }
+            adj.entry(a).or_default().push((b, c));
+            adj.entry(b).or_default().push((a, c));
+        }
+        let mut db = LinkStateDb::new();
+        for (router, links) in &adj {
+            db.integrate(Lsa { router: *router, seq: 1, links: links.clone() });
+        }
+        let d0 = db.shortest_paths(0);
+        for (&u, _) in &adj {
+            let du = db.shortest_paths(u);
+            if let (Some(&a), Some(&b)) = (d0.get(&u), du.get(&0)) {
+                prop_assert_eq!(a, b, "symmetric graph, asymmetric distance");
+            }
+            for (&v, &dv) in &du {
+                if let Some(&direct) = d0.get(&v) {
+                    if let Some(&to_u) = d0.get(&u) {
+                        prop_assert!(direct <= to_u + dv, "triangle violated: d(0,{v})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attestation chains: any prefix+path signs and verifies; flipping
+    /// any byte of any tag breaks verification.
+    #[test]
+    fn attestation_chains_sign_verify_and_tamper_detect(
+        prefix in arb_prefix(),
+        path in proptest::collection::vec(1u32..100_000, 1..6),
+        flip_byte in any::<u8>(),
+    ) {
+        let mut reg = KeyRegistry::new(b"prop-anchor");
+        let subject = prefix.to_string().into_bytes();
+        let mut chain = dbgp_crypto::AttestationChain::new();
+        for w in path.windows(2) {
+            chain.sign(&mut reg, w[0], w[1], &subject);
+        }
+        if path.len() >= 2 {
+            chain.sign(&mut reg, *path.last().unwrap(), 999_999, &subject);
+        } else {
+            chain.sign(&mut reg, path[0], 999_999, &subject);
+        }
+        prop_assert_eq!(chain.verify(&mut reg, &subject), Ok(()));
+        // Tamper with one tag byte.
+        let hop = (flip_byte as usize) % chain.hops.len();
+        let byte = (flip_byte as usize / 7) % 32;
+        chain.hops[hop].tag[byte] ^= 0x01;
+        prop_assert!(chain.verify(&mut reg, &subject).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! The discrete-event core: a time-ordered queue with deterministic
+//! FIFO tie-breaking.
+//!
+//! Determinism is the whole point — the same topology and inputs must
+//! produce byte-identical traces on every run, which is what lets the
+//! experiment harness assert exact results. Ties in time are broken by
+//! insertion sequence number.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated milliseconds.
+pub type SimTime = u64;
+
+/// A scheduled occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion order, the tie-breaker.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue.
+#[derive(Debug)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: SimTime,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: 0, seq: 0, popped: 0 }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimTime, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, event);
+    }
+
+    /// Schedule at an absolute time (clamped to never run backwards).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Pop the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(scheduled) = self.heap.pop()?;
+        self.now = scheduled.at;
+        self.popped += 1;
+        Some((scheduled.at, scheduled.event))
+    }
+
+    /// Events waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, "first");
+        q.schedule(5, "second");
+        q.schedule(5, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn clock_advances_with_pops_and_relative_scheduling_compounds() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1u32);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 10);
+        assert_eq!(q.now(), 10);
+        q.schedule(5, 2u32);
+        assert_eq!(q.pop(), Some((15, 2u32)));
+    }
+
+    #[test]
+    fn schedule_at_never_runs_backwards() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1u32);
+        q.pop();
+        q.schedule_at(3, 2u32); // in the past: clamped to now
+        assert_eq!(q.pop(), Some((10, 2u32)));
+    }
+
+    #[test]
+    fn counts_processed() {
+        let mut q = EventQueue::new();
+        for i in 0..5u32 {
+            q.schedule(i as u64, i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.processed(), 5);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! The network simulator: D-BGP speakers on a topology of delayed
+//! links, an out-of-band service bus, and a data plane with
+//! multi-network-protocol encapsulation — the workspace's substitute for
+//! the paper's MiniNeXT testbed (DESIGN.md §2).
+//!
+//! Control-plane messages are real wire bytes: every IA is encoded with
+//! the TLV codec at the sender and decoded at the receiver, so the
+//! simulator exercises exactly the serialization path the §5 stress test
+//! measures.
+
+use crate::engine::{EventQueue, SimTime};
+use dbgp_core::{DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId};
+use dbgp_protocols::{MiroPortal, MiroRequest};
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix, ProtocolId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Index of a node (one AS) in the simulation.
+pub type NodeId = usize;
+
+/// What travels on the simulated wires and bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    /// Control-plane bytes arriving on a link.
+    Deliver { to: NodeId, from: NodeId, bytes: Vec<u8> },
+    /// MRAI window expired: flush pending advertisements to a neighbor.
+    Flush { node: NodeId, neighbor: NeighborId },
+    /// Out-of-band request to a service address.
+    OobRequest { to_addr: Ipv4Addr, from: NodeId, payload: Vec<u8> },
+    /// Out-of-band response back to a node.
+    OobResponse { to: NodeId, from_addr: Ipv4Addr, payload: Vec<u8> },
+}
+
+/// A service reachable over the out-of-band bus (the paper's portals and
+/// lookup services, §3.4, §5).
+pub enum Service {
+    /// A Wiser cost-exchange portal: forwards [`dbgp_protocols::CostReport`]
+    /// payloads into the owning node's Wiser module.
+    WiserCostExchange,
+    /// A generic module inbox: forwards raw payloads into the owning
+    /// node's decision module for the given protocol via
+    /// `DecisionModule::deliver_oob` (used e.g. for HLP's intra-island
+    /// LSA flooding).
+    ModuleInbox(ProtocolId),
+    /// A MIRO service portal: negotiates alternate paths for payment.
+    Miro(MiroPortal),
+    /// A generic key-value lookup service (Beagle's out-of-band IA store).
+    Lookup(HashMap<Vec<u8>, Vec<u8>>),
+}
+
+struct Node {
+    speaker: DbgpSpeaker,
+    /// Neighbor ID -> peer node.
+    neighbor_nodes: BTreeMap<NeighborId, NodeId>,
+    /// Peer node -> our neighbor ID for it.
+    ids_by_node: HashMap<NodeId, NeighborId>,
+    /// Forwarding table maintained from `BestChanged` outputs.
+    fib: BTreeMap<Ipv4Prefix, Option<NodeId>>,
+    /// This node's own address (used as IA next-hop and for tunnels).
+    addr: Ipv4Addr,
+    /// Out-of-band responses received, for inspection by drivers.
+    oob_inbox: Vec<(Ipv4Addr, Vec<u8>)>,
+    next_neighbor_id: u32,
+    /// Coalesced outbound state per neighbor: prefix -> latest IA
+    /// (`None` = withdraw), flushed when the MRAI window closes.
+    pending_out: HashMap<NeighborId, BTreeMap<Ipv4Prefix, Option<dbgp_wire::Ia>>>,
+    /// Neighbors with a Flush already scheduled.
+    flush_armed: std::collections::HashSet<NeighborId>,
+}
+
+/// Counters the experiments read out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Control-plane messages delivered.
+    pub messages: u64,
+    /// Total control-plane bytes delivered.
+    pub bytes: u64,
+    /// Out-of-band requests served.
+    pub oob_requests: u64,
+    /// Simulated time of the last processed event (convergence time).
+    pub last_event_at: SimTime,
+}
+
+/// The simulator.
+pub struct Sim {
+    nodes: Vec<Node>,
+    /// (a, b) -> one-way delay.
+    link_delay: HashMap<(NodeId, NodeId), SimTime>,
+    services: HashMap<Ipv4Addr, (NodeId, Service)>,
+    queue: EventQueue<Event>,
+    stats: SimStats,
+    /// Default one-way delay for the out-of-band bus.
+    oob_delay: SimTime,
+    /// Minimum route advertisement interval: outbound updates to a
+    /// neighbor are coalesced per prefix over this window, BGP's
+    /// classic damper for transient churn (and the reason real-world
+    /// policy oscillations burn bandwidth instead of CPU). Latest state
+    /// wins within a window.
+    mrai: SimTime,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// An empty simulation.
+    pub fn new() -> Self {
+        Sim {
+            nodes: Vec::new(),
+            link_delay: HashMap::new(),
+            services: HashMap::new(),
+            queue: EventQueue::new(),
+            stats: SimStats::default(),
+            oob_delay: 5,
+            mrai: 30,
+        }
+    }
+
+    /// Change the minimum route advertisement interval (0 disables
+    /// coalescing entirely).
+    pub fn set_mrai(&mut self, mrai: SimTime) {
+        self.mrai = mrai;
+    }
+
+    /// Add an AS. Its node address is derived from the node index.
+    pub fn add_node(&mut self, cfg: DbgpConfig) -> NodeId {
+        let id = self.nodes.len();
+        let addr = Ipv4Addr::new(10, (id >> 8) as u8, (id & 0xff) as u8, 1);
+        self.nodes.push(Node {
+            speaker: DbgpSpeaker::new(cfg),
+            neighbor_nodes: BTreeMap::new(),
+            ids_by_node: HashMap::new(),
+            fib: BTreeMap::new(),
+            addr,
+            oob_inbox: Vec::new(),
+            next_neighbor_id: 0,
+            pending_out: HashMap::new(),
+            flush_armed: std::collections::HashSet::new(),
+        });
+        id
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node's own address.
+    pub fn node_addr(&self, node: NodeId) -> Ipv4Addr {
+        self.nodes[node].addr
+    }
+
+    /// Access a node's speaker.
+    pub fn speaker(&self, node: NodeId) -> &DbgpSpeaker {
+        &self.nodes[node].speaker
+    }
+
+    /// Mutable access to a node's speaker (to register decision modules).
+    pub fn speaker_mut(&mut self, node: NodeId) -> &mut DbgpSpeaker {
+        &mut self.nodes[node].speaker
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Connect two nodes with symmetric one-way `delay`. `same_island`
+    /// marks both ends as intra-island peers.
+    pub fn link(&mut self, a: NodeId, b: NodeId, delay: SimTime, same_island: bool) {
+        self.link_with(a, b, delay, same_island, true)
+    }
+
+    /// Connect with full control over D-BGP capability (`speaks_dbgp =
+    /// false` models a legacy BGP-only adjacency).
+    pub fn link_with(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        delay: SimTime,
+        same_island: bool,
+        speaks_dbgp: bool,
+    ) {
+        self.link_delay.insert((a, b), delay);
+        self.link_delay.insert((b, a), delay);
+        for (me, peer) in [(a, b), (b, a)] {
+            let peer_as = self.nodes[peer].speaker.asn();
+            let id = NeighborId(self.nodes[me].next_neighbor_id);
+            self.nodes[me].next_neighbor_id += 1;
+            self.nodes[me].neighbor_nodes.insert(id, peer);
+            self.nodes[me].ids_by_node.insert(peer, id);
+            let mut neighbor = if speaks_dbgp {
+                DbgpNeighbor::dbgp(peer_as)
+            } else {
+                DbgpNeighbor::legacy(peer_as)
+            };
+            neighbor.same_island = same_island;
+            let outputs = self.nodes[me].speaker.add_neighbor(id, neighbor);
+            self.dispatch(me, outputs);
+        }
+    }
+
+    /// Register an out-of-band service at `addr`, owned by `node`.
+    pub fn register_service(&mut self, node: NodeId, addr: Ipv4Addr, service: Service) {
+        self.services.insert(addr, (node, service));
+    }
+
+    /// Originate a prefix at a node.
+    pub fn originate(&mut self, node: NodeId, prefix: Ipv4Prefix) {
+        let addr = self.nodes[node].addr;
+        let outputs = self.nodes[node].speaker.originate(prefix, addr);
+        self.apply_local(node, &outputs);
+        self.dispatch(node, outputs);
+    }
+
+    /// Originate a hand-built IA at a node (replacement protocols use
+    /// this to control descriptors).
+    pub fn originate_ia(&mut self, node: NodeId, ia: dbgp_wire::Ia) {
+        let outputs = self.nodes[node].speaker.originate_ia(ia);
+        self.apply_local(node, &outputs);
+        self.dispatch(node, outputs);
+    }
+
+    /// Withdraw a locally originated prefix.
+    pub fn withdraw(&mut self, node: NodeId, prefix: Ipv4Prefix) {
+        let outputs = self.nodes[node].speaker.withdraw_origin(prefix);
+        self.apply_local(node, &outputs);
+        self.dispatch(node, outputs);
+    }
+
+    /// Fail the link between two nodes: both speakers see the neighbor
+    /// go down, flush its routes, and re-converge (the link-failure
+    /// events of §3.5, "about 172 per day" in the wild).
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        self.link_delay.remove(&(a, b));
+        self.link_delay.remove(&(b, a));
+        for (me, peer) in [(a, b), (b, a)] {
+            let Some(&id) = self.nodes[me].ids_by_node.get(&peer) else { continue };
+            self.nodes[me].neighbor_nodes.remove(&id);
+            self.nodes[me].ids_by_node.remove(&peer);
+            let outputs = self.nodes[me].speaker.neighbor_down(id);
+            self.apply_local(me, &outputs);
+            self.dispatch(me, outputs);
+        }
+    }
+
+    /// Send an out-of-band payload from a node to a service address.
+    pub fn oob_send(&mut self, from: NodeId, to_addr: Ipv4Addr, payload: Vec<u8>) {
+        self.queue.schedule(self.oob_delay, Event::OobRequest { to_addr, from, payload });
+    }
+
+    /// Out-of-band responses a node has received so far.
+    pub fn oob_inbox(&self, node: NodeId) -> &[(Ipv4Addr, Vec<u8>)] {
+        &self.nodes[node].oob_inbox
+    }
+
+    /// The node's forwarding table (prefix -> next-hop node; `None` =
+    /// delivered locally).
+    pub fn fib(&self, node: NodeId) -> &BTreeMap<Ipv4Prefix, Option<NodeId>> {
+        &self.nodes[node].fib
+    }
+
+    /// Run until no events remain or `max_time` is reached. Returns the
+    /// statistics snapshot.
+    pub fn run(&mut self, max_time: SimTime) -> SimStats {
+        while !self.queue.is_empty() {
+            if self.queue.now() > max_time {
+                break;
+            }
+            let (at, event) = self.queue.pop().unwrap();
+            if at > max_time {
+                break;
+            }
+            self.stats.last_event_at = at;
+            match event {
+                Event::Deliver { to, from, bytes } => {
+                    self.stats.messages += 1;
+                    self.stats.bytes += bytes.len() as u64;
+                    let mut buf = bytes::Bytes::from(bytes);
+                    let Ok(update) = DbgpUpdate::decode(&mut buf) else { continue };
+                    let Some(&from_id) = self.nodes[to].ids_by_node.get(&from) else { continue };
+                    let mut outputs = Vec::new();
+                    for prefix in update.withdrawn {
+                        outputs.extend(self.nodes[to].speaker.receive_withdraw(from_id, prefix));
+                    }
+                    for ia in update.ias {
+                        outputs.extend(self.nodes[to].speaker.receive_ia(from_id, ia));
+                    }
+                    self.apply_local(to, &outputs);
+                    self.dispatch(to, outputs);
+                }
+                Event::Flush { node, neighbor } => {
+                    self.flush(node, neighbor);
+                }
+                Event::OobRequest { to_addr, from, payload } => {
+                    self.stats.oob_requests += 1;
+                    self.serve_oob(to_addr, from, payload);
+                }
+                Event::OobResponse { to, from_addr, payload } => {
+                    self.nodes[to].oob_inbox.push((from_addr, payload));
+                }
+            }
+        }
+        self.stats
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    /// Track FIB updates from `BestChanged` outputs.
+    fn apply_local(&mut self, node: NodeId, outputs: &[DbgpOutput]) {
+        for output in outputs {
+            if let DbgpOutput::BestChanged(prefix, chosen) = output {
+                match chosen {
+                    Some(chosen) => {
+                        let next = chosen
+                            .neighbor
+                            .and_then(|n| self.nodes[node].neighbor_nodes.get(&n).copied());
+                        self.nodes[node].fib.insert(*prefix, next);
+                    }
+                    None => {
+                        self.nodes[node].fib.remove(prefix);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Turn speaker outputs into scheduled deliveries, coalescing per
+    /// (neighbor, prefix) over the MRAI window.
+    fn dispatch(&mut self, node: NodeId, outputs: Vec<DbgpOutput>) {
+        for output in outputs {
+            let (neighbor, prefix, ia) = match output {
+                DbgpOutput::SendIa(neighbor, ia) => (neighbor, ia.prefix, Some(ia)),
+                DbgpOutput::SendWithdraw(neighbor, prefix) => (neighbor, prefix, None),
+                DbgpOutput::BestChanged(..) | DbgpOutput::Rejected(..) => continue,
+            };
+            if !self.nodes[node].neighbor_nodes.contains_key(&neighbor) {
+                continue;
+            }
+            if self.mrai == 0 {
+                self.send_now(node, neighbor, prefix, ia);
+                continue;
+            }
+            self.nodes[node]
+                .pending_out
+                .entry(neighbor)
+                .or_default()
+                .insert(prefix, ia);
+            if self.nodes[node].flush_armed.insert(neighbor) {
+                self.queue.schedule(self.mrai, Event::Flush { node, neighbor });
+            }
+        }
+    }
+
+    fn send_now(&mut self, node: NodeId, neighbor: NeighborId, prefix: Ipv4Prefix, ia: Option<dbgp_wire::Ia>) {
+        let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
+        let delay = self.link_delay.get(&(node, to)).copied().unwrap_or(1);
+        let update = match ia {
+            Some(ia) => DbgpUpdate::announce(ia),
+            None => DbgpUpdate::withdraw(prefix),
+        };
+        let bytes = update.encode().to_vec();
+        self.queue.schedule(delay, Event::Deliver { to, from: node, bytes });
+    }
+
+    fn flush(&mut self, node: NodeId, neighbor: NeighborId) {
+        self.nodes[node].flush_armed.remove(&neighbor);
+        let Some(pending) = self.nodes[node].pending_out.remove(&neighbor) else { return };
+        if pending.is_empty() {
+            return;
+        }
+        let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
+        let delay = self.link_delay.get(&(node, to)).copied().unwrap_or(1);
+        let mut update = DbgpUpdate::default();
+        for (prefix, ia) in pending {
+            match ia {
+                Some(ia) => update.ias.push(ia),
+                None => update.withdrawn.push(prefix),
+            }
+        }
+        let bytes = update.encode().to_vec();
+        self.queue.schedule(delay, Event::Deliver { to, from: node, bytes });
+    }
+
+    fn serve_oob(&mut self, to_addr: Ipv4Addr, from: NodeId, payload: Vec<u8>) {
+        let Some((owner, service)) = self.services.get_mut(&to_addr) else { return };
+        let owner = *owner;
+        match service {
+            Service::WiserCostExchange => {
+                let from_as = self.nodes[from].speaker.asn();
+                if let Some(module) =
+                    self.nodes[owner].speaker.module_mut(ProtocolId::WISER)
+                {
+                    module.deliver_oob(from_as, &payload);
+                }
+            }
+            Service::ModuleInbox(protocol) => {
+                let protocol = *protocol;
+                let from_as = self.nodes[from].speaker.asn();
+                if let Some(module) = self.nodes[owner].speaker.module_mut(protocol) {
+                    module.deliver_oob(from_as, &payload);
+                }
+            }
+            Service::Miro(portal) => {
+                if let Some(request) = MiroRequest::from_bytes(&payload) {
+                    if let Some(offer) = portal.negotiate(request) {
+                        let response = offer.to_bytes();
+                        self.queue.schedule(
+                            self.oob_delay,
+                            Event::OobResponse { to: from, from_addr: to_addr, payload: response },
+                        );
+                    }
+                }
+            }
+            Service::Lookup(store) => {
+                // Payload: 1-byte op (0 = put, 1 = get), varint key len,
+                // key, value.
+                if payload.is_empty() {
+                    return;
+                }
+                let op = payload[0];
+                let rest = &payload[1..];
+                if op == 0 {
+                    if rest.len() < 2 {
+                        return;
+                    }
+                    let klen = rest[0] as usize;
+                    if rest.len() < 1 + klen {
+                        return;
+                    }
+                    let key = rest[1..1 + klen].to_vec();
+                    let value = rest[1 + klen..].to_vec();
+                    store.insert(key, value);
+                } else if op == 1 {
+                    let key = rest.to_vec();
+                    if let Some(value) = store.get(&key).cloned() {
+                        self.queue.schedule(
+                            self.oob_delay,
+                            Event::OobResponse { to: from, from_addr: to_addr, payload: value },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolve which node (if any) owns `addr`: a registered service, a
+    /// node address, or an originated prefix.
+    pub(crate) fn owner_of(&self, addr: Ipv4Addr) -> Option<NodeId> {
+        if let Some((node, _)) = self.services.get(&addr) {
+            return Some(*node);
+        }
+        if let Some(node) = self.nodes.iter().position(|n| n.addr == addr) {
+            return Some(node);
+        }
+        // Longest-prefix owner across all originated prefixes.
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(id, n)| {
+                n.fib
+                    .iter()
+                    .filter(move |(p, next)| next.is_none() && p.contains(addr))
+                    .map(move |(p, _)| (p.len(), id))
+            })
+            .max_by_key(|(len, _)| *len)
+            .map(|(_, id)| id)
+    }
+
+    /// Data-plane next hop at `node` for `addr` (longest match).
+    pub(crate) fn next_hop(&self, node: NodeId, addr: Ipv4Addr) -> Option<Option<NodeId>> {
+        self.nodes[node]
+            .fib
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, next)| *next)
+    }
+}

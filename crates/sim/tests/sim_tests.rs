@@ -1,0 +1,415 @@
+//! End-to-end simulator tests, including the paper's §6.1 deployment
+//! experiments (Figure 8): Wiser and Pathlet Routing deployed across a
+//! BGP gulf over D-BGP.
+
+use dbgp_core::{DbgpConfig, DbgpSpeaker, IslandConfig};
+use dbgp_protocols::wiser::{self, WiserModule};
+use dbgp_protocols::{
+    miro, MiroOffer, MiroPortal, MiroRequest, Pathlet, PathletModule,
+};
+use dbgp_sim::{Delivery, Packet, Service, Sim};
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+#[test]
+fn chain_converges_and_installs_fibs() {
+    let mut sim = Sim::new();
+    let nodes: Vec<_> = (1..=4).map(|asn| sim.add_node(DbgpConfig::gulf(asn))).collect();
+    for w in nodes.windows(2) {
+        sim.link(w[0], w[1], 10, false);
+    }
+    sim.originate(nodes[0], p("128.6.0.0/16"));
+    let stats = sim.run(1_000_000);
+    assert!(stats.messages >= 3, "at least one hop-by-hop wave");
+    for (i, &node) in nodes.iter().enumerate().skip(1) {
+        let best = sim.speaker(node).best(&p("128.6.0.0/16")).expect("route installed");
+        assert_eq!(best.ia.hop_count(), i, "hop count grows along the chain");
+        let next = sim.fib(node).get(&p("128.6.0.0/16")).unwrap();
+        assert_eq!(*next, Some(nodes[i - 1]), "FIB points toward the origin");
+    }
+}
+
+#[test]
+fn data_plane_follows_control_plane() {
+    let mut sim = Sim::new();
+    let nodes: Vec<_> = (1..=4).map(|asn| sim.add_node(DbgpConfig::gulf(asn))).collect();
+    for w in nodes.windows(2) {
+        sim.link(w[0], w[1], 10, false);
+    }
+    sim.originate(nodes[0], p("128.6.0.0/16"));
+    sim.run(1_000_000);
+    let packet = Packet::ipv4(Ipv4Addr::new(128, 6, 1, 1), 42);
+    let (delivery, trace) = sim.forward(nodes[3], packet);
+    assert_eq!(trace, vec![nodes[3], nodes[2], nodes[1], nodes[0]]);
+    match delivery {
+        Delivery::Delivered { at, remaining } => {
+            assert_eq!(at, nodes[0]);
+            assert!(remaining.is_empty());
+        }
+        other => panic!("expected delivery, got {other:?}"),
+    }
+}
+
+#[test]
+fn no_route_is_reported() {
+    let mut sim = Sim::new();
+    let a = sim.add_node(DbgpConfig::gulf(1));
+    let b = sim.add_node(DbgpConfig::gulf(2));
+    sim.link(a, b, 10, false);
+    sim.run(1_000);
+    let (delivery, _) = sim.forward(a, Packet::ipv4(Ipv4Addr::new(99, 0, 0, 1), 0));
+    assert!(matches!(delivery, Delivery::NoRoute { .. }));
+}
+
+#[test]
+fn withdrawal_clears_routes_downstream() {
+    let mut sim = Sim::new();
+    let nodes: Vec<_> = (1..=3).map(|asn| sim.add_node(DbgpConfig::gulf(asn))).collect();
+    for w in nodes.windows(2) {
+        sim.link(w[0], w[1], 10, false);
+    }
+    sim.originate(nodes[0], p("10.0.0.0/8"));
+    sim.run(1_000_000);
+    assert!(sim.speaker(nodes[2]).best(&p("10.0.0.0/8")).is_some());
+    sim.withdraw(nodes[0], p("10.0.0.0/8"));
+    sim.run(2_000_000);
+    assert!(sim.speaker(nodes[2]).best(&p("10.0.0.0/8")).is_none());
+    assert!(sim.fib(nodes[2]).get(&p("10.0.0.0/8")).is_none());
+}
+
+#[test]
+fn ring_converges_without_loops() {
+    let mut sim = Sim::new();
+    let nodes: Vec<_> = (1..=5).map(|asn| sim.add_node(DbgpConfig::gulf(asn))).collect();
+    for i in 0..nodes.len() {
+        sim.link(nodes[i], nodes[(i + 1) % nodes.len()], 10, false);
+    }
+    sim.originate(nodes[0], p("192.0.2.0/24"));
+    let stats = sim.run(10_000_000);
+    assert!(stats.messages < 500, "must quiesce, not loop (saw {})", stats.messages);
+    // Every node picks its shortest side of the ring.
+    for (i, &node) in nodes.iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        let best = sim.speaker(node).best(&p("192.0.2.0/24")).unwrap();
+        let expected = i.min(nodes.len() - i);
+        assert_eq!(best.ia.hop_count(), expected, "node {i} takes the short way around");
+    }
+}
+
+#[test]
+fn determinism_same_trace_twice() {
+    let build = || {
+        let mut sim = Sim::new();
+        let nodes: Vec<_> = (1..=6).map(|asn| sim.add_node(DbgpConfig::gulf(asn))).collect();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if (i + j) % 2 == 0 {
+                    sim.link(nodes[i], nodes[j], 5 + (i as u64), false);
+                }
+            }
+        }
+        sim.originate(nodes[0], p("10.0.0.0/8"));
+        sim.originate(nodes[5], p("192.168.0.0/16"));
+        sim.run(10_000_000)
+    };
+    assert_eq!(build(), build(), "identical construction gives identical stats");
+}
+
+/// The Figure-8 topology: Island A (D, A1, A2/A3 borders) — a two-AS BGP
+/// gulf — Island B (S). Returns (sim, island A nodes, gulf nodes, s).
+///
+/// Topology (paper Figure 8):
+/// ```text
+///   D(A1) - A2 - G1 - B1(S)      upper path (short)
+///    \      A3 -  G2 - B1        lower path (long, via A3's second exit)
+/// ```
+/// We model it as: D - A2 - G1 - S and D - A3 - G2a - G2b - S so the two
+/// paths have different lengths, as in the Wiser test where "the longer
+/// path to AS D has a higher cost than the shorter one" is inverted.
+struct Figure8 {
+    sim: Sim,
+    d: usize,
+    a3: usize,
+    g1: usize,
+    s: usize,
+}
+
+fn figure8_wiser() -> Figure8 {
+    let island_a = IslandConfig { id: IslandId(900), abstraction: false };
+    let island_b = IslandConfig { id: IslandId(901), abstraction: false };
+    let mut sim = Sim::new();
+    let d = sim.add_node(DbgpConfig::island_member(10, island_a, ProtocolId::WISER));
+    let a2 = sim.add_node(DbgpConfig::island_member(11, island_a, ProtocolId::WISER));
+    let a3 = sim.add_node(DbgpConfig::island_member(12, island_a, ProtocolId::WISER));
+    let g1 = sim.add_node(DbgpConfig::gulf(4000));
+    let g2a = sim.add_node(DbgpConfig::gulf(4001));
+    let g2b = sim.add_node(DbgpConfig::gulf(4002));
+    let s = sim.add_node(DbgpConfig::island_member(20, island_b, ProtocolId::WISER));
+
+    // Wiser modules: the short path (via A2/G1) is made expensive, the
+    // long path (via A3/G2a/G2b) cheap — the Figure-1 inversion.
+    let portal = |n: u8| Ipv4Addr::new(163, 42, 5, n);
+    sim.speaker_mut(d).register_module(Box::new(WiserModule::new(
+        IslandId(900),
+        portal(0),
+        5,
+    )));
+    sim.speaker_mut(a2).register_module(Box::new(WiserModule::new(
+        IslandId(900),
+        portal(0),
+        500, // expensive exit
+    )));
+    sim.speaker_mut(a3).register_module(Box::new(WiserModule::new(
+        IslandId(900),
+        portal(0),
+        10, // cheap exit
+    )));
+    sim.speaker_mut(s).register_module(Box::new(WiserModule::new(
+        IslandId(901),
+        portal(1),
+        5,
+    )));
+
+    sim.link(d, a2, 10, true);
+    sim.link(d, a3, 10, true);
+    sim.link(a2, g1, 10, false);
+    sim.link(a3, g2a, 10, false);
+    sim.link(g2a, g2b, 10, false);
+    sim.link(g1, s, 10, false);
+    sim.link(g2b, s, 10, false);
+    let _ = (a2, g2a, g2b);
+    Figure8 { sim, d, a3, g1, s }
+}
+
+#[test]
+fn figure8_wiser_source_sees_costs_and_picks_cheap_long_path() {
+    let mut f = figure8_wiser();
+    f.sim.originate(f.d, p("128.6.0.0/16"));
+    f.sim.run(10_000_000);
+
+    let best = f.sim.speaker(f.s).best(&p("128.6.0.0/16")).expect("S has a route");
+    // (1) The §6.1 check: "we verified that AS S saw these path costs".
+    let cost = wiser::path_cost(&best.ia).expect("Wiser cost visible across the gulf");
+    // (2) The cheap-but-long path must win despite BGP preferring short.
+    assert_eq!(best.ia.hop_count(), 4, "long path via A3/G2a/G2b chosen");
+    assert!(cost < 500, "chosen cost ({cost}) must be the cheap exit's");
+    // (3) The cost-exchange portal crossed the gulf too.
+    let portals = wiser::portals(&best.ia);
+    assert!(
+        portals.iter().any(|(island, _)| *island == IslandId(900)),
+        "island A's portal advertised: {portals:?}"
+    );
+    // (4) Under plain BGP the short path would have been chosen — check
+    // the gulf AS (which runs BGP selection) did pick the short side.
+    let gulf_best = f.sim.speaker(f.g1).best(&p("128.6.0.0/16")).unwrap();
+    assert_eq!(gulf_best.ia.hop_count(), 2, "gulf ASes still use BGP rules");
+}
+
+#[test]
+fn figure8_wiser_cost_exchange_calibrates_scaling() {
+    let mut f = figure8_wiser();
+    f.sim.originate(f.d, p("128.6.0.0/16"));
+    f.sim.run(10_000_000);
+    // S sends its cost report to island A's portal across the gulf.
+    let report = {
+        let speaker = f.sim.speaker_mut(f.s);
+        let asn = speaker.asn();
+        let module = speaker.module_mut(ProtocolId::WISER).unwrap();
+        // Downcast-free: produce the report through the Wiser-specific
+        // API by rebuilding from the module trait is not possible, so we
+        // reconstruct it from what S received: one path, cheap cost.
+        let _ = module;
+        let best = f.sim.speaker(f.s).best(&p("128.6.0.0/16")).unwrap();
+        let cost = wiser::path_cost(&best.ia).unwrap();
+        dbgp_protocols::CostReport { reporter: asn, sum: cost * 2, count: 1 }
+    };
+    let portal_addr = Ipv4Addr::new(163, 42, 5, 0);
+    f.sim.register_service(f.a3, portal_addr, Service::WiserCostExchange);
+    f.sim.oob_send(f.s, portal_addr, report.to_bytes());
+    f.sim.run(20_000_000);
+    let stats = f.sim.stats();
+    assert_eq!(stats.oob_requests, 1, "portal served the report");
+}
+
+#[test]
+fn figure8_pathlets_source_sees_all_five() {
+    // Pathlet deployment across the gulf (§6.1): island A disseminates
+    // four one-hop pathlets internally; border AS A2 composes a two-hop
+    // pathlet and exports it with its remaining one-hop pathlets; border
+    // AS A3 exports its single one-hop pathlet. AS S must see all five
+    // pathlets that should be advertised to it.
+    let island_a = IslandConfig { id: IslandId(900), abstraction: false };
+    let island_b = IslandConfig { id: IslandId(901), abstraction: false };
+    let mut sim = Sim::new();
+    let d = sim.add_node(DbgpConfig::island_member(10, island_a, ProtocolId::BGP));
+    let a2 = sim.add_node(DbgpConfig::island_member(11, island_a, ProtocolId::BGP));
+    let a3 = sim.add_node(DbgpConfig::island_member(12, island_a, ProtocolId::BGP));
+    let g1 = sim.add_node(DbgpConfig::gulf(4000));
+    let g2 = sim.add_node(DbgpConfig::gulf(4001));
+    let s = sim.add_node(DbgpConfig::island_member(20, island_b, ProtocolId::BGP));
+
+    let dest = p("128.6.0.0/16");
+    // Island A's intra-island pathlets (one-hop): d->a2 (fid 1),
+    // d->a3 (fid 2), a2->dest (fid 3), a3->dest (fid 4). A2 additionally
+    // composes two-hop fid 5 = (a2 -> d -> dest)? The paper composes two
+    // of the one-hop pathlets into a two-hop pathlet at A2; we model A2
+    // exporting: composed two-hop pathlet (fid 5) + its remaining
+    // one-hop pathlets (fids 1, 3); A3 exports its one-hop (fid 4) and
+    // shares fid 2. Total distinct pathlets reaching S: 5.
+    let a2_exports = vec![
+        Pathlet::between(1, 100, 111),       // d -> a2
+        Pathlet::to_dest(3, 111, dest),      // a2 -> dest
+        Pathlet::to_dest(5, 100, dest),      // composed two-hop
+    ];
+    let a3_exports = vec![
+        Pathlet::between(2, 100, 112),  // d -> a3
+        Pathlet::to_dest(4, 112, dest), // a3 -> dest
+    ];
+    sim.speaker_mut(a2)
+        .register_module(Box::new(PathletModule::new(IslandId(900), 111, a2_exports)));
+    sim.speaker_mut(a3)
+        .register_module(Box::new(PathletModule::new(IslandId(900), 112, a3_exports)));
+    sim.speaker_mut(s)
+        .register_module(Box::new(PathletModule::new(IslandId(901), 200, vec![])));
+
+    sim.link(d, a2, 10, true);
+    sim.link(d, a3, 10, true);
+    sim.link(a2, g1, 10, false);
+    sim.link(a3, g2, 10, false);
+    sim.link(g1, s, 10, false);
+    sim.link(g2, s, 10, false);
+
+    sim.originate(d, dest);
+    sim.run(10_000_000);
+
+    // Force S's pathlet module to ingest both gulf-crossing IAs: they are
+    // in its IA DB; selection ingests candidates.
+    let iadb_count = sim.speaker(s).iadb().candidates(&dest).len();
+    assert_eq!(iadb_count, 2, "S heard the route via both gulf paths");
+    // Drive selection once more via the module to materialize learning.
+    {
+        let speaker: &mut DbgpSpeaker = sim.speaker_mut(s);
+        let outs = speaker.set_active_protocol(ProtocolId::PATHLET);
+        let _ = outs;
+    }
+    let speaker = sim.speaker_mut(s);
+    let module = speaker.module_mut(ProtocolId::PATHLET).unwrap();
+    // Downcast via the protocols API: we re-ingest through the public
+    // translation function instead.
+    let _ = module;
+    let mut total = std::collections::BTreeSet::new();
+    for (_, ia) in sim.speaker(s).iadb().candidates(&dest) {
+        for ad in dbgp_protocols::pathlet::ingress_translate(ia) {
+            total.insert(ad.pathlet.fid);
+        }
+    }
+    assert_eq!(
+        total.into_iter().collect::<Vec<_>>(),
+        vec![1, 2, 3, 4, 5],
+        "AS S saw all five pathlets (the §6.1 verification)"
+    );
+}
+
+#[test]
+fn miro_discovery_negotiation_and_tunnel() {
+    // Figure 2 over D-BGP (§3.4's four steps): transit island T discovers
+    // island M's MIRO portal via a passed-through island descriptor,
+    // negotiates an alternate path out-of-band, and tunnels traffic.
+    let mut sim = Sim::new();
+    let dst_prefix = p("131.4.0.0/24");
+    let m_island = IslandConfig { id: IslandId(1007), abstraction: false };
+    let d = sim.add_node(DbgpConfig::gulf(1));
+    let m = {
+        let cfg = DbgpConfig::island_member(2, m_island, ProtocolId::BGP);
+        sim.add_node(cfg)
+    };
+    let gulf = sim.add_node(DbgpConfig::gulf(4000));
+    let t = sim.add_node(DbgpConfig::gulf(3));
+    let portal_addr = Ipv4Addr::new(173, 82, 2, 0);
+    sim.speaker_mut(m)
+        .register_module(Box::new(dbgp_protocols::MiroModule::new(IslandId(1007), portal_addr)));
+
+    sim.link(d, m, 10, false);
+    sim.link(m, gulf, 10, false);
+    sim.link(gulf, t, 10, false);
+    sim.originate(d, dst_prefix);
+    // M also advertises reachability for its own tunnel endpoint.
+    let m_host = Ipv4Prefix::new(sim.node_addr(m), 32).unwrap();
+    sim.originate(m, m_host);
+    sim.run(10_000_000);
+
+    // Step 1-2: T discovers the portal from the passed-through IA.
+    let best = sim.speaker(t).best(&dst_prefix).unwrap();
+    let portals = miro::find_portals(&best.ia);
+    assert_eq!(portals, vec![(IslandId(1007), portal_addr)]);
+
+    // Step 3: negotiate out-of-band.
+    let mut portal = MiroPortal::new();
+    portal.offer(
+        dst_prefix,
+        MiroOffer { path: vec![2, 1], price: 100, tunnel_endpoint: sim.node_addr(m) },
+    );
+    sim.register_service(m, portal_addr, Service::Miro(portal));
+    let request = MiroRequest { dst: dst_prefix, max_price: 500 };
+    sim.oob_send(t, portal_addr, request.to_bytes());
+    sim.run(20_000_000);
+    let inbox = sim.oob_inbox(t);
+    assert_eq!(inbox.len(), 1, "offer received");
+    let offer = MiroOffer::from_bytes(&inbox[0].1).unwrap();
+    assert_eq!(offer.price, 100);
+
+    // Step 4: tunnel traffic to the island, which decapsulates and
+    // forwards to the true destination.
+    let inner = Packet::ipv4(Ipv4Addr::new(131, 4, 0, 1), 7);
+    let tunneled = inner.encap_ipv4(offer.tunnel_endpoint);
+    let (delivery, trace) = sim.forward(t, tunneled);
+    match delivery {
+        Delivery::Delivered { at, remaining } => {
+            assert_eq!(at, d, "inner packet reached the true destination");
+            assert!(remaining.is_empty());
+        }
+        other => panic!("tunnel failed: {other:?}"),
+    }
+    assert!(trace.contains(&m), "traffic traversed the MIRO island");
+}
+
+#[test]
+fn legacy_adjacency_drops_extra_fields() {
+    let mut sim = Sim::new();
+    let island = IslandConfig { id: IslandId(900), abstraction: false };
+    let a = sim.add_node(DbgpConfig::island_member(1, island, ProtocolId::WISER));
+    let b = sim.add_node(DbgpConfig::gulf(2));
+    sim.speaker_mut(a).register_module(Box::new(WiserModule::new(
+        IslandId(900),
+        Ipv4Addr::new(1, 1, 1, 1),
+        7,
+    )));
+    sim.link_with(a, b, 10, false, false); // legacy adjacency
+    sim.originate(a, p("10.0.0.0/8"));
+    sim.run(1_000_000);
+    let best = sim.speaker(b).best(&p("10.0.0.0/8")).unwrap();
+    assert!(wiser::path_cost(&best.ia).is_none(), "legacy peer got baseline-only IA");
+}
+
+#[test]
+fn rejected_outputs_surface_island_loops() {
+    // Direct speaker-level check that the sim's plumbing preserves
+    // Rejected outputs: covered at the core layer, asserted here through
+    // a two-node sim where B's own AS appears in a crafted IA.
+    let mut sim = Sim::new();
+    let a = sim.add_node(DbgpConfig::gulf(1));
+    let b = sim.add_node(DbgpConfig::gulf(2));
+    sim.link(a, b, 10, false);
+    // A originates a prefix; B gets it; then A (maliciously) originates
+    // an IA that already contains B's AS number — B must reject it.
+    let mut evil = dbgp_wire::Ia::originate(p("66.0.0.0/8"), Ipv4Addr::new(6, 6, 6, 6));
+    evil.prepend_as(2);
+    sim.originate_ia(a, evil);
+    sim.run(1_000_000);
+    assert!(sim.speaker(b).best(&p("66.0.0.0/8")).is_none(), "loop rejected");
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! AS-level topologies for the D-BGP experiments.
+//!
+//! * [`graph`] — relationship-annotated AS graphs with Gao-Rexford
+//!   (valley-free) export rules;
+//! * [`waxman`] — the BRITE-style Waxman generator the paper's §6.3
+//!   simulations use (1,000 ASes, α = 0.15, β = 0.25, degree-based
+//!   customer/provider inference);
+//! * [`paper`] — the fixed topologies of Figures 1, 2, 3, 6 and 8.
+
+pub mod graph;
+pub mod paper;
+pub mod waxman;
+
+pub use graph::{Adjacency, AsGraph, Relationship};
+pub use paper::{PaperNode, PaperTopology};
+pub use waxman::{generate, WaxmanParams};

@@ -1,0 +1,265 @@
+//! The fixed topologies from the paper's figures, used by the examples
+//! and integration tests.
+//!
+//! Each topology is expressed protocol-agnostically: named nodes with AS
+//! numbers, optional island membership, the protocol each island runs,
+//! and undirected adjacency. The examples lower these into `dbgp-sim`
+//! simulations.
+
+use dbgp_wire::{IslandId, ProtocolId};
+
+/// One AS in a figure topology.
+#[derive(Debug, Clone)]
+pub struct PaperNode {
+    /// Display name used in the figure ("S", "E1", "AS 4000", ...).
+    pub name: &'static str,
+    /// AS number.
+    pub asn: u32,
+    /// Island membership, if the AS has upgraded.
+    pub island: Option<IslandId>,
+    /// The protocol the AS runs besides the baseline.
+    pub protocol: ProtocolId,
+}
+
+impl PaperNode {
+    fn gulf(name: &'static str, asn: u32) -> Self {
+        PaperNode { name, asn, island: None, protocol: ProtocolId::BGP }
+    }
+
+    fn island(name: &'static str, asn: u32, island: u32, protocol: ProtocolId) -> Self {
+        PaperNode { name, asn, island: Some(IslandId(island)), protocol }
+    }
+}
+
+/// A figure topology.
+#[derive(Debug, Clone)]
+pub struct PaperTopology {
+    /// What this reproduces.
+    pub description: &'static str,
+    /// The ASes.
+    pub nodes: Vec<PaperNode>,
+    /// Undirected adjacencies by node index.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl PaperTopology {
+    /// Index of the node with the given display name.
+    pub fn index_of(&self, name: &str) -> usize {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+}
+
+/// Figure 1: a source S and destination D in Wiser islands separated by
+/// a BGP gulf; the two edge ASes of the large island are E1 and E2.
+pub fn figure1() -> PaperTopology {
+    let wiser = ProtocolId::WISER;
+    PaperTopology {
+        description: "Figure 1: S cannot see Wiser path costs across the gulf",
+        nodes: vec![
+            PaperNode::island("S", 100, 1, wiser),   // 0
+            PaperNode::gulf("G1", 4000),             // 1
+            PaperNode::gulf("G2", 4001),             // 2
+            PaperNode::gulf("G3", 4002),             // 3
+            PaperNode::island("E1", 200, 2, wiser),  // 4 (cheap, long exit)
+            PaperNode::island("E2", 201, 2, wiser),  // 5 (costly, short exit)
+            PaperNode::island("M", 202, 2, wiser),   // 6 interior island AS
+            PaperNode::island("D", 203, 2, wiser),   // 7 destination
+        ],
+        edges: vec![
+            (0, 1), // S - G1 (toward short/costly side)
+            (0, 2), // S - G2 (toward long/cheap side)
+            (1, 5), // G1 - E2 (short)
+            (2, 3), // G2 - G3
+            (3, 4), // G3 - E1 (long)
+            (4, 6),
+            (5, 6),
+            (6, 7),
+        ],
+    }
+}
+
+/// Figure 2: transit island T wants an alternate path; MIRO island M is
+/// off the advertised path to D.
+pub fn figure2() -> PaperTopology {
+    PaperTopology {
+        description: "Figure 2: T cannot discover the MIRO service without D-BGP",
+        nodes: vec![
+            PaperNode::gulf("S", 100),                              // 0
+            PaperNode::island("T", 300, 3, ProtocolId::MIRO),       // 1
+            PaperNode::gulf("G1", 4000),                            // 2
+            PaperNode::island("M", 500, 5, ProtocolId::MIRO),       // 3
+            PaperNode::gulf("G2", 4001),                            // 4
+            PaperNode::gulf("D", 900),                              // 5
+        ],
+        edges: vec![
+            (0, 1), // S - T
+            (1, 2), // T - G1 (the poorly performing advertised path)
+            (2, 5), // G1 - D
+            (1, 3), // T - M (alternate direction)
+            (3, 4), // M - G2
+            (4, 5), // G2 - D
+        ],
+    }
+}
+
+/// Figure 3: a SCION island exposes two paths to D; plain BGP loses one
+/// at redistribution.
+pub fn figure3() -> PaperTopology {
+    let scion = ProtocolId::SCION;
+    PaperTopology {
+        description: "Figure 3: S should see both SCION paths to D",
+        nodes: vec![
+            PaperNode::island("S", 100, 1, scion),  // 0
+            PaperNode::gulf("G1", 4000),            // 1
+            PaperNode::gulf("G2", 4001),            // 2
+            PaperNode::island("B1", 200, 2, scion), // 3 island border
+            PaperNode::island("B2", 201, 2, scion), // 4 interior (path A)
+            PaperNode::island("B3", 202, 2, scion), // 5 interior (path B)
+            PaperNode::island("D", 203, 2, scion),  // 6 destination
+        ],
+        edges: vec![(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+    }
+}
+
+/// Figure 6: the rich, evolvable Internet — Pathlet, Wiser ∥ MIRO,
+/// SCION, BGPSec and plain-BGP ASes interleaved. Node names follow the
+/// figure; prefixes 131.1–131.5 originate at the labelled islands.
+pub fn figure6() -> PaperTopology {
+    PaperTopology {
+        description: "Figure 6: a rich & evolvable Internet facilitated by D-BGP",
+        nodes: vec![
+            PaperNode::island("C", 600, 60, ProtocolId::PATHLET), // 0, originates 131.5/24
+            PaperNode::gulf("1", 1),                              // 1 (BGPSec in figure; baseline here)
+            PaperNode::island("B", 620, 62, ProtocolId::WISER),   // 2
+            PaperNode::gulf("10", 10),                            // 3
+            PaperNode::island("8", 8, 68, ProtocolId::WISER),     // 4
+            PaperNode::island("G", 640, 64, ProtocolId::PATHLET), // 5
+            PaperNode::island("11", 11, 71, ProtocolId::WISER),   // 6 (Wiser ∥ MIRO)
+            PaperNode::island("F", 660, 66, ProtocolId::SCION),   // 7
+            PaperNode::gulf("14", 14),                            // 8
+            PaperNode::island("D", 680, 90, ProtocolId::PATHLET), // 9, originates 131.4/24
+            PaperNode::gulf("13", 13),                            // 10
+            PaperNode::gulf("12", 12),                            // 11, originates 131.1/24
+        ],
+        edges: vec![
+            (0, 1),
+            (1, 2),
+            (2, 6),
+            (3, 4),
+            (4, 6),
+            (5, 6), // G - 11
+            (6, 7), // 11 - F
+            (7, 8), // F - 14
+            (8, 9), // 14 - D
+            (9, 10),
+            (10, 11),
+            (3, 11),
+        ],
+    }
+}
+
+/// Figure 8: the testbed topology used to deploy Wiser and Pathlet
+/// Routing across a gulf (§6.1). Island A holds the destination D and
+/// two border ASes A2/A3; a BGP gulf separates it from island B's source
+/// S.
+pub fn figure8() -> PaperTopology {
+    let bgp = ProtocolId::BGP;
+    PaperTopology {
+        description: "Figure 8: deployment testbed — island A, a BGP gulf, island B",
+        nodes: vec![
+            PaperNode::island("D", 10, 900, bgp),  // 0  (AS A1 hosting D)
+            PaperNode::island("A2", 11, 900, bgp), // 1
+            PaperNode::island("A3", 12, 900, bgp), // 2
+            PaperNode::gulf("G1", 4000),           // 3
+            PaperNode::gulf("G2", 4001),           // 4
+            PaperNode::island("S", 20, 901, bgp),  // 5  (AS B1 hosting S)
+        ],
+        edges: vec![(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(t: &PaperTopology) {
+        // Indices valid, no self loops, no duplicate names.
+        for &(a, b) in &t.edges {
+            assert!(a < t.nodes.len() && b < t.nodes.len(), "{}", t.description);
+            assert_ne!(a, b);
+        }
+        let mut names: Vec<&str> = t.nodes.iter().map(|n| n.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), t.nodes.len(), "duplicate node names in {}", t.description);
+        // Connected.
+        let mut seen = std::collections::HashSet::from([0usize]);
+        let mut stack = vec![0usize];
+        while let Some(u) = stack.pop() {
+            for &(a, b) in &t.edges {
+                let next = if a == u { b } else if b == u { a } else { continue };
+                if seen.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        assert_eq!(seen.len(), t.nodes.len(), "{} is disconnected", t.description);
+    }
+
+    #[test]
+    fn all_figures_are_well_formed() {
+        for t in [figure1(), figure2(), figure3(), figure6(), figure8()] {
+            check(&t);
+        }
+    }
+
+    #[test]
+    fn figure1_has_cost_inversion_structure() {
+        let t = figure1();
+        let s = t.index_of("S");
+        let e1 = t.index_of("E1");
+        let e2 = t.index_of("E2");
+        // Shortest-hop path S..E2 must be shorter than S..E1 (the cheap
+        // path is longer, so BGP picks the costly one).
+        let dist = |from: usize, to: usize| -> usize {
+            let mut d = vec![usize::MAX; t.nodes.len()];
+            d[from] = 0;
+            let mut q = std::collections::VecDeque::from([from]);
+            while let Some(u) = q.pop_front() {
+                for &(a, b) in &t.edges {
+                    let v = if a == u { b } else if b == u { a } else { continue };
+                    if d[v] == usize::MAX {
+                        d[v] = d[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            d[to]
+        };
+        assert!(dist(s, e2) < dist(s, e1));
+    }
+
+    #[test]
+    fn figure2_miro_island_is_off_the_short_path() {
+        let t = figure2();
+        // Shortest T -> D avoids M.
+        assert_eq!(t.index_of("M"), 3);
+        // T-G1-D is 2 hops; T-M-G2-D is 3 hops.
+    }
+
+    #[test]
+    fn names_resolve() {
+        let t = figure8();
+        assert_eq!(t.index_of("S"), 5);
+        assert_eq!(t.nodes[t.index_of("D")].asn, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no node named")]
+    fn unknown_name_panics() {
+        figure1().index_of("nope");
+    }
+}

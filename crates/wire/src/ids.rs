@@ -1,0 +1,134 @@
+//! Identifier newtypes used throughout the workspace.
+//!
+//! D-BGP assumes a governing body (IETF/ARIN, paper §3.1) assigns each
+//! protocol a unique ID, and islands either receive IDs from the same body
+//! or derive them by hashing their border-AS numbers. We model both with
+//! plain integers behind newtypes.
+
+use std::fmt;
+
+/// Registry-assigned identifier for an inter-domain routing protocol.
+///
+/// Constants for the protocols the paper discusses are provided; anything
+/// else is available to tests and downstream users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProtocolId(pub u16);
+
+impl ProtocolId {
+    /// The baseline: BGPv4 itself.
+    pub const BGP: ProtocolId = ProtocolId(0);
+    /// Wiser (Mahajan et al., NSDI'07): path-cost critical fix.
+    pub const WISER: ProtocolId = ProtocolId(1);
+    /// Pathlet Routing (Godfrey et al., SIGCOMM'09): multi-hop replacement.
+    pub const PATHLET: ProtocolId = ProtocolId(2);
+    /// SCION-like path-based replacement protocol.
+    pub const SCION: ProtocolId = ProtocolId(3);
+    /// MIRO (Xu & Rexford, SIGCOMM'06): custom alternate-path service.
+    pub const MIRO: ProtocolId = ProtocolId(4);
+    /// BGPSec-lite: secure path attestations.
+    pub const BGPSEC: ProtocolId = ProtocolId(5);
+    /// EQ-BGP-style end-to-end QoS metrics (bottleneck bandwidth).
+    pub const EQBGP: ProtocolId = ProtocolId(6);
+    /// R-BGP-style backup paths.
+    pub const RBGP: ProtocolId = ProtocolId(7);
+    /// HLP: hybrid link-state / path-vector replacement.
+    pub const HLP: ProtocolId = ProtocolId(8);
+
+    /// Human-readable name for the well-known IDs, or `None`.
+    pub fn name(self) -> Option<&'static str> {
+        Some(match self {
+            ProtocolId::BGP => "BGP",
+            ProtocolId::WISER => "Wiser",
+            ProtocolId::PATHLET => "Pathlet",
+            ProtocolId::SCION => "SCION",
+            ProtocolId::MIRO => "MIRO",
+            ProtocolId::BGPSEC => "BGPSec",
+            ProtocolId::EQBGP => "EQ-BGP",
+            ProtocolId::RBGP => "R-BGP",
+            ProtocolId::HLP => "HLP",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(n) => f.write_str(n),
+            None => write!(f, "proto#{}", self.0),
+        }
+    }
+}
+
+/// Identifier for an island: a cluster of contiguous ASes running the same
+/// protocol (paper §2).
+///
+/// Singleton islands conventionally reuse their AS number as their island
+/// ID (paper §3.1); [`IslandId::from_as`] captures that convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IslandId(pub u32);
+
+impl IslandId {
+    /// Island ID of a singleton island: its AS number.
+    pub fn from_as(asn: u32) -> Self {
+        IslandId(asn)
+    }
+
+    /// Derive an island ID by hashing the member border-AS numbers, the
+    /// self-assignment alternative the paper sketches in §3.1.
+    ///
+    /// Deterministic FNV-1a over the sorted AS list, with the high bit set
+    /// so hashed IDs cannot collide with 31-bit AS-number IDs.
+    pub fn from_border_ases(border_ases: &[u32]) -> Self {
+        let mut sorted: Vec<u32> = border_ases.to_vec();
+        sorted.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for asn in sorted {
+            for byte in asn.to_be_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        IslandId((h as u32) | 0x8000_0000)
+    }
+}
+
+impl fmt::Display for IslandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(ProtocolId::BGP.to_string(), "BGP");
+        assert_eq!(ProtocolId::WISER.to_string(), "Wiser");
+        assert_eq!(ProtocolId(999).to_string(), "proto#999");
+    }
+
+    #[test]
+    fn hashed_island_ids_are_order_independent() {
+        let a = IslandId::from_border_ases(&[100, 200, 300]);
+        let b = IslandId::from_border_ases(&[300, 100, 200]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hashed_island_ids_never_collide_with_small_as_numbers() {
+        for seed in 0..64u32 {
+            let id = IslandId::from_border_ases(&[seed, seed + 7]);
+            assert!(id.0 & 0x8000_0000 != 0);
+        }
+    }
+
+    #[test]
+    fn distinct_border_sets_get_distinct_ids() {
+        let a = IslandId::from_border_ases(&[1, 2]);
+        let b = IslandId::from_border_ases(&[1, 3]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,219 @@
+#![warn(missing_docs)]
+
+//! Synthetic routing workloads for the §5 stress test.
+//!
+//! The paper replayed 150,000-advertisement traces per peer collected
+//! from RIPE RIS against Quagga and Beagle. RIS archives are an external
+//! data dependency, so we substitute a generator calibrated to the same
+//! public characterizations the paper's Table 2 cites (DESIGN.md §2):
+//! prefix lengths concentrated at /24 and /16–/22, AS-path lengths of
+//! 3–5 hops, and a long tail of larger paths. What the stress test
+//! actually measures — per-advertisement serialization and pipeline cost
+//! as a function of message count and IA payload size — depends only on
+//! these shape parameters, which the generator controls explicitly.
+
+use dbgp_wire::attrs::{AsPath, Origin, PathAttribute};
+use dbgp_wire::ia::{dkey, IslandDescriptor, PathDescriptor};
+use dbgp_wire::message::UpdateMsg;
+use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic generator of BGP-shaped workloads.
+pub struct WorkloadGen {
+    rng: StdRng,
+    /// Counter for /24-and-longer prefixes (strided by /24 blocks).
+    next24: u32,
+    /// Counter for prefixes of length 16-23 (strided by /16 blocks).
+    next16: u32,
+    /// Counter for prefixes of length 12-15 (strided by /12 blocks).
+    next_short: u32,
+}
+
+impl WorkloadGen {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        WorkloadGen { rng: StdRng::seed_from_u64(seed), next24: 0, next16: 0, next_short: 0 }
+    }
+
+    /// A fresh, globally unique prefix with an Internet-like length
+    /// distribution (mode /24, secondary mass at /16–/22).
+    ///
+    /// Uniqueness is guaranteed by striding each draw into its own
+    /// address block: lengths >= 16 consume successive /16 blocks from
+    /// `1.0.0.0` up, lengths 12–15 consume successive /12 blocks from
+    /// `128.0.0.0` up.
+    pub fn prefix(&mut self) -> Ipv4Prefix {
+        let mut len = match self.rng.gen_range(0..100) {
+            0..=54 => 24,                          // ~55% of the real table
+            55..=69 => self.rng.gen_range(20..24), // /20-/23
+            70..=84 => self.rng.gen_range(16..20), // /16-/19
+            85..=94 => self.rng.gen_range(25..29), // more-specifics
+            _ => self.rng.gen_range(12..16),       // short prefixes
+        };
+        // Each length class draws from its own address pool; when a
+        // shorter-mask pool is exhausted (IPv4 only has ~65k /16s),
+        // degrade the mask to /24 instead of wrapping into duplicates.
+        const POOL16_BLOCKS: u32 = 0x8000; // 0x4000_0000..0xC000_0000
+        const POOL_SHORT_BLOCKS: u32 = 0x380; // 0xC100_0000..0xF900_0000
+        if (12..16).contains(&len) && self.next_short >= POOL_SHORT_BLOCKS {
+            len = 16;
+        }
+        if (16..24).contains(&len) && self.next16 >= POOL16_BLOCKS {
+            len = 24;
+        }
+        let base = if len >= 24 {
+            let block = self.next24;
+            self.next24 += 1;
+            assert!(block < 0x3F_0000, "24-bit prefix pool exhausted (~4.1M prefixes)");
+            0x0100_0000u32 + (block << 8)
+        } else if len >= 16 {
+            let block = self.next16;
+            self.next16 += 1;
+            0x4000_0000u32 + (block << 16)
+        } else {
+            let block = self.next_short;
+            self.next_short += 1;
+            0xC100_0000u32 + (block << 20)
+        };
+        Ipv4Prefix::new(Ipv4Addr(base), len).expect("len <= 32")
+    }
+
+    /// An AS path with the paper's Table-2 length distribution (PL 3–5,
+    /// plus a tail).
+    pub fn as_path(&mut self) -> AsPath {
+        let len = match self.rng.gen_range(0..100) {
+            0..=19 => 3,
+            20..=59 => 4,
+            60..=84 => 5,
+            85..=94 => 6,
+            _ => self.rng.gen_range(7..12),
+        };
+        let ases: Vec<u32> = (0..len).map(|_| self.rng.gen_range(1..400_000)).collect();
+        AsPath::from_sequence(ases)
+    }
+
+    /// One classic BGP UPDATE announcing a fresh prefix.
+    pub fn update(&mut self) -> UpdateMsg {
+        let prefix = self.prefix();
+        let attrs = vec![
+            PathAttribute::Origin(Origin::Igp),
+            PathAttribute::AsPath(self.as_path()),
+            PathAttribute::NextHop(Ipv4Addr(self.rng.gen())),
+            PathAttribute::Med(self.rng.gen_range(0..100)),
+        ];
+        UpdateMsg::announce(vec![prefix], attrs)
+    }
+
+    /// A trace of `n` classic UPDATEs (the Quagga-side stress input).
+    pub fn update_trace(&mut self, n: usize) -> Vec<UpdateMsg> {
+        (0..n).map(|_| self.update()).collect()
+    }
+
+    /// One IA whose serialized descriptor payload is approximately
+    /// `payload_bytes`, spread over `n_protocols` critical fixes — the
+    /// Beagle-side stress input (§5 exchanged IAs of 32 KB and 256 KB).
+    pub fn ia(&mut self, payload_bytes: usize, n_protocols: usize) -> Ia {
+        let prefix = self.prefix();
+        let mut ia = Ia::originate(prefix, Ipv4Addr(self.rng.gen()));
+        let path = self.as_path();
+        for seg in &path.segments {
+            for &asn in seg.ases() {
+                ia.path_vector.push(dbgp_wire::PathElem::As(asn));
+            }
+        }
+        if payload_bytes > 0 && n_protocols > 0 {
+            let per = payload_bytes / n_protocols;
+            for i in 0..n_protocols {
+                let proto = ProtocolId(100 + i as u16);
+                let mut body = vec![0u8; per];
+                self.rng.fill(body.as_mut_slice());
+                ia.path_descriptors.push(PathDescriptor::new(proto, 1, body));
+            }
+            // One island descriptor to exercise that path too.
+            ia.island_descriptors.push(IslandDescriptor::new(
+                IslandId(self.rng.gen_range(1..1000)),
+                ProtocolId(100),
+                dkey::SCION_PATHS,
+                vec![0u8; 32],
+            ));
+        }
+        ia
+    }
+
+    /// A trace of `n` IAs with the given payload size.
+    pub fn ia_trace(&mut self, n: usize, payload_bytes: usize, n_protocols: usize) -> Vec<Ia> {
+        (0..n).map(|_| self.ia(payload_bytes, n_protocols)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn prefixes_are_unique_and_valid() {
+        let mut gen = WorkloadGen::new(1);
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let p = gen.prefix();
+            assert!(p.len() >= 12 && p.len() <= 28);
+            assert!(seen.insert(p), "duplicate prefix {p}");
+        }
+    }
+
+    #[test]
+    fn path_lengths_match_table2_band() {
+        let mut gen = WorkloadGen::new(2);
+        let lengths: Vec<usize> = (0..5_000).map(|_| gen.as_path().hop_count()).collect();
+        let avg = lengths.iter().sum::<usize>() as f64 / lengths.len() as f64;
+        assert!(
+            (3.0..=5.5).contains(&avg),
+            "average path length {avg} outside the paper's 3-5 band"
+        );
+        assert!(lengths.iter().all(|&l| (3..=12).contains(&l)));
+    }
+
+    #[test]
+    fn updates_encode_and_decode() {
+        let mut gen = WorkloadGen::new(3);
+        for update in gen.update_trace(200) {
+            let bytes = dbgp_wire::BgpMessage::Update(update.clone()).encode(true);
+            let mut buf = bytes::BytesMut::from(&bytes[..]);
+            let decoded = dbgp_wire::BgpMessage::decode(&mut buf, true).unwrap().unwrap();
+            assert_eq!(decoded, dbgp_wire::BgpMessage::Update(update));
+        }
+    }
+
+    #[test]
+    fn ia_payload_size_is_respected() {
+        let mut gen = WorkloadGen::new(4);
+        for target in [0usize, 4 << 10, 32 << 10, 256 << 10] {
+            let ia = gen.ia(target, 5);
+            let size = ia.wire_size();
+            assert!(
+                size >= target && size <= target + 2048,
+                "target {target}, actual {size}"
+            );
+            assert_eq!(Ia::decode(ia.encode()).unwrap(), ia);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = WorkloadGen::new(9).update_trace(50);
+        let b: Vec<_> = WorkloadGen::new(9).update_trace(50);
+        assert_eq!(a, b);
+        let c: Vec<_> = WorkloadGen::new(10).update_trace(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_payload_ia_has_no_descriptors() {
+        let mut gen = WorkloadGen::new(5);
+        let ia = gen.ia(0, 5);
+        assert!(ia.path_descriptors.is_empty());
+        assert!(ia.island_descriptors.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Protocol evolution in place (§3.5): an island initially routes with
+//! plain BGP, then *deploys* Wiser by switching its active decision
+//! module at runtime. Routes re-converge under the new protocol's
+//! selection without a session reset — the planned-rollout story.
+//!
+//! Run with: `cargo run --release --example evolution`
+
+use dbgp::core::{DbgpConfig, IslandConfig};
+use dbgp::protocols::{wiser, WiserModule};
+use dbgp::sim::Sim;
+use dbgp::wire::{Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
+
+fn main() {
+    // Diamond: D advertises through an expensive-but-short path and a
+    // cheap-but-long path toward S.
+    let island = IslandConfig { id: IslandId(900), abstraction: false };
+    let mut sim = Sim::new();
+    let d = sim.add_node(DbgpConfig::island_member(10, island, ProtocolId::WISER));
+    let cheap_a = sim.add_node(DbgpConfig::island_member(11, island, ProtocolId::WISER));
+    let cheap_b = sim.add_node(DbgpConfig::island_member(12, island, ProtocolId::WISER));
+    let costly = sim.add_node(DbgpConfig::island_member(13, island, ProtocolId::WISER));
+    // The source starts life as a plain-BGP AS.
+    let s = sim.add_node(DbgpConfig::gulf(20));
+
+    let portal = Ipv4Addr::new(163, 42, 5, 0);
+    sim.speaker_mut(d).register_module(Box::new(WiserModule::new(island.id, portal, 5)));
+    sim.speaker_mut(cheap_a).register_module(Box::new(WiserModule::new(island.id, portal, 10)));
+    sim.speaker_mut(cheap_b).register_module(Box::new(WiserModule::new(island.id, portal, 10)));
+    sim.speaker_mut(costly).register_module(Box::new(WiserModule::new(island.id, portal, 800)));
+
+    sim.link(d, cheap_a, 10, true);
+    sim.link(cheap_a, cheap_b, 10, true);
+    sim.link(d, costly, 10, true);
+    sim.link(cheap_b, s, 10, false);
+    sim.link(costly, s, 10, false);
+
+    let prefix: Ipv4Prefix = "128.6.0.0/16".parse().unwrap();
+    sim.originate(d, prefix);
+    sim.run(10_000_000);
+
+    let before = sim.speaker(s).best(&prefix).unwrap().clone();
+    println!("Phase 1 — S runs plain BGP:");
+    println!("  chosen path: {} hops via the expensive exit", before.ia.hop_count());
+    println!("  cost S *could* see but ignores: {:?}", wiser::path_cost(&before.ia));
+    assert_eq!(before.ia.hop_count(), 2, "BGP picks the short path");
+
+    // Phase 2: S's operators deploy Wiser. No session reset, no topology
+    // change: register the module and flip the active protocol. The IA
+    // DB already holds everything needed — pass-through did its job
+    // while S was still a gulf AS.
+    println!("\nPhase 2 — S deploys Wiser (set_active_protocol at runtime):");
+    let speaker = sim.speaker_mut(s);
+    speaker.register_module(Box::new(WiserModule::new(
+        IslandId::from_as(20),
+        Ipv4Addr::new(163, 42, 6, 0),
+        3,
+    )));
+    let outputs = speaker.set_active_protocol(ProtocolId::WISER);
+    println!("  re-selection produced {} output(s)", outputs.len());
+
+    let after = sim.speaker(s).best(&prefix).unwrap();
+    println!(
+        "  chosen path: {} hops, cost {:?}",
+        after.ia.hop_count(),
+        wiser::path_cost(&after.ia)
+    );
+    assert_eq!(after.ia.hop_count(), 3, "Wiser picks the cheap long path");
+    assert!(wiser::path_cost(&after.ia).unwrap() < 800);
+    println!("\nThe island evolved its routing protocol using information that had");
+    println!("been flowing through it all along — no flag day, no overlay.");
+}

@@ -1,0 +1,70 @@
+//! The paper's Figure 3 / §3.4 replacement-protocol scenario: a
+//! SCION-like island exposes two within-island paths to a destination.
+//! Redistribution into plain BGP keeps only one; over D-BGP both cross
+//! the gulf inside an island descriptor, and the source picks one and
+//! builds a path-based header encapsulated in IPv4.
+//!
+//! Run with: `cargo run --release --example scion_multipath`
+
+use dbgp::core::{DbgpConfig, IslandConfig};
+use dbgp::protocols::scion::{path_sets, PathSet, ScionModule};
+use dbgp::sim::{Header, Packet, Sim};
+use dbgp::wire::{Ipv4Prefix, IslandId, ProtocolId};
+
+fn main() {
+    let dst: Ipv4Prefix = "131.3.0.0/24".parse().unwrap();
+    let scion_island = IslandConfig { id: IslandId(800), abstraction: false };
+    let src_island = IslandConfig { id: IslandId(801), abstraction: false };
+
+    let mut sim = Sim::new();
+    let d = sim.add_node(DbgpConfig::island_member(10, scion_island, ProtocolId::SCION));
+    let border = sim.add_node(DbgpConfig::island_member(11, scion_island, ProtocolId::SCION));
+    let g1 = sim.add_node(DbgpConfig::gulf(4000));
+    let g2 = sim.add_node(DbgpConfig::gulf(4001));
+    let s = sim.add_node(DbgpConfig::island_member(20, src_island, ProtocolId::SCION));
+
+    // The island's two within-island paths, at border-router granularity
+    // (paper Figure 4: "br70 br50 br10 br1" / "br70 br20 br5 br1").
+    let exposed = PathSet { paths: vec![vec![70, 50, 10, 1], vec![70, 20, 5, 1]] };
+    sim.speaker_mut(border)
+        .register_module(Box::new(ScionModule::new(scion_island.id, exposed)));
+    sim.speaker_mut(s)
+        .register_module(Box::new(ScionModule::new(src_island.id, PathSet::default())));
+
+    sim.link(d, border, 10, true);
+    sim.link(border, g1, 10, false);
+    sim.link(g1, g2, 10, false);
+    sim.link(g2, s, 10, false);
+    sim.originate(d, dst);
+    sim.run(10_000_000);
+
+    let best = sim.speaker(s).best(&dst).expect("route learned");
+    let sets = path_sets(&best.ia);
+    println!("S's IA for {dst}: {}", best.ia);
+    println!("\nSCION path sets that crossed the gulf:");
+    for (island, set) in &sets {
+        for path in &set.paths {
+            println!("  island {island}: {:?}", path);
+        }
+    }
+    let n_paths: usize = sets.iter().map(|(_, s)| s.paths.len()).sum();
+    println!("\n{} within-island paths visible (plain BGP redistribution keeps 1).", n_paths);
+    assert_eq!(n_paths, 2);
+
+    // Source picks a path and builds the multi-network-protocol packet:
+    // a SCION header (for the island) inside an IPv4 header (to cross
+    // the gulf).
+    let header = ScionModule::choose_path(&best.ia, scion_island.id).expect("path chosen");
+    println!("\nchosen within-island path (router IDs): {:?}", header.hops);
+    let packet = Packet {
+        stack: vec![Header::Scion(header.to_bytes()), Header::Ipv4 { dst: best.ia.next_hop }],
+        payload: 99,
+    };
+    println!(
+        "constructed multi-network-protocol header stack: [SCION({} hops) | IPv4 {}]",
+        header.hops.len(),
+        best.ia.next_hop
+    );
+    let _ = packet;
+    println!("\nBoth Figure-3 paths survived the gulf — requirement CF-R1 for replacements.");
+}

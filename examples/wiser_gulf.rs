@@ -1,0 +1,76 @@
+//! The paper's Figure 1 / §3.4 scenario: Wiser islands separated by a
+//! BGP gulf. Without D-BGP, the source S cannot see path costs and picks
+//! the shortest — and most expensive — path. With D-BGP's pass-through,
+//! the costs cross the gulf and S picks the cheap path.
+//!
+//! Run with: `cargo run --release --example wiser_gulf`
+
+use dbgp::core::{DbgpConfig, IslandConfig};
+use dbgp::protocols::{wiser, WiserModule};
+use dbgp::sim::Sim;
+use dbgp::wire::{Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
+
+/// Build the Figure-1 world. `dbgp_enabled` toggles whether the gulf
+/// passes new-protocol information through (D-BGP) or drops it (BGP).
+fn build(dbgp_enabled: bool) -> (Sim, usize, Ipv4Prefix) {
+    let island = IslandConfig { id: IslandId(900), abstraction: false };
+    let s_island = IslandConfig { id: IslandId(901), abstraction: false };
+    let mut sim = Sim::new();
+
+    // Destination island: D behind two border ASes — E1 (cheap exit,
+    // long path to S) and E2 (expensive exit, short path to S).
+    let d = sim.add_node(DbgpConfig::island_member(10, island, ProtocolId::WISER));
+    let e1 = sim.add_node(DbgpConfig::island_member(11, island, ProtocolId::WISER));
+    let e2 = sim.add_node(DbgpConfig::island_member(12, island, ProtocolId::WISER));
+    // Gulf ASes: one on the short side, two on the long side.
+    let mk_gulf = |sim: &mut Sim, asn: u32| {
+        let mut cfg = DbgpConfig::gulf(asn);
+        cfg.filters.baseline_only_export = !dbgp_enabled;
+        sim.add_node(cfg)
+    };
+    let g_short = mk_gulf(&mut sim, 4000);
+    let g_long_a = mk_gulf(&mut sim, 4001);
+    let g_long_b = mk_gulf(&mut sim, 4002);
+    // Source island.
+    let s = sim.add_node(DbgpConfig::island_member(20, s_island, ProtocolId::WISER));
+
+    let portal = Ipv4Addr::new(163, 42, 5, 0);
+    sim.speaker_mut(d).register_module(Box::new(WiserModule::new(island.id, portal, 5)));
+    sim.speaker_mut(e1).register_module(Box::new(WiserModule::new(island.id, portal, 10)));
+    sim.speaker_mut(e2).register_module(Box::new(WiserModule::new(island.id, portal, 500)));
+    sim.speaker_mut(s)
+        .register_module(Box::new(WiserModule::new(s_island.id, Ipv4Addr::new(163, 42, 6, 0), 3)));
+
+    sim.link(d, e1, 10, true);
+    sim.link(d, e2, 10, true);
+    sim.link(e2, g_short, 10, false);
+    sim.link(g_short, s, 10, false);
+    sim.link(e1, g_long_a, 10, false);
+    sim.link(g_long_a, g_long_b, 10, false);
+    sim.link(g_long_b, s, 10, false);
+
+    let prefix: Ipv4Prefix = "128.6.0.0/16".parse().unwrap();
+    sim.originate(d, prefix);
+    sim.run(10_000_000);
+    (sim, s, prefix)
+}
+
+fn main() {
+    println!("=== BGP baseline: the gulf drops Wiser's control information ===");
+    let (sim, s, prefix) = build(false);
+    let best = sim.speaker(s).best(&prefix).unwrap();
+    println!("S's chosen path: {} hops, Wiser cost visible: {:?}",
+        best.ia.hop_count(), wiser::path_cost(&best.ia));
+    println!("-> S is forced to use BGP rules and picks the SHORT path (via the");
+    println!("   expensive exit E2, internal cost 500). Figure 1's failure.\n");
+
+    println!("=== D-BGP baseline: pass-through carries costs across the gulf ===");
+    let (sim, s, prefix) = build(true);
+    let best = sim.speaker(s).best(&prefix).unwrap();
+    let cost = wiser::path_cost(&best.ia);
+    println!("S's chosen path: {} hops, Wiser cost visible: {cost:?}",
+        best.ia.hop_count());
+    println!("Wiser portals discovered across the gulf: {:?}", wiser::portals(&best.ia));
+    println!("-> S sees both paths' costs and picks the LONG path via the cheap");
+    println!("   exit E1 (cost {:?} < 500). Requirement CF-R1 satisfied.", cost);
+}

@@ -1,0 +1,140 @@
+//! The §6.1 Pathlet Routing deployment experiment (Figure 8): four
+//! one-hop pathlets disseminated within island A, a composed two-hop
+//! pathlet at border A2, translation into IAs across the gulf, and the
+//! verification that "AS S saw all five pathlets that should be
+//! advertised to it" — plus redistribution into BGP for gulf
+//! connectivity.
+
+use dbgp::core::{DbgpConfig, IslandConfig};
+use dbgp::protocols::pathlet::{ingress_translate, Pathlet, PathletDb, PathletHeader};
+use dbgp::protocols::PathletModule;
+use dbgp::sim::{Delivery, Packet, Sim};
+use dbgp::wire::{Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
+use std::collections::BTreeSet;
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+struct World {
+    sim: Sim,
+    s: usize,
+    g1: usize,
+    dest: Ipv4Prefix,
+}
+
+fn build() -> World {
+    let island_a = IslandConfig { id: IslandId(900), abstraction: false };
+    let island_b = IslandConfig { id: IslandId(901), abstraction: false };
+    let dest = p("128.6.0.0/16");
+    let mut sim = Sim::new();
+    let d = sim.add_node(DbgpConfig::island_member(10, island_a, ProtocolId::BGP));
+    let a2 = sim.add_node(DbgpConfig::island_member(11, island_a, ProtocolId::BGP));
+    let a3 = sim.add_node(DbgpConfig::island_member(12, island_a, ProtocolId::BGP));
+    let g1 = sim.add_node(DbgpConfig::gulf(4000));
+    let g2 = sim.add_node(DbgpConfig::gulf(4001));
+    let s = sim.add_node(DbgpConfig::island_member(20, island_b, ProtocolId::BGP));
+
+    let a2_exports = vec![
+        Pathlet::between(1, 100, 111),
+        Pathlet::to_dest(3, 111, dest),
+        Pathlet::to_dest(5, 100, dest), // the composed two-hop pathlet
+    ];
+    let a3_exports = vec![Pathlet::between(2, 100, 112), Pathlet::to_dest(4, 112, dest)];
+    sim.speaker_mut(a2)
+        .register_module(Box::new(PathletModule::new(island_a.id, 111, a2_exports)));
+    sim.speaker_mut(a3)
+        .register_module(Box::new(PathletModule::new(island_a.id, 112, a3_exports)));
+    sim.speaker_mut(s)
+        .register_module(Box::new(PathletModule::new(island_b.id, 200, vec![])));
+
+    sim.link(d, a2, 10, true);
+    sim.link(d, a3, 10, true);
+    sim.link(a2, g1, 10, false);
+    sim.link(a3, g2, 10, false);
+    sim.link(g1, s, 10, false);
+    sim.link(g2, s, 10, false);
+    sim.originate(d, dest);
+    sim.run(10_000_000);
+    World { sim, s, g1, dest }
+}
+
+#[test]
+fn source_sees_all_five_pathlets() {
+    let w = build();
+    let mut fids = BTreeSet::new();
+    for (_, ia) in w.sim.speaker(w.s).iadb().candidates(&w.dest) {
+        for ad in ingress_translate(ia) {
+            assert_eq!(ad.island, IslandId(900));
+            fids.insert(ad.pathlet.fid);
+        }
+    }
+    assert_eq!(
+        fids.into_iter().collect::<Vec<_>>(),
+        vec![1, 2, 3, 4, 5],
+        "the paper's verification: S saw all five pathlets"
+    );
+}
+
+#[test]
+fn pathlets_compose_into_three_distinct_routes() {
+    let w = build();
+    let mut db = PathletDb::new();
+    for (_, ia) in w.sim.speaker(w.s).iadb().candidates(&w.dest) {
+        for ad in ingress_translate(ia) {
+            db.insert(ad.pathlet);
+        }
+    }
+    let mut headers = db.compose(100, &w.dest, 10);
+    headers.sort_by(|a, b| a.fids.cmp(&b.fids));
+    assert_eq!(
+        headers,
+        vec![
+            PathletHeader { fids: vec![1, 3] },
+            PathletHeader { fids: vec![2, 4] },
+            PathletHeader { fids: vec![5] },
+        ],
+        "two one-hop chains plus the composed two-hop pathlet"
+    );
+}
+
+#[test]
+fn redistribution_keeps_gulf_ases_connected() {
+    let w = build();
+    // The gulf AS can route to the destination via plain-BGP reachability
+    // redistributed by the island (here: the baseline IA itself).
+    let best = w.sim.speaker(w.g1).best(&w.dest).unwrap();
+    assert_eq!(best.ia.hop_count(), 2, "gulf sees baseline path via A2");
+    // Data-plane check from the gulf.
+    let (delivery, _) = w.sim.forward(w.g1, Packet::ipv4(Ipv4Addr::new(128, 6, 1, 1), 1));
+    assert!(matches!(delivery, Delivery::Delivered { .. }));
+}
+
+#[test]
+fn pathlet_module_redistribution_lists_destinations() {
+    let w = build();
+    // Build S's module state explicitly and check the redistribution
+    // module output (§3.3's requirement for replacement protocols).
+    let mut module = PathletModule::new(IslandId(901), 200, vec![]);
+    for (_, ia) in w.sim.speaker(w.s).iadb().candidates(&w.dest) {
+        for ad in ingress_translate(ia) {
+            module.learn(ad);
+        }
+    }
+    assert_eq!(module.redistributed_prefixes(), vec![w.dest]);
+}
+
+#[test]
+fn pathlet_headers_round_trip_the_wire() {
+    let w = build();
+    let mut db = PathletDb::new();
+    for (_, ia) in w.sim.speaker(w.s).iadb().candidates(&w.dest) {
+        for ad in ingress_translate(ia) {
+            db.insert(ad.pathlet);
+        }
+    }
+    for header in db.compose(100, &w.dest, 10) {
+        let bytes = header.to_bytes();
+        assert_eq!(PathletHeader::from_bytes(&bytes), Some(header));
+    }
+}

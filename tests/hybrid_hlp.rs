@@ -1,0 +1,138 @@
+//! HLP over D-BGP, end to end: a hybrid link-state island floods LSAs
+//! over the out-of-band bus, ranks external routes by hybrid cost, and
+//! — because its within-island paths cannot be expressed in a path
+//! vector (§3.2) — exports with island-ID abstraction so D-BGP's loop
+//! detection works at island granularity.
+
+use dbgp::core::{DbgpConfig, IslandConfig};
+use dbgp::protocols::hlp::{hlp_cost, HlpModule, Lsa};
+use dbgp::sim::{Service, Sim};
+use dbgp::wire::{Ipv4Addr, Ipv4Prefix, IslandId, PathElem, ProtocolId};
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+/// Island H = {h1, h2, h3} runs HLP with abstraction; a gulf AS and a
+/// plain receiver sit outside. h1 and h3 are borders toward the origin
+/// side and the receiver side respectively.
+#[test]
+fn hlp_island_floods_lsas_and_abstracts_its_path() {
+    let island = IslandConfig { id: IslandId(850), abstraction: true };
+    let mut sim = Sim::new();
+    let origin = sim.add_node(DbgpConfig::gulf(1));
+    let h1 = sim.add_node(DbgpConfig::island_member(100, island, ProtocolId::HLP));
+    let h2 = sim.add_node(DbgpConfig::island_member(101, island, ProtocolId::HLP));
+    let h3 = sim.add_node(DbgpConfig::island_member(102, island, ProtocolId::HLP));
+    let receiver = sim.add_node(DbgpConfig::gulf(4000));
+
+    // Register HLP modules: router IDs 1..3, internal costs.
+    for (node, router, cost) in [(h1, 1u32, 5u64), (h2, 2, 7), (h3, 3, 2)] {
+        let mut module = HlpModule::new(island.id, router, cost);
+        for (asn, r) in [(100u32, 1u32), (101, 2), (102, 3)] {
+            module.register_member(asn, r);
+        }
+        sim.speaker_mut(node).register_module(Box::new(module));
+    }
+    // Intra-island LSA inboxes on the out-of-band bus.
+    let inbox = |r: u32| Ipv4Addr::new(198, 18, 0, r as u8);
+    sim.register_service(h1, inbox(1), Service::ModuleInbox(ProtocolId::HLP));
+    sim.register_service(h2, inbox(2), Service::ModuleInbox(ProtocolId::HLP));
+    sim.register_service(h3, inbox(3), Service::ModuleInbox(ProtocolId::HLP));
+
+    sim.link(origin, h1, 10, false);
+    sim.link(h1, h2, 10, true);
+    sim.link(h2, h3, 10, true);
+    sim.link(h3, receiver, 10, false);
+
+    // Flood each member's LSA to the other two (full flooding).
+    let lsas = [
+        Lsa { router: 1, seq: 1, links: vec![(2, 4)] },
+        Lsa { router: 2, seq: 1, links: vec![(1, 4), (3, 6)] },
+        Lsa { router: 3, seq: 1, links: vec![(2, 6)] },
+    ];
+    for lsa in &lsas {
+        for r in 1..=3u32 {
+            if r != lsa.router {
+                // Sender is whichever node originates the LSA.
+                let from = [h1, h2, h3][(lsa.router - 1) as usize];
+                sim.oob_send(from, inbox(r), lsa.to_bytes());
+            }
+        }
+    }
+    sim.run(10_000_000);
+
+    // Every member's LSDB converged to the full island graph.
+    // (Inspect via a fresh module equivalence: distances computable.)
+    // The public surface check: route propagation works and the island
+    // is abstracted in what the receiver sees.
+    sim.originate(origin, p("128.6.0.0/16"));
+    sim.run(20_000_000);
+
+    let best = sim.speaker(receiver).best(&p("128.6.0.0/16")).expect("route crossed the island");
+    // §3.2: the hybrid island lists only its island ID.
+    assert_eq!(
+        best.ia.path_vector,
+        vec![PathElem::Island(IslandId(850)), PathElem::As(1)],
+        "within-island hops abstracted away"
+    );
+    // HLP's path cost crossed the island and the gulf-facing edge.
+    let cost = hlp_cost(&best.ia).expect("HLP cost disseminated");
+    assert_eq!(cost, 5 + 7 + 2, "every member added its internal cost");
+    // Loop safety: re-advertising this back toward the island is
+    // rejected at island granularity.
+    let outputs = {
+        let evil = best.ia.clone();
+        let mut back = evil;
+        back.prepend_as(4000);
+        sim.speaker_mut(h3).receive_ia(dbgp::core::NeighborId(1), back)
+    };
+    assert!(
+        outputs
+            .iter()
+            .any(|o| matches!(o, dbgp::core::DbgpOutput::Rejected(_, _, _))),
+        "island-granular loop detection caught the re-entry: {outputs:?}"
+    );
+}
+
+#[test]
+fn hlp_selection_uses_link_state_distance() {
+    // A member with two same-external-cost candidates picks the one
+    // presented by the link-state-closer fellow member — the "hybrid"
+    // in hybrid link-state/path-vector.
+    let island = IslandConfig { id: IslandId(850), abstraction: false };
+    let mut sim = Sim::new();
+    let far_origin = sim.add_node(DbgpConfig::gulf(1));
+    let near = sim.add_node(DbgpConfig::island_member(100, island, ProtocolId::HLP));
+    let far = sim.add_node(DbgpConfig::island_member(101, island, ProtocolId::HLP));
+    let me = sim.add_node(DbgpConfig::island_member(102, island, ProtocolId::HLP));
+
+    for (node, router) in [(near, 1u32), (far, 2), (me, 3)] {
+        let mut module = HlpModule::new(island.id, router, 1);
+        for (asn, r) in [(100u32, 1u32), (101, 2), (102, 3)] {
+            module.register_member(asn, r);
+        }
+        sim.speaker_mut(node).register_module(Box::new(module));
+    }
+    // `me` learns the island's link-state: near is 1 away, far is 100.
+    {
+        let speaker = sim.speaker_mut(me);
+        let module = speaker.module_mut(ProtocolId::HLP).unwrap();
+        module.deliver_oob(0, &Lsa { router: 3, seq: 1, links: vec![(1, 1), (2, 100)] }.to_bytes());
+        module.deliver_oob(0, &Lsa { router: 1, seq: 1, links: vec![(3, 1)] }.to_bytes());
+        module.deliver_oob(0, &Lsa { router: 2, seq: 1, links: vec![(3, 100)] }.to_bytes());
+    }
+    sim.link(far_origin, near, 10, false);
+    sim.link(far_origin, far, 10, false);
+    sim.link(near, me, 10, true);
+    sim.link(far, me, 10, true);
+    sim.originate(far_origin, p("10.0.0.0/8"));
+    sim.run(10_000_000);
+
+    let best = sim.speaker(me).best(&p("10.0.0.0/8")).unwrap();
+    assert!(
+        best.ia.contains_as(100),
+        "chose the path via the link-state-closer member: {}",
+        best.ia
+    );
+}

@@ -1,0 +1,96 @@
+//! BGPSec-lite over D-BGP across a topology: a contiguous secure island
+//! verifies attestation chains end to end, and — reproducing §3.5's
+//! limitation — a gulf breaks the chain of participation no matter how
+//! much pass-through D-BGP provides.
+
+use dbgp::core::{DbgpConfig, IslandConfig};
+use dbgp::crypto::KeyRegistry;
+use dbgp::protocols::{BgpsecModule, ChainStatus};
+use dbgp::sim::Sim;
+use dbgp::wire::{Ipv4Prefix, IslandId, ProtocolId};
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+fn anchor() -> KeyRegistry {
+    KeyRegistry::new(b"integration-anchor")
+}
+
+/// A fully secure contiguous island: every hop signs, the receiver
+/// verifies the whole chain.
+#[test]
+fn contiguous_secure_island_verifies() {
+    let island = IslandConfig { id: IslandId(800), abstraction: false };
+    let mut sim = Sim::new();
+    let asns = [10u32, 11, 12, 13];
+    let nodes: Vec<_> = asns
+        .iter()
+        .map(|&asn| {
+            let node = sim.add_node(DbgpConfig::island_member(asn, island, ProtocolId::BGPSEC));
+            sim.speaker_mut(node)
+                .register_module(Box::new(BgpsecModule::new(asn, anchor(), false)));
+            node
+        })
+        .collect();
+    for w in nodes.windows(2) {
+        sim.link(w[0], w[1], 10, true);
+    }
+    sim.originate(nodes[0], p("198.51.100.0/24"));
+    sim.run(10_000_000);
+
+    let best = sim.speaker(nodes[3]).best(&p("198.51.100.0/24")).unwrap();
+    let mut verifier = BgpsecModule::new(13, anchor(), false);
+    assert_eq!(
+        verifier.status(&best.ia),
+        ChainStatus::Valid,
+        "three signing hops, chain intact and addressed to AS 13"
+    );
+}
+
+/// The §3.5 limitation, reproduced: one unsigned gulf hop breaks the
+/// chain, so D-BGP cannot accelerate incremental benefits for secure
+/// protocols.
+#[test]
+fn gulf_hop_breaks_the_chain_of_participation() {
+    let island = IslandConfig { id: IslandId(800), abstraction: false };
+    let mut sim = Sim::new();
+    let a = sim.add_node(DbgpConfig::island_member(10, island, ProtocolId::BGPSEC));
+    sim.speaker_mut(a).register_module(Box::new(BgpsecModule::new(10, anchor(), false)));
+    let gulf = sim.add_node(DbgpConfig::gulf(4000)); // does not sign
+    let island_b = IslandConfig { id: IslandId(801), abstraction: false };
+    let b = sim.add_node(DbgpConfig::island_member(20, island_b, ProtocolId::BGPSEC));
+    sim.speaker_mut(b).register_module(Box::new(BgpsecModule::new(20, anchor(), false)));
+    sim.link(a, gulf, 10, false);
+    sim.link(gulf, b, 10, false);
+    sim.originate(a, p("198.51.100.0/24"));
+    sim.run(10_000_000);
+
+    let best = sim.speaker(b).best(&p("198.51.100.0/24")).unwrap();
+    let mut verifier = BgpsecModule::new(20, anchor(), false);
+    assert_eq!(
+        verifier.status(&best.ia),
+        ChainStatus::Broken,
+        "the attestation crossed the gulf via pass-through, but the gulf \
+         AS did not sign: the chain of participation is broken (§3.5)"
+    );
+}
+
+/// Enforce mode inside a secure island: unverifiable candidates are
+/// filtered out entirely and the prefix stays unreachable.
+#[test]
+fn enforce_mode_rejects_unsigned_routes() {
+    let island = IslandConfig { id: IslandId(800), abstraction: false };
+    let mut sim = Sim::new();
+    let unsigned_origin = sim.add_node(DbgpConfig::gulf(4000));
+    let enforcing = sim.add_node(DbgpConfig::island_member(10, island, ProtocolId::BGPSEC));
+    sim.speaker_mut(enforcing)
+        .register_module(Box::new(BgpsecModule::new(10, anchor(), true)));
+    sim.link(unsigned_origin, enforcing, 10, false);
+    sim.originate(unsigned_origin, p("203.0.113.0/24"));
+    sim.run(10_000_000);
+    assert!(
+        sim.speaker(enforcing).best(&p("203.0.113.0/24")).is_none(),
+        "enforce mode drops unattested routes"
+    );
+}
