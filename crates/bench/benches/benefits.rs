@@ -27,11 +27,9 @@ fn bench_benefits(c: &mut Criterion) {
     ] {
         for (bname, baseline) in [("dbgp", Baseline::Dbgp), ("bgp", Baseline::Bgp)] {
             let cfg = small_cfg(archetype, baseline);
-            group.bench_with_input(
-                BenchmarkId::new(name, bname),
-                &cfg,
-                |b, cfg| b.iter(|| std::hint::black_box(run(cfg))),
-            );
+            group.bench_with_input(BenchmarkId::new(name, bname), &cfg, |b, cfg| {
+                b.iter(|| std::hint::black_box(run(cfg)))
+            });
         }
     }
     group.finish();

@@ -12,11 +12,17 @@ fn established_classic_speaker() -> Speaker {
     let mut speaker = Speaker::new(4_200_000, Ipv4Addr::new(10, 0, 0, 1));
     speaker.add_peer(
         PeerId(0),
-        NeighborConfig::new(4_200_000, Ipv4Addr::new(10, 0, 0, 1), 4_200_001, Ipv4Addr::new(10, 0, 0, 2)),
+        NeighborConfig::new(
+            4_200_000,
+            Ipv4Addr::new(10, 0, 0, 1),
+            4_200_001,
+            Ipv4Addr::new(10, 0, 0, 2),
+        ),
     );
     speaker.start(0);
     speaker.transport_event(0, PeerId(0), TransportEvent::Connected);
-    let open = BgpMessage::Open(OpenMsg::new(4_200_001, 90, Ipv4Addr::new(10, 0, 9, 9))).encode(true);
+    let open =
+        BgpMessage::Open(OpenMsg::new(4_200_001, 90, Ipv4Addr::new(10, 0, 9, 9))).encode(true);
     speaker.receive(1, PeerId(0), &open);
     speaker.receive(2, PeerId(0), &BgpMessage::Keepalive.encode(true));
     assert!(speaker.is_established(PeerId(0)));

@@ -25,7 +25,10 @@ fn p(s: &str) -> Ipv4Prefix {
 /// bytes.
 fn sharing_ablation() {
     println!("== Ablation 1: descriptor sharing (measured wire bytes) ==");
-    println!("{:>14} {:>18} {:>18} {:>9}", "critical fixes", "shared bytes", "duplicated bytes", "ratio");
+    println!(
+        "{:>14} {:>18} {:>18} {:>9}",
+        "critical fixes", "shared bytes", "duplicated bytes", "ratio"
+    );
     // A typical shared blob (origin/next-hop/path-style common fields)
     // of 256 bytes plus 32 unique bytes per fix — the CFu ≈ 0.1-0.3
     // regime of Table 2.
@@ -36,18 +39,18 @@ fn sharing_ablation() {
         // Shared layout: one descriptor co-owned by every fix + one
         // unique descriptor per fix.
         let mut shared = Ia::originate(p("10.0.0.0/8"), Ipv4Addr(1));
-        shared
-            .path_descriptors
-            .push(PathDescriptor::shared(protos.clone(), 1, shared_blob.clone()));
+        shared.path_descriptors.push(PathDescriptor::shared(
+            protos.clone(),
+            1,
+            shared_blob.clone(),
+        ));
         for proto in &protos {
             shared.path_descriptors.push(PathDescriptor::new(*proto, 2, unique_blob.clone()));
         }
         // Duplicated layout: every fix carries its own full copy.
         let mut duplicated = Ia::originate(p("10.0.0.0/8"), Ipv4Addr(1));
         for proto in &protos {
-            duplicated
-                .path_descriptors
-                .push(PathDescriptor::new(*proto, 1, shared_blob.clone()));
+            duplicated.path_descriptors.push(PathDescriptor::new(*proto, 1, shared_blob.clone()));
             duplicated.path_descriptors.push(PathDescriptor::new(*proto, 2, unique_blob.clone()));
         }
         let s = shared.wire_size();
@@ -115,11 +118,7 @@ fn convergence_ablation() {
         }
         let mut ia = Ia::originate(p("128.6.0.0/16"), Ipv4Addr(9));
         if payload > 0 {
-            ia.path_descriptors.push(PathDescriptor::new(
-                ProtocolId(100),
-                1,
-                vec![0xCC; payload],
-            ));
+            ia.path_descriptors.push(PathDescriptor::new(ProtocolId(100), 1, vec![0xCC; payload]));
         }
         sim.originate_ia(nodes[0], ia);
         let stats = sim.run(60_000_000);
@@ -160,8 +159,11 @@ fn session_reset_ablation() {
                 .unwrap();
                 let mut ia = Ia::originate(prefix, Ipv4Addr(9));
                 if payload > 0 {
-                    ia.path_descriptors
-                        .push(PathDescriptor::new(ProtocolId(100), 1, vec![0xDD; payload]));
+                    ia.path_descriptors.push(PathDescriptor::new(
+                        ProtocolId(100),
+                        1,
+                        vec![0xDD; payload],
+                    ));
                 }
                 sim.originate_ia(a, ia);
             }

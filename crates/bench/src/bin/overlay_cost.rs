@@ -24,10 +24,6 @@ fn main() {
     }
     println!("\nD-BGP (pass-through, no tunnels): stretch 1.000, hidden fraction 0.000");
     std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/overlay.json",
-        serde_json::to_string_pretty(&points).unwrap(),
-    )
-    .ok();
+    std::fs::write("results/overlay.json", serde_json::to_string_pretty(&points).unwrap()).ok();
     println!("(wrote results/overlay.json)");
 }

@@ -9,7 +9,10 @@ fn main() {
     println!("{:-<100}", "");
     for scenario in [Scenario::CriticalFix, Scenario::CustomProtocol, Scenario::Replacement] {
         println!("\n{scenario}");
-        println!("{:<12} {:<42} {:<24} {}", "Protocol", "Summary", "Control plane (*)", "Data plane (<>)");
+        println!(
+            "{:<12} {:<42} {:<24} Data plane (<>)",
+            "Protocol", "Summary", "Control plane (*)"
+        );
         for e in entries.iter().filter(|e| e.scenario == scenario) {
             println!(
                 "{:<12} {:<42} {:<24} {}",

@@ -49,10 +49,7 @@ impl StressResult {
 /// Pre-encode `n` classic UPDATE frames (outside any timed region).
 pub fn classic_frames(n: usize, seed: u64) -> Vec<bytes::Bytes> {
     let mut gen = WorkloadGen::new(seed);
-    gen.update_trace(n)
-        .into_iter()
-        .map(|u| BgpMessage::Update(u).encode(true))
-        .collect()
+    gen.update_trace(n).into_iter().map(|u| BgpMessage::Update(u).encode(true)).collect()
 }
 
 /// Stress the classic BGP speaker: the "Quagga" datapoint.
@@ -62,12 +59,18 @@ pub fn run_classic_bgp(n: usize, seed: u64) -> StressResult {
     let upstream = PeerId(0);
     speaker.add_peer(
         upstream,
-        NeighborConfig::new(4_200_000, Ipv4Addr::new(10, 0, 0, 1), 4_200_001, Ipv4Addr::new(10, 0, 0, 2)),
+        NeighborConfig::new(
+            4_200_000,
+            Ipv4Addr::new(10, 0, 0, 1),
+            4_200_001,
+            Ipv4Addr::new(10, 0, 0, 2),
+        ),
     );
     // Drive the session to Established with real wire messages.
     speaker.start(0);
     speaker.transport_event(0, upstream, TransportEvent::Connected);
-    let open = BgpMessage::Open(OpenMsg::new(4_200_001, 90, Ipv4Addr::new(10, 0, 9, 9))).encode(true);
+    let open =
+        BgpMessage::Open(OpenMsg::new(4_200_001, 90, Ipv4Addr::new(10, 0, 9, 9))).encode(true);
     speaker.receive(1, upstream, &open);
     let ka = BgpMessage::Keepalive.encode(true);
     speaker.receive(2, upstream, &ka);

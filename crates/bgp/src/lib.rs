@@ -31,5 +31,7 @@ pub use decision::{best, compare, Candidate};
 pub use policy::{Clause, MatchCond, PrefixMatch, RouteMap, SetAction};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, RouteSource};
 pub use route::Route;
-pub use session::{Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary};
+pub use session::{
+    Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary,
+};
 pub use speaker::{Output, Speaker, TransportEvent};

@@ -32,10 +32,7 @@ impl AdjRibIn {
     /// Remove everything learned from `peer` (session reset). Returns the
     /// affected prefixes.
     pub fn drop_peer(&mut self, peer: PeerId) -> Vec<Ipv4Prefix> {
-        self.routes
-            .remove(&peer)
-            .map(|m| m.into_keys().collect())
-            .unwrap_or_default()
+        self.routes.remove(&peer).map(|m| m.into_keys().collect()).unwrap_or_default()
     }
 
     /// The route `peer` gave us for `prefix`, if any.
@@ -45,11 +42,8 @@ impl AdjRibIn {
 
     /// All (peer, route) candidates for one prefix.
     pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(PeerId, &Route)> {
-        let mut out: Vec<(PeerId, &Route)> = self
-            .routes
-            .iter()
-            .filter_map(|(peer, m)| m.get(prefix).map(|r| (*peer, r)))
-            .collect();
+        let mut out: Vec<(PeerId, &Route)> =
+            self.routes.iter().filter_map(|(peer, m)| m.get(prefix).map(|r| (*peer, r))).collect();
         out.sort_by_key(|(peer, _)| *peer);
         out
     }
@@ -123,10 +117,7 @@ impl LocRib {
     /// Longest-prefix-match lookup for a destination address, as the
     /// data plane would perform it.
     pub fn longest_match(&self, addr: Ipv4Addr) -> Option<(&Ipv4Prefix, &LocRibEntry)> {
-        self.entries
-            .iter()
-            .filter(|(p, _)| p.contains(addr))
-            .max_by_key(|(p, _)| p.len())
+        self.entries.iter().filter(|(p, _)| p.contains(addr)).max_by_key(|(p, _)| p.len())
     }
 
     /// Iterate all entries in prefix order.
@@ -188,10 +179,7 @@ impl AdjRibOut {
 
     /// All prefixes currently advertised to `peer`.
     pub fn prefixes_for(&self, peer: PeerId) -> Vec<Ipv4Prefix> {
-        self.routes
-            .get(&peer)
-            .map(|m| m.keys().copied().collect())
-            .unwrap_or_default()
+        self.routes.get(&peer).map(|m| m.keys().copied().collect()).unwrap_or_default()
     }
 }
 

@@ -184,7 +184,7 @@ impl Session {
             let notification = NotificationMsg::new(notif::HOLD_TIMER_EXPIRED, 0);
             actions.push(Action::Send(BgpMessage::Notification(notification)));
             actions.push(Action::TcpClose);
-            actions.extend(self.to_idle(DownReason::HoldTimerExpired));
+            actions.extend(self.enter_idle(DownReason::HoldTimerExpired));
         }
         if self.keepalive_deadline.is_some_and(|d| d <= now) {
             if self.state == SessionState::Established || self.state == SessionState::OpenConfirm {
@@ -219,7 +219,7 @@ impl Session {
                     Action::Send(BgpMessage::Notification(NotificationMsg::new(notif::CEASE, 0))),
                     Action::TcpClose,
                 ];
-                actions.extend(self.to_idle(DownReason::AdminStop));
+                actions.extend(self.enter_idle(DownReason::AdminStop));
                 actions
             }
             (Connect | Active, TcpConnected) => {
@@ -256,12 +256,12 @@ impl Session {
             }
             (_, Message(BgpMessage::Notification(n))) => {
                 let mut actions = vec![Action::TcpClose];
-                actions.extend(self.to_idle(DownReason::Notification(n)));
+                actions.extend(self.enter_idle(DownReason::Notification(n)));
                 actions
             }
             (OpenConfirm | Established, TcpClosed) => {
                 let mut actions = Vec::new();
-                actions.extend(self.to_idle(DownReason::TransportClosed));
+                actions.extend(self.enter_idle(DownReason::TransportClosed));
                 actions
             }
             // Anything else is an FSM error: NOTIFICATION and reset.
@@ -271,7 +271,7 @@ impl Session {
                     Action::Send(BgpMessage::Notification(notification.clone())),
                     Action::TcpClose,
                 ];
-                actions.extend(self.to_idle(DownReason::Notification(notification)));
+                actions.extend(self.enter_idle(DownReason::Notification(notification)));
                 actions
             }
             (_, TcpFailed | TcpConnected) => vec![],
@@ -292,11 +292,9 @@ impl Session {
         if let Some(expected) = self.config.peer_as {
             if open.effective_as() != expected {
                 let notification = NotificationMsg::new(notif::OPEN_ERROR, 2); // bad peer AS
-                let mut actions = vec![
-                    Action::Send(BgpMessage::Notification(notification)),
-                    Action::TcpClose,
-                ];
-                actions.extend(self.to_idle(DownReason::OpenRejected("unexpected peer AS")));
+                let mut actions =
+                    vec![Action::Send(BgpMessage::Notification(notification)), Action::TcpClose];
+                actions.extend(self.enter_idle(DownReason::OpenRejected("unexpected peer AS")));
                 return actions;
             }
         }
@@ -306,10 +304,7 @@ impl Session {
             open.hold_time.min(self.config.hold_time_secs)
         };
         self.hold_ms = negotiated_secs as Millis * 1000;
-        self.four_octet = open
-            .capabilities
-            .iter()
-            .any(|c| matches!(c, Capability::FourOctetAs(_)));
+        self.four_octet = open.capabilities.iter().any(|c| matches!(c, Capability::FourOctetAs(_)));
         self.ia_support = open.supports_ia() && self.config.advertise_ia;
         self.peer_open = Some(open);
         self.state = SessionState::OpenConfirm;
@@ -348,7 +343,7 @@ impl Session {
         }
     }
 
-    fn to_idle(&mut self, reason: DownReason) -> Vec<Action> {
+    fn enter_idle(&mut self, reason: DownReason) -> Vec<Action> {
         let was_live = matches!(
             self.state,
             SessionState::Established | SessionState::OpenConfirm | SessionState::OpenSent
@@ -399,7 +394,8 @@ mod tests {
         assert_eq!(s.handle(0, SessionEvent::ManualStart), vec![Action::TcpConnect]);
         let actions = s.handle(10, SessionEvent::TcpConnected);
         assert!(matches!(actions[0], Action::Send(BgpMessage::Open(_))));
-        let actions = s.handle(20, SessionEvent::Message(BgpMessage::Open(open_from(200, peer_ia))));
+        let actions =
+            s.handle(20, SessionEvent::Message(BgpMessage::Open(open_from(200, peer_ia))));
         assert_eq!(actions, vec![Action::Send(BgpMessage::Keepalive)]);
         assert_eq!(s.state(), SessionState::OpenConfirm);
         let actions = s.handle(30, SessionEvent::Message(BgpMessage::Keepalive));

@@ -16,7 +16,9 @@ use crate::config::{NeighborConfig, PeerId};
 use crate::decision::{self, Candidate};
 use crate::rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, RouteSource};
 use crate::route::Route;
-use crate::session::{Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary};
+use crate::session::{
+    Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary,
+};
 use bytes::{Bytes, BytesMut};
 use dbgp_wire::message::{BgpMessage, NotificationMsg, UpdateMsg};
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix, WireError};
@@ -105,7 +107,8 @@ impl Speaker {
         let ids: Vec<PeerId> = self.peers.keys().copied().collect();
         let mut out = Vec::new();
         for id in ids {
-            let actions = self.peers.get_mut(&id).unwrap().session.handle(now, SessionEvent::ManualStart);
+            let actions =
+                self.peers.get_mut(&id).unwrap().session.handle(now, SessionEvent::ManualStart);
             self.run_actions(now, id, actions, &mut out);
         }
         out
@@ -132,9 +135,9 @@ impl Speaker {
         let mut out = Vec::new();
         let Some(peer) = self.peers.get_mut(&id) else { return out };
         peer.rx.extend_from_slice(data);
-        loop {
-            let Some(peer) = self.peers.get_mut(&id) else { break };
-            let four_octet = peer.session.four_octet() || peer.session.state() != SessionState::Established;
+        while let Some(peer) = self.peers.get_mut(&id) {
+            let four_octet =
+                peer.session.four_octet() || peer.session.state() != SessionState::Established;
             match BgpMessage::decode(&mut peer.rx, four_octet) {
                 Ok(Some(msg)) => {
                     let actions = peer.session.handle(now, SessionEvent::Message(msg));
@@ -224,22 +227,28 @@ impl Speaker {
         out
     }
 
-    fn run_actions(&mut self, now: Millis, id: PeerId, actions: Vec<Action>, out: &mut Vec<Output>) {
+    fn run_actions(
+        &mut self,
+        now: Millis,
+        id: PeerId,
+        actions: Vec<Action>,
+        out: &mut Vec<Output>,
+    ) {
         for action in actions {
             match action {
                 Action::TcpConnect => out.push(Output::TcpConnect(id)),
                 Action::TcpClose => out.push(Output::TcpClose(id)),
                 Action::Send(msg) => {
                     let peer = self.peers.get_mut(&id).unwrap();
-                    let bytes = msg.encode(peer.session.four_octet() || !matches!(msg, BgpMessage::Update(_)));
+                    let bytes = msg
+                        .encode(peer.session.four_octet() || !matches!(msg, BgpMessage::Update(_)));
                     out.push(Output::SendBytes(id, bytes));
                 }
                 Action::Up(summary) => {
                     self.peers.get_mut(&id).unwrap().summary = Some(summary);
                     out.push(Output::PeerUp(id, summary));
                     // Initial table transfer: advertise our whole view.
-                    let prefixes: Vec<Ipv4Prefix> =
-                        self.loc_rib.iter().map(|(p, _)| *p).collect();
+                    let prefixes: Vec<Ipv4Prefix> = self.loc_rib.iter().map(|(p, _)| *p).collect();
                     for prefix in prefixes {
                         self.propagate_to(now, id, prefix, out);
                     }
@@ -259,7 +268,13 @@ impl Speaker {
         }
     }
 
-    fn process_update(&mut self, now: Millis, id: PeerId, update: UpdateMsg, out: &mut Vec<Output>) {
+    fn process_update(
+        &mut self,
+        now: Millis,
+        id: PeerId,
+        update: UpdateMsg,
+        out: &mut Vec<Output>,
+    ) {
         for prefix in &update.withdrawn {
             if self.adj_in.remove(id, prefix).is_some() {
                 self.redecide(now, *prefix, out);
@@ -354,7 +369,13 @@ impl Speaker {
 
     /// Compute what `peer` should see for `prefix`, diff against
     /// Adj-RIB-Out, and emit the UPDATE if anything changed.
-    fn propagate_to(&mut self, _now: Millis, id: PeerId, prefix: Ipv4Prefix, out: &mut Vec<Output>) {
+    fn propagate_to(
+        &mut self,
+        _now: Millis,
+        id: PeerId,
+        prefix: Ipv4Prefix,
+        out: &mut Vec<Output>,
+    ) {
         let export = self.export_route(id, &prefix);
         match export {
             Some(route) => {
@@ -362,8 +383,7 @@ impl Speaker {
                     let peer = &self.peers[&id];
                     let ibgp = peer.cfg.is_ibgp();
                     let update = UpdateMsg::announce(vec![prefix], route.to_attrs(ibgp));
-                    let bytes = BgpMessage::Update(update)
-                        .encode(peer.session.four_octet());
+                    let bytes = BgpMessage::Update(update).encode(peer.session.four_octet());
                     out.push(Output::SendBytes(id, bytes));
                 }
             }
@@ -460,15 +480,26 @@ mod tests {
                         // attempt fails if the link is not wired yet).
                         let Some(&(remote, rpeer)) = self.links.get(&(idx, peer)) else {
                             let now = self.now;
-                            let o = self.speakers[idx].transport_event(now, peer, TransportEvent::Failed);
+                            let o = self.speakers[idx].transport_event(
+                                now,
+                                peer,
+                                TransportEvent::Failed,
+                            );
                             self.absorb(idx, o);
                             continue;
                         };
                         let now = self.now;
-                        let o1 = self.speakers[idx].transport_event(now, peer, TransportEvent::Connected);
+                        let o1 = self.speakers[idx].transport_event(
+                            now,
+                            peer,
+                            TransportEvent::Connected,
+                        );
                         self.absorb(idx, o1);
-                        let o2 =
-                            self.speakers[remote].transport_event(now, rpeer, TransportEvent::Connected);
+                        let o2 = self.speakers[remote].transport_event(
+                            now,
+                            rpeer,
+                            TransportEvent::Connected,
+                        );
                         self.absorb(remote, o2);
                     }
                     Output::TcpClose(_) => {}

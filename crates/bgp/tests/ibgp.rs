@@ -41,10 +41,17 @@ impl Fabric {
                 Output::TcpConnect(peer) => {
                     if let Some(&(remote, rpeer)) = self.links.get(&(idx, peer)) {
                         let now = self.now;
-                        let o = self.speakers[idx].transport_event(now, peer, TransportEvent::Connected);
+                        let o = self.speakers[idx].transport_event(
+                            now,
+                            peer,
+                            TransportEvent::Connected,
+                        );
                         self.absorb(idx, o);
-                        let o = self.speakers[remote]
-                            .transport_event(now, rpeer, TransportEvent::Connected);
+                        let o = self.speakers[remote].transport_event(
+                            now,
+                            rpeer,
+                            TransportEvent::Connected,
+                        );
                         self.absorb(remote, o);
                     }
                 }
@@ -104,7 +111,7 @@ fn multi_router_as() -> Fabric {
     r2.add_peer(PeerId(1), neighbor(100, 2, 100)); // to r3
     r3.add_peer(PeerId(0), neighbor(100, 3, 100)); // to r1
     r3.add_peer(PeerId(1), neighbor(100, 3, 100)); // to r2
-    // eBGP edges.
+                                                   // eBGP edges.
     r1.add_peer(PeerId(2), neighbor(100, 1, 200));
     origin.add_peer(PeerId(0), neighbor(200, 4, 100));
     r3.add_peer(PeerId(2), neighbor(100, 3, 300));

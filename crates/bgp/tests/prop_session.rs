@@ -38,9 +38,9 @@ fn arb_event() -> impl Strategy<Value = SessionEvent> {
                 Ipv4Addr::new(9, 9, 9, 9),
             )))
         }),
-        Just(SessionEvent::Message(BgpMessage::Update(UpdateMsg::withdraw(vec![
-            "10.0.0.0/8".parse().unwrap()
-        ])))),
+        Just(SessionEvent::Message(BgpMessage::Update(UpdateMsg::withdraw(vec!["10.0.0.0/8"
+            .parse()
+            .unwrap()])))),
         (1u8..7, 0u8..12).prop_map(|(code, sub)| {
             SessionEvent::Message(BgpMessage::Notification(NotificationMsg::new(code, sub)))
         }),
@@ -245,10 +245,7 @@ fn day_long_session_stays_up_on_keepalives() {
         for (_, to_a) in due {
             let target = if to_a { &mut a } else { &mut b };
             let actions = target.handle(now, SessionEvent::Message(BgpMessage::Keepalive));
-            assert!(
-                !actions.iter().any(|x| matches!(x, Action::Down(_))),
-                "session died at {now}"
-            );
+            assert!(!actions.iter().any(|x| matches!(x, Action::Down(_))), "session died at {now}");
         }
         // Timers due now.
         for (session, to_a) in [(&mut a, false), (&mut b, true)] {

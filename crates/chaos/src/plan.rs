@@ -1,0 +1,206 @@
+//! Declarative fault schedules.
+//!
+//! A [`FaultPlan`] is a timed list of [`Fault`]s — link failures and
+//! repairs, perturbation-model changes, node restarts — that a
+//! [`ScenarioRunner`](crate::ScenarioRunner) replays against a running
+//! simulation. Plans are plain data: deterministic, comparable,
+//! composable, and independent of any particular topology until run.
+
+use dbgp_sim::sim::NodeId;
+use dbgp_sim::{LinkModel, SimTime};
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Administratively fail the link between two nodes
+    /// ([`Sim::fail_link`](dbgp_sim::Sim::fail_link)).
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Repair a previously failed link
+    /// ([`Sim::restore_link`](dbgp_sim::Sim::restore_link)): fresh
+    /// sessions, full-table re-transfer both ways.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Replace the perturbation model on a link (both directions) —
+    /// used to start and stop loss bursts, jitter storms, and
+    /// corruption windows.
+    SetLinkModel {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// The model to install.
+        model: LinkModel,
+    },
+    /// Restart a node: every session resets and comes back with a
+    /// full-table re-transfer — the paper's §3.5 router-reboot concern.
+    NodeRestart {
+        /// The rebooting node.
+        node: NodeId,
+    },
+}
+
+impl Fault {
+    /// Short stable label for reports ("link-down 2-5").
+    pub fn label(&self) -> String {
+        match self {
+            Fault::LinkDown { a, b } => format!("link-down {a}-{b}"),
+            Fault::LinkUp { a, b } => format!("link-up {a}-{b}"),
+            Fault::SetLinkModel { a, b, model } => {
+                if model.is_reliable() {
+                    format!("link-heal {a}-{b}")
+                } else {
+                    format!("link-degrade {a}-{b}")
+                }
+            }
+            Fault::NodeRestart { node } => format!("restart {node}"),
+        }
+    }
+}
+
+/// A fault pinned to a simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedFault {
+    /// Absolute simulated time at which to inject.
+    pub at: SimTime,
+    /// What to inject.
+    pub fault: Fault,
+}
+
+/// A timed schedule of faults. Build it fluently, then hand it to a
+/// [`ScenarioRunner`](crate::ScenarioRunner).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule a single fault.
+    pub fn at(mut self, at: SimTime, fault: Fault) -> Self {
+        self.faults.push(TimedFault { at, fault });
+        self
+    }
+
+    /// One flap: the link goes down at `down_at` and comes back at
+    /// `up_at`.
+    pub fn link_flap(self, a: NodeId, b: NodeId, down_at: SimTime, up_at: SimTime) -> Self {
+        assert!(up_at > down_at, "flap must come back up after it goes down");
+        self.at(down_at, Fault::LinkDown { a, b }).at(up_at, Fault::LinkUp { a, b })
+    }
+
+    /// Periodic flapping: `count` flaps starting at `first_down`, one
+    /// every `period`, each lasting `downtime` (< `period`).
+    pub fn link_flaps(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        first_down: SimTime,
+        period: SimTime,
+        downtime: SimTime,
+        count: usize,
+    ) -> Self {
+        assert!(downtime < period, "flaps must not overlap");
+        for i in 0..count as u64 {
+            let down = first_down + i * period;
+            self = self.link_flap(a, b, down, down + downtime);
+        }
+        self
+    }
+
+    /// A loss burst: install `model` on the link at `start`, restore a
+    /// reliable link at `start + duration`, then flap the link so the
+    /// session reset's full-table re-transfer heals whatever state the
+    /// burst destroyed. The healing flap matters: the simulated control
+    /// plane (like BGP over a dead TCP session) has no retransmission,
+    /// so lost updates never arrive on their own.
+    pub fn loss_burst(
+        self,
+        a: NodeId,
+        b: NodeId,
+        start: SimTime,
+        duration: SimTime,
+        model: LinkModel,
+    ) -> Self {
+        let end = start + duration;
+        self.at(start, Fault::SetLinkModel { a, b, model })
+            .at(end, Fault::SetLinkModel { a, b, model: LinkModel::reliable() })
+            .link_flap(a, b, end + 1, end + 2)
+    }
+
+    /// Restart `node` at `at`.
+    pub fn node_restart(self, node: NodeId, at: SimTime) -> Self {
+        self.at(at, Fault::NodeRestart { node })
+    }
+
+    /// The schedule sorted by injection time (stable: faults at the
+    /// same instant keep build order).
+    pub fn sorted(&self) -> Vec<TimedFault> {
+        let mut faults = self.faults.clone();
+        faults.sort_by_key(|tf| tf.at);
+        faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flaps_expand_to_down_up_pairs() {
+        let plan = FaultPlan::new().link_flaps(0, 1, 100, 1000, 50, 3);
+        assert_eq!(plan.len(), 6);
+        let sorted = plan.sorted();
+        assert_eq!(sorted[0], TimedFault { at: 100, fault: Fault::LinkDown { a: 0, b: 1 } });
+        assert_eq!(sorted[1], TimedFault { at: 150, fault: Fault::LinkUp { a: 0, b: 1 } });
+        assert_eq!(sorted[4].at, 2100);
+    }
+
+    #[test]
+    fn sorted_is_stable_for_simultaneous_faults() {
+        let plan = FaultPlan::new()
+            .at(500, Fault::LinkDown { a: 0, b: 1 })
+            .at(100, Fault::NodeRestart { node: 2 })
+            .at(500, Fault::LinkUp { a: 3, b: 4 });
+        let sorted = plan.sorted();
+        assert_eq!(sorted[0].fault, Fault::NodeRestart { node: 2 });
+        assert_eq!(sorted[1].fault, Fault::LinkDown { a: 0, b: 1 });
+        assert_eq!(sorted[2].fault, Fault::LinkUp { a: 3, b: 4 });
+    }
+
+    #[test]
+    fn loss_burst_ends_with_a_healing_flap() {
+        let model = LinkModel::reliable().loss_ppm(800_000);
+        let plan = FaultPlan::new().loss_burst(1, 2, 1000, 500, model);
+        let sorted = plan.sorted();
+        assert_eq!(sorted.len(), 4);
+        assert_eq!(sorted[0].fault, Fault::SetLinkModel { a: 1, b: 2, model });
+        assert!(
+            matches!(sorted[1].fault, Fault::SetLinkModel { model, .. } if model.is_reliable())
+        );
+        assert!(matches!(sorted[2].fault, Fault::LinkDown { .. }));
+        assert!(matches!(sorted[3].fault, Fault::LinkUp { .. }));
+    }
+}

@@ -1,0 +1,150 @@
+//! Churn scenarios end to end: fault plans against the paper
+//! topologies, invariants at quiescence, and the Figure 8 pass-through
+//! property (CF-R1) surviving link flaps across the gulf.
+
+use dbgp_chaos::scenario::{figure8_wiser, scenario_prefix, sim_from_graph};
+use dbgp_chaos::{Fault, FaultPlan, Invariants, ScenarioRunner};
+use dbgp_protocols::wiser;
+use dbgp_sim::LinkModel;
+use dbgp_topology::fixtures::waxman_50;
+use dbgp_wire::ProtocolId;
+
+#[test]
+fn figure8_pass_through_survives_gulf_flaps() {
+    let mut f = figure8_wiser();
+    let prefix = scenario_prefix();
+    f.sim.originate(f.d, prefix);
+    f.sim.run(10_000_000);
+
+    // Baseline: the §6.1 result — S sees Wiser costs across the gulf
+    // and prefers the cheap-but-long exit.
+    let best = f.sim.speaker(f.s).best(&prefix).expect("converged");
+    assert_eq!(best.ia.hop_count(), 4, "cheap long path wins");
+    let baseline_cost = wiser::path_cost(&best.ia).expect("cost visible across the gulf");
+
+    // Flap the long path's gulf link twice, then once more on the
+    // short side — churn on both sides of the Figure 8 gulf.
+    let plan = FaultPlan::new()
+        .link_flaps(f.g2a, f.g2b, 20_000_000, 40_000_000, 10_000_000, 2)
+        .link_flap(f.g1, f.s, 110_000_000, 130_000_000);
+    let report = ScenarioRunner::default().run(&mut f.sim, &plan);
+    assert!(report.quiesced, "figure 8 must quiesce after the flaps");
+    assert_eq!(report.records.len(), 6);
+
+    // While the long path was down, S must have fallen back to the
+    // expensive short exit (route churn at S), and afterwards returned.
+    assert!(report.total_best_changes() >= 4, "flaps actually churned routes");
+
+    // The tentpole check: after all that churn the IA at S still
+    // carries island A's Wiser descriptors — pass-through state was
+    // rebuilt intact by the re-advertisement waves, not lost in the
+    // gulf (CF-R1 across Figure 8).
+    let invariants = Invariants::new().expect_pass_through(f.s, prefix, ProtocolId::WISER);
+    let check = invariants.check(&f.sim);
+    assert!(check.ok(), "violations after churn: {check:?}");
+    let best = f.sim.speaker(f.s).best(&prefix).expect("still converged");
+    assert_eq!(best.ia.hop_count(), 4, "back on the cheap long path");
+    assert_eq!(
+        wiser::path_cost(&best.ia),
+        Some(baseline_cost),
+        "Wiser cost descriptor identical after churn"
+    );
+    let portals = wiser::portals(&best.ia);
+    assert!(
+        portals.iter().any(|(island, _)| island.0 == 900),
+        "island A's portal descriptor survived: {portals:?}"
+    );
+}
+
+#[test]
+fn figure8_node_restart_rebuilds_pass_through_state() {
+    let mut f = figure8_wiser();
+    let prefix = scenario_prefix();
+    f.sim.originate(f.d, prefix);
+    f.sim.run(10_000_000);
+
+    // Restart a gulf AS: its sessions reset and every table crossing it
+    // is re-transferred (§3.5). The pass-through descriptors must come
+    // back with them.
+    let plan = FaultPlan::new().node_restart(f.g2b, 20_000_000);
+    let report = ScenarioRunner::default().run(&mut f.sim, &plan);
+    assert!(report.quiesced);
+    assert!(report.records[0].window.messages > 0, "restart triggered a full-table re-transfer");
+    let check = Invariants::new().expect_pass_through(f.s, prefix, ProtocolId::WISER).check(&f.sim);
+    assert!(check.ok(), "violations after restart: {check:?}");
+    assert_eq!(f.sim.speaker(f.s).best(&prefix).unwrap().ia.hop_count(), 4);
+}
+
+#[test]
+fn waxman_flap_storm_stays_loop_free_and_black_hole_free() {
+    let graph = waxman_50(3);
+    let mut sim = sim_from_graph(&graph, 10);
+    sim.set_seed(3);
+    let prefix = scenario_prefix();
+    sim.originate(0, prefix);
+    sim.run(100_000_000);
+
+    // Flap two links chosen deterministically from the edge list, plus
+    // a restart of a transit node, all overlapping.
+    let edges: Vec<(usize, usize, bool)> = sim.links().collect();
+    let (a1, b1, _) = edges[edges.len() / 3];
+    let (a2, b2, _) = edges[2 * edges.len() / 3];
+    let plan = FaultPlan::new()
+        .link_flaps(a1, b1, 110_000_000, 30_000_000, 10_000_000, 3)
+        .link_flap(a2, b2, 120_000_000, 160_000_000)
+        .node_restart(1, 150_000_000);
+    let runner = ScenarioRunner::new(200_000_000);
+    let report = runner.run(&mut sim, &plan);
+
+    assert!(report.quiesced, "waxman scenario must quiesce");
+    let check = Invariants::new().check(&sim);
+    assert!(
+        check.forwarding_loops.is_empty(),
+        "forwarding loops at quiescence: {:?}",
+        check.forwarding_loops
+    );
+    assert!(check.black_holes.is_empty(), "black holes at quiescence: {:?}", check.black_holes);
+    assert!(check.path_vector_violations.is_empty());
+    // Every AS still reaches the destination (the graph stays connected
+    // because all faults are repaired).
+    for node in 1..sim.node_count() {
+        assert!(sim.speaker(node).best(&prefix).is_some(), "node {node} lost the route");
+    }
+}
+
+#[test]
+fn loss_burst_with_healing_flap_resynchronizes() {
+    let graph = waxman_50(5);
+    let mut sim = sim_from_graph(&graph, 10);
+    sim.set_seed(5);
+    let prefix = scenario_prefix();
+    sim.originate(0, prefix);
+    sim.run(100_000_000);
+
+    // Degrade one link hard, then restart one of its endpoints inside
+    // the burst window so full-table re-transfers actually traverse the
+    // lossy link.
+    let edges: Vec<(usize, usize, bool)> = sim.links().collect();
+    let (a, b, _) = edges[edges.len() / 2];
+    let storm = LinkModel::reliable().loss_ppm(600_000).jitter(7).duplicate_ppm(100_000);
+    let plan = FaultPlan::new()
+        .loss_burst(a, b, 110_000_000, 50_000_000, storm)
+        .at(120_000_000, Fault::NodeRestart { node: a });
+    let report = ScenarioRunner::new(300_000_000).run(&mut sim, &plan);
+
+    assert!(report.quiesced);
+    // The burst + restart traffic must have actually exercised the
+    // lossy model.
+    let stats = sim.stats();
+    assert!(
+        stats.dropped_messages + stats.duplicated_messages > 0,
+        "the storm perturbed something: {stats:?}"
+    );
+    // After the healing flap, no loops, no black holes, full
+    // reachability.
+    let check = Invariants::new().check(&sim);
+    assert!(check.ok(), "violations after burst: {check:?}");
+    for node in 1..sim.node_count() {
+        assert!(sim.speaker(node).best(&prefix).is_some(), "node {node} lost the route");
+    }
+}

@@ -81,10 +81,8 @@ mod tests {
             dkey::SCION_PATHS,
             b"br1 br2".to_vec(),
         ));
-        ia.unknown_records.push(UnknownRecord {
-            tag: 999,
-            data: bytes::Bytes::from_static(b"future-extension"),
-        });
+        ia.unknown_records
+            .push(UnknownRecord { tag: 999, data: bytes::Bytes::from_static(b"future-extension") });
         ia
     }
 
@@ -143,10 +141,7 @@ mod tests {
         let filters = FilterConfig::default();
         let island = IslandConfig { id: IslandId(77), abstraction: true };
         let out = build_outgoing(&incoming(), ctx(&filters, Some(island)), &mut []).unwrap();
-        assert_eq!(
-            out.path_vector,
-            vec![PathElem::Island(IslandId(77)), PathElem::As(200)]
-        );
+        assert_eq!(out.path_vector, vec![PathElem::Island(IslandId(77)), PathElem::As(200)]);
     }
 
     #[test]

@@ -76,11 +76,7 @@ pub fn global_import(
 /// the previous intra-island hop.
 pub fn declare_own_membership(ia: &mut Ia, island: IslandId) -> Result<(), WireError> {
     // After prepend_as, an upstream member's run starts at index 1.
-    if let Some(m) = ia
-        .memberships
-        .iter_mut()
-        .find(|m| m.island == island && m.start == 1)
-    {
+    if let Some(m) = ia.memberships.iter_mut().find(|m| m.island == island && m.start == 1) {
         m.start = 0;
         return Ok(());
     }
@@ -195,9 +191,7 @@ mod tests {
             vec![2],
         ));
         assert_eq!(global_import(&cfg, 9, None, &mut adv), Ok(()));
-        assert!(adv
-            .path_descriptor(dbgp_wire::ProtocolId::WISER, dkey::WISER_PATH_COST)
-            .is_none());
+        assert!(adv.path_descriptor(dbgp_wire::ProtocolId::WISER, dkey::WISER_PATH_COST).is_none());
         assert!(adv
             .path_descriptor(dbgp_wire::ProtocolId::BGPSEC, dkey::BGPSEC_ATTESTATION)
             .is_some());
@@ -230,10 +224,7 @@ mod tests {
             declare_own_membership(&mut adv, island.id).unwrap();
         }
         global_export(&FilterConfig::default(), Some(island), true, &mut adv).unwrap();
-        assert_eq!(
-            adv.path_vector,
-            vec![PathElem::Island(IslandId(500)), PathElem::As(9)]
-        );
+        assert_eq!(adv.path_vector, vec![PathElem::Island(IslandId(500)), PathElem::As(9)]);
         assert_eq!(adv.island_of(0), Some(IslandId(500)));
     }
 

@@ -36,10 +36,7 @@ impl IaDb {
     /// Drop everything from a neighbor (session reset); returns affected
     /// prefixes.
     pub fn drop_neighbor(&mut self, neighbor: NeighborId) -> Vec<Ipv4Prefix> {
-        self.entries
-            .remove(&neighbor)
-            .map(|m| m.into_keys().collect())
-            .unwrap_or_default()
+        self.entries.remove(&neighbor).map(|m| m.into_keys().collect()).unwrap_or_default()
     }
 
     /// The IA `neighbor` advertised for `prefix`.
@@ -49,11 +46,8 @@ impl IaDb {
 
     /// All (neighbor, IA) pairs for a prefix, in neighbor order.
     pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(NeighborId, &Ia)> {
-        let mut out: Vec<(NeighborId, &Ia)> = self
-            .entries
-            .iter()
-            .filter_map(|(n, m)| m.get(prefix).map(|ia| (*n, ia)))
-            .collect();
+        let mut out: Vec<(NeighborId, &Ia)> =
+            self.entries.iter().filter_map(|(n, m)| m.get(prefix).map(|ia| (*n, ia))).collect();
         out.sort_by_key(|(n, _)| *n);
         out
     }
@@ -80,11 +74,7 @@ impl IaDb {
     /// Total wire bytes of all stored IAs — the "state kept at a tier-1"
     /// quantity of the §6.2 overhead analysis.
     pub fn total_wire_bytes(&self) -> usize {
-        self.entries
-            .values()
-            .flat_map(|m| m.values())
-            .map(Ia::wire_size)
-            .sum()
+        self.entries.values().flat_map(|m| m.values()).map(Ia::wire_size).sum()
     }
 }
 

@@ -8,9 +8,9 @@
 //! UPDATE as the optional-transitive attribute `attrs::code::IA_PAYLOAD`;
 //! see [`crate::transitional`].)
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dbgp_wire::error::{WireError, WireResult};
 use dbgp_wire::varint::{get_uvarint, put_uvarint};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dbgp_wire::{Ia, Ipv4Prefix};
 
 /// One D-BGP update: withdrawals plus new IAs.

@@ -106,7 +106,11 @@ impl DecisionModule for BgpDecision {
         ProtocolId::BGP
     }
 
-    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+    fn select_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+    ) -> Option<usize> {
         candidates
             .iter()
             .enumerate()

@@ -393,8 +393,11 @@ impl DbgpSpeaker {
                     neighbor_as: neighbor.asn,
                     neighbor_in_island,
                 };
-                let mut modules: Vec<&mut dyn DecisionModule> =
-                    self.modules.values_mut().map(|b| b.as_mut() as &mut dyn DecisionModule).collect();
+                let mut modules: Vec<&mut dyn DecisionModule> = self
+                    .modules
+                    .values_mut()
+                    .map(|b| b.as_mut() as &mut dyn DecisionModule)
+                    .collect();
                 let mut ia = match factory::build_outgoing(&chosen_ia, ctx, &mut modules) {
                     Ok(ia) => ia,
                     Err(_) => return,
@@ -521,7 +524,11 @@ mod tests {
         // pure-BGP gulf ASes (2, 3) must pass them through to AS 4.
         let mut chain = gulf_chain(&[1, 2, 3, 4]);
         let ia = Ia::builder(p("128.6.0.0/16"), nh(0))
-            .path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST, 100u64.to_be_bytes().to_vec())
+            .path_descriptor(
+                ProtocolId::WISER,
+                dkey::WISER_PATH_COST,
+                100u64.to_be_bytes().to_vec(),
+            )
             .island_descriptor(
                 IslandId(500),
                 ProtocolId::SCION,
@@ -535,10 +542,7 @@ mod tests {
         let best = chain.speakers[3].best(&p("128.6.0.0/16")).unwrap();
         assert!(best.ia.path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST).is_some());
         assert_eq!(best.ia.island_descriptors.len(), 1);
-        assert!(best
-            .ia
-            .protocols_on_path()
-            .contains(&ProtocolId::SCION));
+        assert!(best.ia.protocols_on_path().contains(&ProtocolId::SCION));
     }
 
     #[test]
@@ -601,10 +605,7 @@ mod tests {
         assert_eq!(at3.ia.island_of(0), Some(IslandId(900)));
         // Outside, AS 4 sees the abstracted island.
         let at4 = chain.speakers[3].best(&p("128.6.0.0/16")).unwrap();
-        assert_eq!(
-            at4.ia.path_vector,
-            vec![PathElem::Island(IslandId(900)), PathElem::As(1)]
-        );
+        assert_eq!(at4.ia.path_vector, vec![PathElem::Island(IslandId(900)), PathElem::As(1)]);
         assert_eq!(at4.ia.hop_count(), 2, "island counts one hop");
     }
 
@@ -620,10 +621,7 @@ mod tests {
         let mut chain = Chain::new(cfgs, &[false, true, false]);
         chain.originate(0, p("128.6.0.0/16"));
         let at4 = chain.speakers[3].best(&p("128.6.0.0/16")).unwrap();
-        assert_eq!(
-            at4.ia.path_vector,
-            vec![PathElem::As(3), PathElem::As(2), PathElem::As(1)]
-        );
+        assert_eq!(at4.ia.path_vector, vec![PathElem::As(3), PathElem::As(2), PathElem::As(1)]);
         // Membership annotations tell AS 4 which entries are the island —
         // requirement G-R4's "how to layer headers" information.
         assert_eq!(at4.ia.island_of(0), Some(IslandId(900)));
@@ -751,10 +749,8 @@ mod tests {
     #[test]
     fn active_protocol_overrides_by_longest_match() {
         let mut cfg = DbgpConfig::gulf(9);
-        cfg.active_overrides = vec![
-            (p("10.0.0.0/8"), ProtocolId::WISER),
-            (p("10.5.0.0/16"), ProtocolId::SCION),
-        ];
+        cfg.active_overrides =
+            vec![(p("10.0.0.0/8"), ProtocolId::WISER), (p("10.5.0.0/16"), ProtocolId::SCION)];
         let speaker = DbgpSpeaker::new(cfg);
         assert_eq!(speaker.active_protocol(&p("10.5.1.0/24")), ProtocolId::SCION);
         assert_eq!(speaker.active_protocol(&p("10.9.0.0/16")), ProtocolId::WISER);

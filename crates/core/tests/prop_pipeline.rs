@@ -71,7 +71,7 @@ proptest! {
         // Walk the advertisement down the chain, re-encoding at each hop
         // as the simulator would.
         let mut outputs = speakers[0].originate_ia(ia);
-        for i in 1..speakers.len() {
+        for (i, speaker) in speakers.iter_mut().enumerate().skip(1) {
             let sent = outputs.iter().find_map(|o| match o {
                 DbgpOutput::SendIa(NeighborId(1), ia) if i == 1 => Some(ia.clone()),
                 DbgpOutput::SendIa(_, ia) if i > 1 => Some(ia.clone()),
@@ -85,7 +85,7 @@ proptest! {
                 return Ok(());
             };
             let wire = Ia::decode(sent.encode()).unwrap();
-            outputs = speakers[i].receive_ia(NeighborId(0), wire);
+            outputs = speaker.receive_ia(NeighborId(0), wire);
         }
         let last = speakers.last().unwrap();
         let best = last.best(&prefix).expect("chain delivered the route");

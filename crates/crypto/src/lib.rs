@@ -44,10 +44,7 @@ impl KeyRegistry {
     /// Fetch (deriving and caching on first use) the key for an AS.
     pub fn key_for(&mut self, asn: u32) -> [u8; DIGEST_LEN] {
         let master = self.master;
-        *self
-            .keys
-            .entry(asn)
-            .or_insert_with(|| hmac_sha256(&master, &asn.to_be_bytes()))
+        *self.keys.entry(asn).or_insert_with(|| hmac_sha256(&master, &asn.to_be_bytes()))
     }
 
     /// Read-only key lookup for verification paths that must not mint
@@ -145,7 +142,7 @@ impl AttestationChain {
     /// whole number of attestations.
     pub fn from_bytes(data: &[u8]) -> Option<Self> {
         const HOP: usize = 8 + DIGEST_LEN;
-        if data.len() % HOP != 0 {
+        if !data.len().is_multiple_of(HOP) {
             return None;
         }
         let mut hops = Vec::with_capacity(data.len() / HOP);

@@ -274,12 +274,7 @@ impl<'a> Trial<'a> {
                 } else {
                     0
                 };
-                (
-                    *from_customer,
-                    metric,
-                    std::cmp::Reverse(export.dist),
-                    std::cmp::Reverse(*v),
-                )
+                (*from_customer, metric, std::cmp::Reverse(export.dist), std::cmp::Reverse(*v))
             })
             .map(|(i, _)| i)
     }
@@ -293,12 +288,7 @@ impl<'a> Trial<'a> {
         chosen: Export,
         candidates: &[(usize, Export, bool)],
     ) -> (Export, u32) {
-        let avail = candidates
-            .iter()
-            .map(|(_, e, _)| e.paths)
-            .sum::<u32>()
-            .min(self.cap)
-            .max(1);
+        let avail = candidates.iter().map(|(_, e, _)| e.paths).sum::<u32>().min(self.cap).max(1);
         let dist = chosen.dist + 1;
         match (self.upgraded[u], self.baseline) {
             (true, _) => {
@@ -326,7 +316,12 @@ impl<'a> Trial<'a> {
 
     /// True bottleneck bandwidth of the chosen path from `s` (min over
     /// every AS the traffic enters, upgraded or not).
-    fn actual_bottleneck(&self, routes: &[Option<NodeRoute>], s: usize, dest: usize) -> Option<u64> {
+    fn actual_bottleneck(
+        &self,
+        routes: &[Option<NodeRoute>],
+        s: usize,
+        dest: usize,
+    ) -> Option<u64> {
         let mut at = s;
         let mut min_bw = u64::MAX;
         let mut hops = 0;
@@ -348,7 +343,8 @@ impl<'a> Trial<'a> {
 fn run_trial(cfg: &BenefitsConfig, seed: u64, adoption_percent: u32) -> f64 {
     let graph = dbgp_topology::waxman::generate(cfg.waxman, seed);
     let n = graph.len();
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(adoption_percent as u64));
+    let mut rng =
+        StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(adoption_percent as u64));
     let k = (n * adoption_percent as usize) / 100;
     let mut upgraded = vec![false; n];
     match cfg.adoption_mode {

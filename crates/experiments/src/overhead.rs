@@ -204,11 +204,7 @@ mod tests {
         assert!((max.cr_bytes / MB - 9.8).abs() < 0.1);
         // Paper: total 24 GB – 36,000 GB.
         assert!((min.total_bytes / GB - 24.0).abs() < 1.0, "{}", min.total_bytes / GB);
-        assert!(
-            (max.total_bytes / GB - 36_000.0).abs() < 1_000.0,
-            "{}",
-            max.total_bytes / GB
-        );
+        assert!((max.total_bytes / GB - 36_000.0).abs() < 1_000.0, "{}", max.total_bytes / GB);
     }
 
     #[test]
@@ -273,10 +269,7 @@ mod tests {
     fn table3_has_paper_rows_in_order() {
         let t = table3();
         let names: Vec<&str> = t.iter().map(|(n, _, _)| *n).collect();
-        assert_eq!(
-            names,
-            vec!["Basic", "+ Avg. path lengths", "+ Sharing", "Single protocol"]
-        );
+        assert_eq!(names, vec!["Basic", "+ Avg. path lengths", "+ Sharing", "Single protocol"]);
     }
 
     #[test]

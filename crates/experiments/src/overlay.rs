@@ -165,10 +165,7 @@ mod tests {
             assert!(p.stretch >= 1.0, "stretch {} at {}%", p.stretch, p.adoption);
         }
         // More upgraded ASes = better relays = less detour.
-        assert!(
-            points.first().unwrap().stretch >= points.last().unwrap().stretch,
-            "{points:?}"
-        );
+        assert!(points.first().unwrap().stretch >= points.last().unwrap().stretch, "{points:?}");
     }
 
     #[test]

@@ -9,10 +9,10 @@
 //! IPv6 or NDN-style names) and provide both the descriptor plumbing and
 //! the lookup-service payloads carried over the out-of-band bus.
 
+use bytes::{Buf, Bytes, BytesMut};
 use dbgp_core::module::{CandidateIa, DecisionModule, ExportContext};
 use dbgp_wire::ia::{dkey, IslandDescriptor};
 use dbgp_wire::varint::{get_uvarint, put_uvarint};
-use bytes::{Buf, Bytes, BytesMut};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
 use std::collections::HashMap;
 
@@ -26,12 +26,7 @@ pub fn lookup_services(ia: &Ia) -> Vec<(IslandId, Ipv4Addr)> {
     ia.island_descriptors
         .iter()
         .filter(|d| d.key == dkey::ADDR_LOOKUP_SERVICE && d.value.len() == 4)
-        .map(|d| {
-            (
-                d.island,
-                Ipv4Addr(u32::from_be_bytes(d.value.as_slice().try_into().unwrap())),
-            )
-        })
+        .map(|d| (d.island, Ipv4Addr(u32::from_be_bytes(d.value.as_slice().try_into().unwrap()))))
         .collect()
 }
 
@@ -135,7 +130,11 @@ impl DecisionModule for AddrMapModule {
         ProtocolId::BGP
     }
 
-    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+    fn select_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+    ) -> Option<usize> {
         candidates
             .iter()
             .enumerate()
@@ -193,7 +192,7 @@ mod tests {
 
     #[test]
     fn attach_is_idempotent() {
-        let mut module = AddrMapModule::new(IslandId(70), Ipv4Addr::new(198, 18, 0, 1));
+        let module = AddrMapModule::new(IslandId(70), Ipv4Addr::new(198, 18, 0, 1));
         let mut ia = Ia::originate(p("203.0.113.0/24"), Ipv4Addr::new(9, 9, 9, 9));
         module.attach(&mut ia);
         module.attach(&mut ia);

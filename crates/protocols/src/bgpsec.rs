@@ -127,7 +127,11 @@ impl DecisionModule for BgpsecModule {
         verify(ctx.ia, &mut self.registry, self.local_as) == ChainStatus::Valid
     }
 
-    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+    fn select_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+    ) -> Option<usize> {
         // Prefer verified chains, then shortest path (monitor-mode
         // ranking; under enforce, accept() already filtered).
         candidates
@@ -149,12 +153,7 @@ impl DecisionModule for BgpsecModule {
         // per-export-target, which is exactly why BGPSec attestations
         // cannot be aggregated (§3.5).
         let mut chain = chain_of(ia).unwrap_or_default();
-        chain.sign(
-            &mut self.registry,
-            ctx.local_as,
-            ctx.neighbor_as,
-            &subject_for(&ia.prefix),
-        );
+        chain.sign(&mut self.registry, ctx.local_as, ctx.neighbor_as, &subject_for(&ia.prefix));
         set_chain(ia, &chain);
     }
 }
@@ -175,12 +174,7 @@ mod tests {
     }
 
     fn export_ctx(local_as: u32, neighbor_as: u32) -> ExportContext {
-        ExportContext {
-            neighbor: NeighborId(0),
-            neighbor_as,
-            local_as,
-            prefix: p("128.6.0.0/16"),
-        }
+        ExportContext { neighbor: NeighborId(0), neighbor_as, local_as, prefix: p("128.6.0.0/16") }
     }
 
     /// Simulate a fully secure 3-hop advertisement: origin 1 -> 2 -> 3,

@@ -47,7 +47,11 @@ impl DecisionModule for BottleneckBwModule {
         ProtocolId::EQBGP
     }
 
-    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+    fn select_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+    ) -> Option<usize> {
         // Highest known bottleneck bandwidth; candidates without the
         // descriptor expose nothing and rank lowest. Ties fall back to
         // shortest path.

@@ -18,10 +18,10 @@
 //!   module exposes the island's HLP path costs in a path descriptor
 //!   ([`dkey::WISER_PATH_COST`]'s HLP analogue lives under its own key).
 
+use bytes::{Buf, Bytes, BytesMut};
 use dbgp_core::module::{CandidateIa, DecisionModule, ExportContext};
 use dbgp_wire::ia::PathDescriptor;
 use dbgp_wire::varint::{get_uvarint, put_uvarint};
-use bytes::{Buf, Bytes, BytesMut};
 use dbgp_wire::{Ia, Ipv4Prefix, IslandId, ProtocolId};
 use std::collections::{BinaryHeap, HashMap};
 
@@ -143,8 +143,7 @@ pub fn hlp_cost(ia: &Ia) -> Option<u64> {
 }
 
 fn set_hlp_cost(ia: &mut Ia, cost: u64) {
-    ia.path_descriptors
-        .retain(|d| !(d.owned_by(ProtocolId::HLP) && d.key == HLP_PATH_COST));
+    ia.path_descriptors.retain(|d| !(d.owned_by(ProtocolId::HLP) && d.key == HLP_PATH_COST));
     ia.path_descriptors.push(PathDescriptor::new(
         ProtocolId::HLP,
         HLP_PATH_COST,
@@ -220,7 +219,11 @@ impl DecisionModule for HlpModule {
         ProtocolId::HLP
     }
 
-    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+    fn select_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+    ) -> Option<usize> {
         // Rank by accumulated HLP cost (external) plus our link-state
         // distance to the member that presented the candidate; then hop
         // count; then neighbor.

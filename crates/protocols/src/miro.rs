@@ -12,22 +12,17 @@
 //! (off-path discovery) — can contact the portal out-of-band, negotiate
 //! a path for payment, and tunnel traffic to it (§3.4's four-step walk).
 
+use bytes::{Buf, Bytes, BytesMut};
 use dbgp_core::module::{CandidateIa, DecisionModule, ExportContext};
 use dbgp_wire::ia::{dkey, IslandDescriptor};
 use dbgp_wire::varint::{get_uvarint, put_uvarint};
-use bytes::{Buf, Bytes, BytesMut};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
 
 /// Discover MIRO service portals advertised along an IA's path.
 pub fn find_portals(ia: &Ia) -> Vec<(IslandId, Ipv4Addr)> {
     ia.island_descriptors_for(ProtocolId::MIRO)
         .filter(|d| d.key == dkey::MIRO_PORTAL && d.value.len() == 4)
-        .map(|d| {
-            (
-                d.island,
-                Ipv4Addr(u32::from_be_bytes(d.value.as_slice().try_into().unwrap())),
-            )
-        })
+        .map(|d| (d.island, Ipv4Addr(u32::from_be_bytes(d.value.as_slice().try_into().unwrap()))))
         .collect()
 }
 
@@ -131,7 +126,8 @@ impl MiroPortal {
             .offers
             .iter()
             .filter(|(dst, offer)| {
-                (dst == &request.dst || dst.covers(&request.dst)) && offer.price <= request.max_price
+                (dst == &request.dst || dst.covers(&request.dst))
+                    && offer.price <= request.max_price
             })
             .min_by_key(|(_, offer)| offer.price)
             .map(|(dst, offer)| (*dst, offer.clone()))?;
@@ -185,7 +181,11 @@ impl DecisionModule for MiroModule {
         ProtocolId::MIRO
     }
 
-    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+    fn select_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+    ) -> Option<usize> {
         // Custom protocols route *selected* traffic out-of-band; baseline
         // selection stays BGP-like.
         candidates
@@ -241,9 +241,8 @@ mod tests {
             p("131.1.0.0/16"),
             MiroOffer { path: vec![1, 3, 4], price: 100, tunnel_endpoint: Ipv4Addr(2) },
         );
-        let offer = portal
-            .negotiate(MiroRequest { dst: p("131.1.0.0/16"), max_price: 500 })
-            .unwrap();
+        let offer =
+            portal.negotiate(MiroRequest { dst: p("131.1.0.0/16"), max_price: 500 }).unwrap();
         assert_eq!(offer.price, 100);
         assert_eq!(portal.sales.len(), 1);
     }
@@ -272,10 +271,7 @@ mod tests {
         let mut ia = Ia::decode(ia.encode()).unwrap();
         ia.prepend_as(4000);
         let ia = Ia::decode(ia.encode()).unwrap();
-        assert_eq!(
-            find_portals(&ia),
-            vec![(IslandId(1007), Ipv4Addr::new(173, 82, 2, 0))]
-        );
+        assert_eq!(find_portals(&ia), vec![(IslandId(1007), Ipv4Addr::new(173, 82, 2, 0))]);
     }
 
     #[test]

@@ -21,10 +21,10 @@
 //! This file is the analogue of the 509 + 293 lines the paper reports
 //! for basic Pathlet Routing plus its across-gulf deployment.
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dbgp_core::module::{CandidateIa, DecisionModule, ExportContext};
 use dbgp_wire::ia::{dkey, IslandDescriptor};
 use dbgp_wire::varint::{get_uvarint, put_uvarint};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dbgp_wire::{Ia, Ipv4Prefix, IslandId, ProtocolId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -208,14 +208,7 @@ impl PathletDb {
         let mut out = Vec::new();
         let mut stack = Vec::new();
         let mut visited = HashSet::new();
-        self.dfs(
-            &PathletNode::Router(start),
-            dest,
-            &mut stack,
-            &mut visited,
-            &mut out,
-            max_paths,
-        );
+        self.dfs(&PathletNode::Router(start), dest, &mut stack, &mut visited, &mut out, max_paths);
         out
     }
 
@@ -347,7 +340,11 @@ impl DecisionModule for PathletModule {
         ProtocolId::PATHLET
     }
 
-    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+    fn select_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+    ) -> Option<usize> {
         // Ingress translation: learn every candidate's pathlets, then
         // prefer the IA that exposes the most pathlets (more route
         // choice), tie-broken by shortest inter-island path.
@@ -360,13 +357,12 @@ impl DecisionModule for PathletModule {
             .iter()
             .enumerate()
             .max_by_key(|(_, c)| {
-                let pathlet_count: usize = c
-                    .ia
-                    .island_descriptors_for(ProtocolId::PATHLET)
-                    .filter(|d| d.key == dkey::PATHLET_PATHLETS)
-                    .filter_map(|d| decode_pathlets(&d.value))
-                    .map(|v| v.len())
-                    .sum();
+                let pathlet_count: usize =
+                    c.ia.island_descriptors_for(ProtocolId::PATHLET)
+                        .filter(|d| d.key == dkey::PATHLET_PATHLETS)
+                        .filter_map(|d| decode_pathlets(&d.value))
+                        .map(|v| v.len())
+                        .sum();
                 (
                     pathlet_count,
                     std::cmp::Reverse(c.ia.hop_count()),
@@ -383,15 +379,13 @@ impl DecisionModule for PathletModule {
             .island_descriptors_for(ProtocolId::PATHLET)
             .any(|d| d.island == self.island && d.key == dkey::PATHLET_PATHLETS);
         if !already && !self.own_pathlets.is_empty() {
-            ia.island_descriptors
-                .push(egress_translate(self.island, &self.own_pathlets));
+            ia.island_descriptors.push(egress_translate(self.island, &self.own_pathlets));
         }
     }
 
     fn decorate_origin(&mut self, ia: &mut Ia, _local_as: u32) {
         if !self.own_pathlets.is_empty() {
-            ia.island_descriptors
-                .push(egress_translate(self.island, &self.own_pathlets));
+            ia.island_descriptors.push(egress_translate(self.island, &self.own_pathlets));
         }
     }
 }
@@ -452,10 +446,7 @@ mod tests {
         headers.sort_by(|a, b| a.fids.cmp(&b.fids));
         assert_eq!(
             headers,
-            vec![
-                PathletHeader { fids: vec![1, 5, 9] },
-                PathletHeader { fids: vec![3, 4, 9] },
-            ]
+            vec![PathletHeader { fids: vec![1, 5, 9] }, PathletHeader { fids: vec![3, 4, 9] },]
         );
     }
 
@@ -493,8 +484,7 @@ mod tests {
     #[test]
     fn translation_roundtrip_through_ia() {
         let island = IslandId(700);
-        let pathlets =
-            vec![Pathlet::between(1, 1, 2), Pathlet::to_dest(9, 2, d())];
+        let pathlets = vec![Pathlet::between(1, 1, 2), Pathlet::to_dest(9, 2, d())];
         let mut ia = Ia::originate(d(), Ipv4Addr::new(9, 9, 9, 9));
         ia.island_descriptors.push(egress_translate(island, &pathlets));
         // Cross a gulf: encode + decode the IA.
@@ -523,12 +513,8 @@ mod tests {
         let own = vec![Pathlet::between(1, 1, 2)];
         let mut module = PathletModule::new(IslandId(5), 1, own);
         let mut ia = Ia::originate(d(), Ipv4Addr::new(9, 9, 9, 9));
-        let ctx = ExportContext {
-            neighbor: NeighborId(0),
-            neighbor_as: 42,
-            local_as: 7,
-            prefix: d(),
-        };
+        let ctx =
+            ExportContext { neighbor: NeighborId(0), neighbor_as: 42, local_as: 7, prefix: d() };
         module.export(&mut ia, ctx);
         module.export(&mut ia, ctx);
         let n = ia

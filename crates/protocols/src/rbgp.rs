@@ -14,10 +14,10 @@
 //! out-of-band); the part reproduced here is the one-way dissemination
 //! of backup paths plus the failover decision.
 
+use bytes::{Buf, Bytes, BytesMut};
 use dbgp_core::module::{CandidateIa, DecisionModule, ExportContext};
 use dbgp_wire::ia::{dkey, PathDescriptor};
 use dbgp_wire::varint::{get_uvarint, put_uvarint};
-use bytes::{Buf, Bytes, BytesMut};
 use dbgp_wire::{Ia, Ipv4Prefix, ProtocolId};
 use std::collections::HashMap;
 
@@ -67,8 +67,7 @@ pub fn backup_path(ia: &Ia) -> Option<BackupPath> {
 }
 
 fn set_backup(ia: &mut Ia, backup: &BackupPath) {
-    ia.path_descriptors
-        .retain(|d| !(d.owned_by(ProtocolId::RBGP) && d.key == dkey::RBGP_BACKUP));
+    ia.path_descriptors.retain(|d| !(d.owned_by(ProtocolId::RBGP) && d.key == dkey::RBGP_BACKUP));
     ia.path_descriptors.push(PathDescriptor::new(
         ProtocolId::RBGP,
         dkey::RBGP_BACKUP,

@@ -11,10 +11,10 @@
 //! br1` in the paper's Figure 4), so islands reveal nothing about their
 //! interior topology beyond the routers sources must name.
 
+use bytes::{Buf, Bytes, BytesMut};
 use dbgp_core::module::{CandidateIa, DecisionModule, ExportContext};
 use dbgp_wire::ia::{dkey, IslandDescriptor};
 use dbgp_wire::varint::{get_uvarint, put_uvarint};
-use bytes::{Buf, Bytes, BytesMut};
 use dbgp_wire::{Ia, Ipv4Prefix, IslandId, ProtocolId};
 
 /// A set of within-island paths, each a sequence of border-router IDs.
@@ -156,7 +156,11 @@ impl DecisionModule for ScionModule {
         ProtocolId::SCION
     }
 
-    fn select_best(&mut self, _prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize> {
+    fn select_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+    ) -> Option<usize> {
         // Path-based archetype: prefer the inter-island path exposing the
         // most within-island paths; tie on shortest path vector.
         candidates

@@ -49,12 +49,7 @@ pub fn set_path_cost(ia: &mut Ia, cost: u64) {
 pub fn portals(ia: &Ia) -> Vec<(IslandId, Ipv4Addr)> {
     ia.island_descriptors_for(ProtocolId::WISER)
         .filter(|d| d.key == dkey::WISER_PORTAL && d.value.len() == 4)
-        .map(|d| {
-            (
-                d.island,
-                Ipv4Addr(u32::from_be_bytes(d.value.as_slice().try_into().unwrap())),
-            )
-        })
+        .map(|d| (d.island, Ipv4Addr(u32::from_be_bytes(d.value.as_slice().try_into().unwrap()))))
         .collect()
 }
 
@@ -206,9 +201,7 @@ impl DecisionModule for WiserModule {
         // (already copied through by the factory).
         let incoming = path_cost(ia).unwrap_or(0);
         let source = self.chosen_source.get(&ctx.prefix).copied().unwrap_or(0);
-        let outgoing = self
-            .scaled_cost(source, incoming)
-            .saturating_add(self.internal_cost);
+        let outgoing = self.scaled_cost(source, incoming).saturating_add(self.internal_cost);
         set_path_cost(ia, outgoing);
         self.attach_portal(ia);
         let slot = self.sent.entry(ctx.neighbor_as).or_insert((0, 0));
@@ -278,11 +271,7 @@ mod tests {
         let mut ia = ia_with_cost(&[1], 5);
         set_path_cost(&mut ia, 9);
         assert_eq!(path_cost(&ia), Some(9));
-        let n = ia
-            .path_descriptors
-            .iter()
-            .filter(|d| d.key == dkey::WISER_PATH_COST)
-            .count();
+        let n = ia.path_descriptors.iter().filter(|d| d.key == dkey::WISER_PATH_COST).count();
         assert_eq!(n, 1);
     }
 

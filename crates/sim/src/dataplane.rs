@@ -101,9 +101,7 @@ impl Sim {
                 match packet.stack.last() {
                     None => return (Delivery::Delivered { at, remaining: vec![] }, trace),
                     Some(Header::Ipv4 { .. }) => continue, // route on inner header
-                    Some(_) => {
-                        return (Delivery::Delivered { at, remaining: packet.stack }, trace)
-                    }
+                    Some(_) => return (Delivery::Delivered { at, remaining: packet.stack }, trace),
                 }
             }
             match self.next_hop(at, dst) {

@@ -83,6 +83,13 @@ impl<E: Eq> EventQueue<E> {
         Some((scheduled.at, scheduled.event))
     }
 
+    /// Timestamp of the next event without popping it (and without
+    /// advancing the clock). Lets callers honor a time horizon while
+    /// leaving later events queued for a subsequent run.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(scheduled)| scheduled.at)
+    }
+
     /// Events waiting.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -144,6 +151,45 @@ mod tests {
         q.pop();
         q.schedule_at(3, 2u32); // in the past: clamped to now
         assert_eq!(q.pop(), Some((10, 2u32)));
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock_or_consume() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(10, "later");
+        q.schedule(5, "sooner");
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.now(), 0, "peek must not advance the clock");
+        assert_eq!(q.len(), 2, "peek must not consume");
+        assert_eq!(q.pop(), Some((5, "sooner")));
+        assert_eq!(q.peek_time(), Some(10));
+    }
+
+    /// The horizon contract a driver loop needs: peek-compare-pop keeps
+    /// events beyond the horizon queued (a pop-then-check loop would
+    /// silently discard the first event past the horizon and advance
+    /// the clock to it).
+    #[test]
+    fn peek_based_horizon_preserves_future_events() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "inside");
+        q.schedule(20, "boundary");
+        q.schedule(21, "beyond");
+        let horizon = 20;
+        let mut seen = Vec::new();
+        while let Some(at) = q.peek_time() {
+            if at > horizon {
+                break;
+            }
+            seen.push(q.pop().unwrap().1);
+        }
+        // An event at exactly the horizon is processed, not dropped.
+        assert_eq!(seen, vec!["inside", "boundary"]);
+        // The event past the horizon is still there for the next run.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), 20, "clock must not run past the horizon");
+        assert_eq!(q.pop(), Some((21, "beyond")));
     }
 
     #[test]

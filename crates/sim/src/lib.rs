@@ -9,6 +9,9 @@
 //!   with one-way delays, real wire-format control messages, the
 //!   out-of-band service bus (Wiser cost-exchange portals, MIRO service
 //!   portals, generic lookup services), and FIB maintenance;
+//! * [`link`] — per-link perturbation models (seeded jitter, loss,
+//!   duplication, corruption) and the deterministic [`link::SimRng`]
+//!   that drives them, the substrate for `dbgp-chaos` fault injection;
 //! * [`dataplane`] — packets with multi-network-protocol header stacks,
 //!   IPv4 tunneling, and hop-by-hop forwarding along installed FIBs.
 //!
@@ -18,8 +21,10 @@
 
 pub mod dataplane;
 pub mod engine;
+pub mod link;
 pub mod sim;
 
 pub use dataplane::{Delivery, Header, Packet};
 pub use engine::{EventQueue, SimTime};
-pub use sim::{NodeId, Service, Sim, SimStats};
+pub use link::{LinkModel, SimRng, PPM_SCALE};
+pub use sim::{NodeId, PrefixChurn, Service, Sim, SimStats};

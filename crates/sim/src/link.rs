@@ -1,0 +1,147 @@
+//! Per-link perturbation models and the seeded RNG that drives them.
+//!
+//! Every link carries a base one-way delay (set at [`crate::Sim::link`]
+//! time) plus an optional [`LinkModel`] adding seeded jitter, loss,
+//! duplication and corruption. All randomness flows through one
+//! [`SimRng`] owned by the simulator, a SplitMix64 generator whose
+//! output is fully specified by its seed — the same seed and the same
+//! construction sequence always yield byte-identical traces, which is
+//! what lets the chaos harness assert exact results under churn.
+//!
+//! A link with the default (all-zero) model never consumes RNG output,
+//! so fault-free simulations behave exactly as they did before link
+//! models existed.
+
+use crate::engine::SimTime;
+
+/// Probability scale for the `*_ppm` fields: 1,000,000 = always.
+pub const PPM_SCALE: u32 = 1_000_000;
+
+/// Stochastic behaviour of one link, applied per control-plane message.
+///
+/// Probabilities are integers in parts-per-million so the model is
+/// `Eq`/`Hash`-able and its JSON serialization is byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LinkModel {
+    /// Maximum extra delay added to each delivery; the sample is uniform
+    /// over `0..=jitter` (0 = no jitter).
+    pub jitter: SimTime,
+    /// Probability (ppm) that a message is silently dropped.
+    pub loss_ppm: u32,
+    /// Probability (ppm) that a message is delivered twice (the copy
+    /// arrives one time unit later).
+    pub duplicate_ppm: u32,
+    /// Probability (ppm) that one byte of the message is flipped in
+    /// flight (usually, but not always, a decode error at the receiver).
+    pub corrupt_ppm: u32,
+}
+
+impl LinkModel {
+    /// A perfectly reliable link — the default for every adjacency.
+    pub fn reliable() -> Self {
+        Self::default()
+    }
+
+    /// True when the model never perturbs anything (no RNG is consumed).
+    pub fn is_reliable(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Builder-style: set the jitter bound.
+    pub fn jitter(mut self, jitter: SimTime) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Builder-style: set the loss probability in ppm.
+    pub fn loss_ppm(mut self, ppm: u32) -> Self {
+        self.loss_ppm = ppm;
+        self
+    }
+
+    /// Builder-style: set the duplication probability in ppm.
+    pub fn duplicate_ppm(mut self, ppm: u32) -> Self {
+        self.duplicate_ppm = ppm;
+        self
+    }
+
+    /// Builder-style: set the corruption probability in ppm.
+    pub fn corrupt_ppm(mut self, ppm: u32) -> Self {
+        self.corrupt_ppm = ppm;
+        self
+    }
+}
+
+/// A SplitMix64 generator: tiny, platform-independent, and fully
+/// determined by its seed — exactly what a reproducible discrete-event
+/// simulation needs (and nothing more).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Bernoulli trial with probability `ppm` parts-per-million.
+    pub fn chance(&mut self, ppm: u32) -> bool {
+        self.below(PPM_SCALE as u64) < ppm as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_reliable() {
+        assert!(LinkModel::default().is_reliable());
+        assert!(!LinkModel::default().loss_ppm(1).is_reliable());
+        assert!(!LinkModel::default().jitter(3).is_reliable());
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let mut c = SimRng::new(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn chance_respects_extremes() {
+        let mut rng = SimRng::new(1);
+        assert!((0..100).all(|_| rng.chance(PPM_SCALE)));
+        assert!((0..100).all(|_| !rng.chance(0)));
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = SimRng::new(99);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -7,8 +7,18 @@
 //! the TLV codec at the sender and decoded at the receiver, so the
 //! simulator exercises exactly the serialization path the §5 stress test
 //! measures.
+//!
+//! Links carry an optional [`LinkModel`] (seeded jitter, loss,
+//! duplication, corruption) and can be failed, restored and flapped at
+//! runtime; nodes can be restarted (session reset + full-table
+//! re-transfer). All randomness flows through one seeded
+//! [`SimRng`](crate::link::SimRng), so a run is fully determined by its
+//! construction sequence and seed — the property the `dbgp-chaos` crate
+//! builds its fault-injection harness on.
 
 use crate::engine::{EventQueue, SimTime};
+use crate::link::LinkModel;
+use crate::link::SimRng;
 use dbgp_core::{DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId};
 use dbgp_protocols::{MiroPortal, MiroRequest};
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix, ProtocolId};
@@ -16,6 +26,11 @@ use std::collections::{BTreeMap, HashMap};
 
 /// Index of a node (one AS) in the simulation.
 pub type NodeId = usize;
+
+/// Canonical undirected key for a link between two nodes.
+fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    (a.min(b), a.max(b))
+}
 
 /// What travels on the simulated wires and bus.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +82,16 @@ struct Node {
     flush_armed: std::collections::HashSet<NeighborId>,
 }
 
+/// One adjacency's static parameters plus its administrative state.
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    delay: SimTime,
+    same_island: bool,
+    speaks_dbgp: bool,
+    model: LinkModel,
+    up: bool,
+}
+
 /// Counters the experiments read out.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -78,16 +103,49 @@ pub struct SimStats {
     pub oob_requests: u64,
     /// Simulated time of the last processed event (convergence time).
     pub last_event_at: SimTime,
+    /// Deliveries whose bytes failed to decode (corruption, or a driver
+    /// injecting garbage). Previously these were silently swallowed.
+    pub decode_errors: u64,
+    /// Deliveries that arrived after their adjacency was torn down
+    /// (in-flight messages racing a link failure or node restart).
+    pub orphaned_deliveries: u64,
+    /// Messages dropped in flight by a lossy [`LinkModel`].
+    pub dropped_messages: u64,
+    /// Extra copies delivered by a duplicating [`LinkModel`].
+    pub duplicated_messages: u64,
+    /// Messages with a byte flipped in flight by a corrupting
+    /// [`LinkModel`].
+    pub corrupted_messages: u64,
+    /// Total `BestChanged` decisions across all nodes (route churn).
+    pub best_changes: u64,
+}
+
+/// Per-(node, prefix) route-churn record, maintained on every
+/// `BestChanged` a speaker emits. The chaos crate's convergence tracker
+/// diffs snapshots of these to measure per-fault churn and convergence
+/// times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixChurn {
+    /// How many times this node's best path for the prefix changed.
+    pub best_changes: u64,
+    /// Simulated time of the most recent change.
+    pub last_change_at: SimTime,
 }
 
 /// The simulator.
 pub struct Sim {
     nodes: Vec<Node>,
-    /// (a, b) -> one-way delay.
-    link_delay: HashMap<(NodeId, NodeId), SimTime>,
+    /// Undirected link state, keyed by `(min, max)` node pair.
+    links: BTreeMap<(NodeId, NodeId), LinkState>,
     services: HashMap<Ipv4Addr, (NodeId, Service)>,
     queue: EventQueue<Event>,
     stats: SimStats,
+    /// Route-churn records per (node, prefix).
+    churn: BTreeMap<(NodeId, Ipv4Prefix), PrefixChurn>,
+    /// Seeded RNG driving link perturbation models. Only consumed for
+    /// links with a non-default model, so fault-free runs are identical
+    /// to runs before link models existed.
+    rng: SimRng,
     /// Default one-way delay for the out-of-band bus.
     oob_delay: SimTime,
     /// Minimum route advertisement interval: outbound updates to a
@@ -109,10 +167,12 @@ impl Sim {
     pub fn new() -> Self {
         Sim {
             nodes: Vec::new(),
-            link_delay: HashMap::new(),
+            links: BTreeMap::new(),
             services: HashMap::new(),
             queue: EventQueue::new(),
             stats: SimStats::default(),
+            churn: BTreeMap::new(),
+            rng: SimRng::new(0),
             oob_delay: 5,
             mrai: 30,
         }
@@ -122,6 +182,12 @@ impl Sim {
     /// coalescing entirely).
     pub fn set_mrai(&mut self, mrai: SimTime) {
         self.mrai = mrai;
+    }
+
+    /// Re-seed the perturbation RNG. Two runs with the same construction
+    /// sequence, seed and fault schedule are byte-identical.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.rng = SimRng::new(seed);
     }
 
     /// Add an AS. Its node address is derived from the node index.
@@ -172,6 +238,17 @@ impl Sim {
         self.queue.now()
     }
 
+    /// Events still scheduled (a quiescent simulation has none).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Route-churn records per (node, prefix), cumulative since the
+    /// start of the run.
+    pub fn churn(&self) -> &BTreeMap<(NodeId, Ipv4Prefix), PrefixChurn> {
+        &self.churn
+    }
+
     /// Connect two nodes with symmetric one-way `delay`. `same_island`
     /// marks both ends as intra-island peers.
     pub fn link(&mut self, a: NodeId, b: NodeId, delay: SimTime, same_island: bool) {
@@ -188,23 +265,35 @@ impl Sim {
         same_island: bool,
         speaks_dbgp: bool,
     ) {
-        self.link_delay.insert((a, b), delay);
-        self.link_delay.insert((b, a), delay);
+        self.links.insert(
+            link_key(a, b),
+            LinkState { delay, same_island, speaks_dbgp, model: LinkModel::reliable(), up: true },
+        );
         for (me, peer) in [(a, b), (b, a)] {
-            let peer_as = self.nodes[peer].speaker.asn();
-            let id = NeighborId(self.nodes[me].next_neighbor_id);
-            self.nodes[me].next_neighbor_id += 1;
-            self.nodes[me].neighbor_nodes.insert(id, peer);
-            self.nodes[me].ids_by_node.insert(peer, id);
-            let mut neighbor = if speaks_dbgp {
-                DbgpNeighbor::dbgp(peer_as)
-            } else {
-                DbgpNeighbor::legacy(peer_as)
-            };
-            neighbor.same_island = same_island;
-            let outputs = self.nodes[me].speaker.add_neighbor(id, neighbor);
-            self.dispatch(me, outputs);
+            self.establish(me, peer, same_island, speaks_dbgp);
         }
+    }
+
+    /// Attach a perturbation model to an existing link (both directions).
+    ///
+    /// Panics if the nodes were never linked: a chaos plan naming a
+    /// non-existent link is a scenario bug worth failing loudly on.
+    pub fn set_link_model(&mut self, a: NodeId, b: NodeId, model: LinkModel) {
+        self.links
+            .get_mut(&link_key(a, b))
+            .unwrap_or_else(|| panic!("set_link_model: no link {a}-{b}"))
+            .model = model;
+    }
+
+    /// Whether the link between two nodes exists and is up.
+    pub fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.links.get(&link_key(a, b)).is_some_and(|l| l.up)
+    }
+
+    /// All links ever created, as `(a, b, up)` with `a < b`, in
+    /// deterministic order.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, bool)> + '_ {
+        self.links.iter().map(|(&(a, b), l)| (a, b, l.up))
     }
 
     /// Register an out-of-band service at `addr`, owned by `node`.
@@ -237,17 +326,60 @@ impl Sim {
 
     /// Fail the link between two nodes: both speakers see the neighbor
     /// go down, flush its routes, and re-converge (the link-failure
-    /// events of §3.5, "about 172 per day" in the wild).
+    /// events of §3.5, "about 172 per day" in the wild). The link's
+    /// parameters are remembered so [`Sim::restore_link`] can undo this.
     pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
-        self.link_delay.remove(&(a, b));
-        self.link_delay.remove(&(b, a));
+        match self.links.get_mut(&link_key(a, b)) {
+            Some(l) if l.up => l.up = false,
+            _ => return,
+        }
         for (me, peer) in [(a, b), (b, a)] {
-            let Some(&id) = self.nodes[me].ids_by_node.get(&peer) else { continue };
-            self.nodes[me].neighbor_nodes.remove(&id);
-            self.nodes[me].ids_by_node.remove(&peer);
-            let outputs = self.nodes[me].speaker.neighbor_down(id);
-            self.apply_local(me, &outputs);
-            self.dispatch(me, outputs);
+            self.teardown_neighbor(me, peer);
+        }
+    }
+
+    /// Re-establish a previously failed link: the inverse of
+    /// [`Sim::fail_link`]. Both ends run session bring-up again — fresh
+    /// neighbor IDs, and each speaker re-advertises its full Adj-RIB-Out
+    /// to the other, exactly like a BGP session re-establishing after an
+    /// outage.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        let (same_island, speaks_dbgp) = match self.links.get_mut(&link_key(a, b)) {
+            Some(l) if !l.up => {
+                l.up = true;
+                (l.same_island, l.speaks_dbgp)
+            }
+            _ => return,
+        };
+        for (me, peer) in [(a, b), (b, a)] {
+            self.establish(me, peer, same_island, speaks_dbgp);
+        }
+    }
+
+    /// Restart a node: every one of its sessions resets and then comes
+    /// back up with a full-table re-transfer in both directions — the
+    /// paper's §3.5 concern that D-BGP's per-session state must survive
+    /// ASes rebooting routers. Neighbors see the peer flap; the
+    /// restarting node drops all queued outbound state.
+    pub fn restart_node(&mut self, node: NodeId) {
+        let peers: Vec<(NodeId, bool, bool)> = self
+            .links
+            .iter()
+            .filter(|(&(x, y), l)| l.up && (x == node || y == node))
+            .map(|(&(x, y), l)| (if x == node { y } else { x }, l.same_island, l.speaks_dbgp))
+            .collect();
+        for &(peer, ..) in &peers {
+            self.teardown_neighbor(node, peer);
+            self.teardown_neighbor(peer, node);
+        }
+        // The rebooting router loses its coalescing buffers and any
+        // undelivered out-of-band responses.
+        self.nodes[node].pending_out.clear();
+        self.nodes[node].flush_armed.clear();
+        self.nodes[node].oob_inbox.clear();
+        for &(peer, same_island, speaks_dbgp) in &peers {
+            self.establish(node, peer, same_island, speaks_dbgp);
+            self.establish(peer, node, same_island, speaks_dbgp);
         }
     }
 
@@ -267,25 +399,38 @@ impl Sim {
         &self.nodes[node].fib
     }
 
-    /// Run until no events remain or `max_time` is reached. Returns the
+    /// Schedule raw bytes for delivery as if they arrived on the wire
+    /// from `from` — a hook for tests and chaos drivers to model
+    /// garbage or stale traffic without a sending speaker.
+    pub fn inject_raw(&mut self, from: NodeId, to: NodeId, delay: SimTime, bytes: Vec<u8>) {
+        self.queue.schedule(delay, Event::Deliver { to, from, bytes });
+    }
+
+    /// Run until no events remain or `max_time` is reached. Events at
+    /// exactly `max_time` are processed; events beyond it stay queued
+    /// (and the clock stays at or before `max_time`), so a later `run`
+    /// call picks up exactly where this one stopped. Returns the
     /// statistics snapshot.
     pub fn run(&mut self, max_time: SimTime) -> SimStats {
-        while !self.queue.is_empty() {
-            if self.queue.now() > max_time {
+        while let Some(next_at) = self.queue.peek_time() {
+            if next_at > max_time {
                 break;
             }
-            let (at, event) = self.queue.pop().unwrap();
-            if at > max_time {
-                break;
-            }
+            let (at, event) = self.queue.pop().expect("peeked event must pop");
             self.stats.last_event_at = at;
             match event {
                 Event::Deliver { to, from, bytes } => {
                     self.stats.messages += 1;
                     self.stats.bytes += bytes.len() as u64;
                     let mut buf = bytes::Bytes::from(bytes);
-                    let Ok(update) = DbgpUpdate::decode(&mut buf) else { continue };
-                    let Some(&from_id) = self.nodes[to].ids_by_node.get(&from) else { continue };
+                    let Ok(update) = DbgpUpdate::decode(&mut buf) else {
+                        self.stats.decode_errors += 1;
+                        continue;
+                    };
+                    let Some(&from_id) = self.nodes[to].ids_by_node.get(&from) else {
+                        self.stats.orphaned_deliveries += 1;
+                        continue;
+                    };
                     let mut outputs = Vec::new();
                     for prefix in update.withdrawn {
                         outputs.extend(self.nodes[to].speaker.receive_withdraw(from_id, prefix));
@@ -313,10 +458,41 @@ impl Sim {
 
     // ----- internals ----------------------------------------------------
 
-    /// Track FIB updates from `BestChanged` outputs.
+    /// One end of session bring-up: allocate a neighbor ID for `peer`,
+    /// register the adjacency, and dispatch the speaker's full-table
+    /// transfer to it.
+    fn establish(&mut self, me: NodeId, peer: NodeId, same_island: bool, speaks_dbgp: bool) {
+        let peer_as = self.nodes[peer].speaker.asn();
+        let id = NeighborId(self.nodes[me].next_neighbor_id);
+        self.nodes[me].next_neighbor_id += 1;
+        self.nodes[me].neighbor_nodes.insert(id, peer);
+        self.nodes[me].ids_by_node.insert(peer, id);
+        let mut neighbor =
+            if speaks_dbgp { DbgpNeighbor::dbgp(peer_as) } else { DbgpNeighbor::legacy(peer_as) };
+        neighbor.same_island = same_island;
+        let outputs = self.nodes[me].speaker.add_neighbor(id, neighbor);
+        self.dispatch(me, outputs);
+    }
+
+    /// One end of session teardown: `me` loses its adjacency to `peer`.
+    fn teardown_neighbor(&mut self, me: NodeId, peer: NodeId) {
+        let Some(&id) = self.nodes[me].ids_by_node.get(&peer) else { return };
+        self.nodes[me].neighbor_nodes.remove(&id);
+        self.nodes[me].ids_by_node.remove(&peer);
+        self.nodes[me].pending_out.remove(&id);
+        let outputs = self.nodes[me].speaker.neighbor_down(id);
+        self.apply_local(me, &outputs);
+        self.dispatch(me, outputs);
+    }
+
+    /// Track FIB updates and churn from `BestChanged` outputs.
     fn apply_local(&mut self, node: NodeId, outputs: &[DbgpOutput]) {
         for output in outputs {
             if let DbgpOutput::BestChanged(prefix, chosen) = output {
+                self.stats.best_changes += 1;
+                let record = self.churn.entry((node, *prefix)).or_default();
+                record.best_changes += 1;
+                record.last_change_at = self.queue.now();
                 match chosen {
                     Some(chosen) => {
                         let next = chosen
@@ -348,26 +524,27 @@ impl Sim {
                 self.send_now(node, neighbor, prefix, ia);
                 continue;
             }
-            self.nodes[node]
-                .pending_out
-                .entry(neighbor)
-                .or_default()
-                .insert(prefix, ia);
+            self.nodes[node].pending_out.entry(neighbor).or_default().insert(prefix, ia);
             if self.nodes[node].flush_armed.insert(neighbor) {
                 self.queue.schedule(self.mrai, Event::Flush { node, neighbor });
             }
         }
     }
 
-    fn send_now(&mut self, node: NodeId, neighbor: NeighborId, prefix: Ipv4Prefix, ia: Option<dbgp_wire::Ia>) {
+    fn send_now(
+        &mut self,
+        node: NodeId,
+        neighbor: NeighborId,
+        prefix: Ipv4Prefix,
+        ia: Option<dbgp_wire::Ia>,
+    ) {
         let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
-        let delay = self.link_delay.get(&(node, to)).copied().unwrap_or(1);
         let update = match ia {
             Some(ia) => DbgpUpdate::announce(ia),
             None => DbgpUpdate::withdraw(prefix),
         };
         let bytes = update.encode().to_vec();
-        self.queue.schedule(delay, Event::Deliver { to, from: node, bytes });
+        self.deliver_on_link(node, to, bytes);
     }
 
     fn flush(&mut self, node: NodeId, neighbor: NeighborId) {
@@ -377,7 +554,6 @@ impl Sim {
             return;
         }
         let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
-        let delay = self.link_delay.get(&(node, to)).copied().unwrap_or(1);
         let mut update = DbgpUpdate::default();
         for (prefix, ia) in pending {
             match ia {
@@ -386,6 +562,50 @@ impl Sim {
             }
         }
         let bytes = update.encode().to_vec();
+        self.deliver_on_link(node, to, bytes);
+    }
+
+    /// Schedule a control-plane delivery across the `node -> to` link,
+    /// applying the link's perturbation model.
+    ///
+    /// For an unreliable model the RNG draw order per message is fixed —
+    /// loss, corruption, duplication, jitter — so a given seed and fault
+    /// schedule always perturbs the same messages the same way.
+    fn deliver_on_link(&mut self, node: NodeId, to: NodeId, mut bytes: Vec<u8>) {
+        let (mut delay, model, up) = match self.links.get(&link_key(node, to)) {
+            Some(l) => (l.delay, l.model, l.up),
+            // Adjacency without an explicit link record (not constructed
+            // via `link_with`): legacy default of one time unit.
+            None => (1, LinkModel::reliable(), true),
+        };
+        if !up {
+            // The adjacency map normally prevents this; a message racing
+            // an administrative down is simply lost on the floor.
+            self.stats.dropped_messages += 1;
+            return;
+        }
+        if !model.is_reliable() {
+            let lost = self.rng.chance(model.loss_ppm);
+            let corrupt = self.rng.chance(model.corrupt_ppm);
+            let duplicate = self.rng.chance(model.duplicate_ppm);
+            let jitter = if model.jitter > 0 { self.rng.below(model.jitter + 1) } else { 0 };
+            if lost {
+                self.stats.dropped_messages += 1;
+                return;
+            }
+            if corrupt && !bytes.is_empty() {
+                let idx = self.rng.below(bytes.len() as u64) as usize;
+                let flip = 1 + self.rng.below(255) as u8;
+                bytes[idx] ^= flip;
+                self.stats.corrupted_messages += 1;
+            }
+            delay += jitter;
+            if duplicate {
+                self.stats.duplicated_messages += 1;
+                self.queue
+                    .schedule(delay + 1, Event::Deliver { to, from: node, bytes: bytes.clone() });
+            }
+        }
         self.queue.schedule(delay, Event::Deliver { to, from: node, bytes });
     }
 
@@ -395,9 +615,7 @@ impl Sim {
         match service {
             Service::WiserCostExchange => {
                 let from_as = self.nodes[from].speaker.asn();
-                if let Some(module) =
-                    self.nodes[owner].speaker.module_mut(ProtocolId::WISER)
-                {
+                if let Some(module) = self.nodes[owner].speaker.module_mut(ProtocolId::WISER) {
                     module.deliver_oob(from_as, &payload);
                 }
             }

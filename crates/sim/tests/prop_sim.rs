@@ -14,9 +14,8 @@ fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
         let tree = proptest::collection::vec(any::<u32>(), n - 1);
         let extras = proptest::collection::vec((0..n, 0..n), 0..n);
         (Just(n), tree, extras).prop_map(|(n, parents, extras)| {
-            let mut edges: Vec<(usize, usize)> = (1..n)
-                .map(|v| (v, (parents[v - 1] as usize) % v))
-                .collect();
+            let mut edges: Vec<(usize, usize)> =
+                (1..n).map(|v| (v, (parents[v - 1] as usize) % v)).collect();
             for (a, b) in extras {
                 if a != b {
                     edges.push((a.min(b), a.max(b)));

@@ -4,9 +4,7 @@
 
 use dbgp_core::{DbgpConfig, DbgpSpeaker, IslandConfig};
 use dbgp_protocols::wiser::{self, WiserModule};
-use dbgp_protocols::{
-    miro, MiroOffer, MiroPortal, MiroRequest, Pathlet, PathletModule,
-};
+use dbgp_protocols::{miro, MiroOffer, MiroPortal, MiroRequest, Pathlet, PathletModule};
 use dbgp_sim::{Delivery, Packet, Service, Sim};
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
 
@@ -154,11 +152,7 @@ fn figure8_wiser() -> Figure8 {
     // Wiser modules: the short path (via A2/G1) is made expensive, the
     // long path (via A3/G2a/G2b) cheap — the Figure-1 inversion.
     let portal = |n: u8| Ipv4Addr::new(163, 42, 5, n);
-    sim.speaker_mut(d).register_module(Box::new(WiserModule::new(
-        IslandId(900),
-        portal(0),
-        5,
-    )));
+    sim.speaker_mut(d).register_module(Box::new(WiserModule::new(IslandId(900), portal(0), 5)));
     sim.speaker_mut(a2).register_module(Box::new(WiserModule::new(
         IslandId(900),
         portal(0),
@@ -169,11 +163,7 @@ fn figure8_wiser() -> Figure8 {
         portal(0),
         10, // cheap exit
     )));
-    sim.speaker_mut(s).register_module(Box::new(WiserModule::new(
-        IslandId(901),
-        portal(1),
-        5,
-    )));
+    sim.speaker_mut(s).register_module(Box::new(WiserModule::new(IslandId(901), portal(1), 5)));
 
     sim.link(d, a2, 10, true);
     sim.link(d, a3, 10, true);
@@ -262,20 +252,25 @@ fn figure8_pathlets_source_sees_all_five() {
     // one-hop pathlets (fids 1, 3); A3 exports its one-hop (fid 4) and
     // shares fid 2. Total distinct pathlets reaching S: 5.
     let a2_exports = vec![
-        Pathlet::between(1, 100, 111),       // d -> a2
-        Pathlet::to_dest(3, 111, dest),      // a2 -> dest
-        Pathlet::to_dest(5, 100, dest),      // composed two-hop
+        Pathlet::between(1, 100, 111),  // d -> a2
+        Pathlet::to_dest(3, 111, dest), // a2 -> dest
+        Pathlet::to_dest(5, 100, dest), // composed two-hop
     ];
     let a3_exports = vec![
         Pathlet::between(2, 100, 112),  // d -> a3
         Pathlet::to_dest(4, 112, dest), // a3 -> dest
     ];
-    sim.speaker_mut(a2)
-        .register_module(Box::new(PathletModule::new(IslandId(900), 111, a2_exports)));
-    sim.speaker_mut(a3)
-        .register_module(Box::new(PathletModule::new(IslandId(900), 112, a3_exports)));
-    sim.speaker_mut(s)
-        .register_module(Box::new(PathletModule::new(IslandId(901), 200, vec![])));
+    sim.speaker_mut(a2).register_module(Box::new(PathletModule::new(
+        IslandId(900),
+        111,
+        a2_exports,
+    )));
+    sim.speaker_mut(a3).register_module(Box::new(PathletModule::new(
+        IslandId(900),
+        112,
+        a3_exports,
+    )));
+    sim.speaker_mut(s).register_module(Box::new(PathletModule::new(IslandId(901), 200, vec![])));
 
     sim.link(d, a2, 10, true);
     sim.link(d, a3, 10, true);

@@ -67,14 +67,10 @@ impl AsGraph {
         if customer == provider || self.neighbors(customer).any(|a| a.neighbor == provider) {
             return;
         }
-        self.adjacency[customer].push(Adjacency {
-            neighbor: provider,
-            relationship: Relationship::CustomerToProvider,
-        });
-        self.adjacency[provider].push(Adjacency {
-            neighbor: customer,
-            relationship: Relationship::ProviderToCustomer,
-        });
+        self.adjacency[customer]
+            .push(Adjacency { neighbor: provider, relationship: Relationship::CustomerToProvider });
+        self.adjacency[provider]
+            .push(Adjacency { neighbor: customer, relationship: Relationship::ProviderToCustomer });
         self.edge_count += 1;
     }
 
@@ -94,9 +90,7 @@ impl AsGraph {
         (0..self.len())
             .filter(|&n| {
                 self.degree(n) >= 1
-                    && self
-                        .neighbors(n)
-                        .all(|a| a.relationship == Relationship::CustomerToProvider)
+                    && self.neighbors(n).all(|a| a.relationship == Relationship::CustomerToProvider)
             })
             .collect()
     }
@@ -124,16 +118,9 @@ impl AsGraph {
     /// own routes and customer routes go to everyone.
     pub fn may_export(&self, node: usize, learned_from: Option<usize>, to: usize) -> bool {
         let Some(from) = learned_from else { return true };
-        let from_rel = self
-            .adjacency[node]
-            .iter()
-            .find(|a| a.neighbor == from)
-            .map(|a| a.relationship);
-        let to_rel = self
-            .adjacency[node]
-            .iter()
-            .find(|a| a.neighbor == to)
-            .map(|a| a.relationship);
+        let from_rel =
+            self.adjacency[node].iter().find(|a| a.neighbor == from).map(|a| a.relationship);
+        let to_rel = self.adjacency[node].iter().find(|a| a.neighbor == to).map(|a| a.relationship);
         match (from_rel, to_rel) {
             // Learned from a customer: export anywhere.
             (Some(Relationship::ProviderToCustomer), Some(_)) => true,
@@ -153,10 +140,8 @@ impl AsGraph {
     pub fn is_valley_free(&self, path: &[usize]) -> bool {
         let mut descended = false;
         for w in path.windows(2) {
-            let rel = self.adjacency[w[0]]
-                .iter()
-                .find(|a| a.neighbor == w[1])
-                .map(|a| a.relationship);
+            let rel =
+                self.adjacency[w[0]].iter().find(|a| a.neighbor == w[1]).map(|a| a.relationship);
             match rel {
                 Some(Relationship::CustomerToProvider) => {
                     // Walking from a node to its provider means traffic

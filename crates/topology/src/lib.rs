@@ -7,8 +7,11 @@
 //! * [`waxman`] — the BRITE-style Waxman generator the paper's §6.3
 //!   simulations use (1,000 ASes, α = 0.15, β = 0.25, degree-based
 //!   customer/provider inference);
-//! * [`paper`] — the fixed topologies of Figures 1, 2, 3, 6 and 8.
+//! * [`paper`] — the fixed topologies of Figures 1, 2, 3, 6 and 8;
+//! * [`fixtures`] — ready-made graphs for the chaos and benchmark
+//!   harnesses (a 50-AS Waxman, the R-BGP failover diamond).
 
+pub mod fixtures;
 pub mod graph;
 pub mod paper;
 pub mod waxman;

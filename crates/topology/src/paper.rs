@@ -59,14 +59,14 @@ pub fn figure1() -> PaperTopology {
     PaperTopology {
         description: "Figure 1: S cannot see Wiser path costs across the gulf",
         nodes: vec![
-            PaperNode::island("S", 100, 1, wiser),   // 0
-            PaperNode::gulf("G1", 4000),             // 1
-            PaperNode::gulf("G2", 4001),             // 2
-            PaperNode::gulf("G3", 4002),             // 3
-            PaperNode::island("E1", 200, 2, wiser),  // 4 (cheap, long exit)
-            PaperNode::island("E2", 201, 2, wiser),  // 5 (costly, short exit)
-            PaperNode::island("M", 202, 2, wiser),   // 6 interior island AS
-            PaperNode::island("D", 203, 2, wiser),   // 7 destination
+            PaperNode::island("S", 100, 1, wiser),  // 0
+            PaperNode::gulf("G1", 4000),            // 1
+            PaperNode::gulf("G2", 4001),            // 2
+            PaperNode::gulf("G3", 4002),            // 3
+            PaperNode::island("E1", 200, 2, wiser), // 4 (cheap, long exit)
+            PaperNode::island("E2", 201, 2, wiser), // 5 (costly, short exit)
+            PaperNode::island("M", 202, 2, wiser),  // 6 interior island AS
+            PaperNode::island("D", 203, 2, wiser),  // 7 destination
         ],
         edges: vec![
             (0, 1), // S - G1 (toward short/costly side)
@@ -87,12 +87,12 @@ pub fn figure2() -> PaperTopology {
     PaperTopology {
         description: "Figure 2: T cannot discover the MIRO service without D-BGP",
         nodes: vec![
-            PaperNode::gulf("S", 100),                              // 0
-            PaperNode::island("T", 300, 3, ProtocolId::MIRO),       // 1
-            PaperNode::gulf("G1", 4000),                            // 2
-            PaperNode::island("M", 500, 5, ProtocolId::MIRO),       // 3
-            PaperNode::gulf("G2", 4001),                            // 4
-            PaperNode::gulf("D", 900),                              // 5
+            PaperNode::gulf("S", 100),                        // 0
+            PaperNode::island("T", 300, 3, ProtocolId::MIRO), // 1
+            PaperNode::gulf("G1", 4000),                      // 2
+            PaperNode::island("M", 500, 5, ProtocolId::MIRO), // 3
+            PaperNode::gulf("G2", 4001),                      // 4
+            PaperNode::gulf("D", 900),                        // 5
         ],
         edges: vec![
             (0, 1), // S - T
@@ -132,17 +132,17 @@ pub fn figure6() -> PaperTopology {
         description: "Figure 6: a rich & evolvable Internet facilitated by D-BGP",
         nodes: vec![
             PaperNode::island("C", 600, 60, ProtocolId::PATHLET), // 0, originates 131.5/24
-            PaperNode::gulf("1", 1),                              // 1 (BGPSec in figure; baseline here)
-            PaperNode::island("B", 620, 62, ProtocolId::WISER),   // 2
-            PaperNode::gulf("10", 10),                            // 3
-            PaperNode::island("8", 8, 68, ProtocolId::WISER),     // 4
+            PaperNode::gulf("1", 1), // 1 (BGPSec in figure; baseline here)
+            PaperNode::island("B", 620, 62, ProtocolId::WISER), // 2
+            PaperNode::gulf("10", 10), // 3
+            PaperNode::island("8", 8, 68, ProtocolId::WISER), // 4
             PaperNode::island("G", 640, 64, ProtocolId::PATHLET), // 5
-            PaperNode::island("11", 11, 71, ProtocolId::WISER),   // 6 (Wiser ∥ MIRO)
-            PaperNode::island("F", 660, 66, ProtocolId::SCION),   // 7
-            PaperNode::gulf("14", 14),                            // 8
+            PaperNode::island("11", 11, 71, ProtocolId::WISER), // 6 (Wiser ∥ MIRO)
+            PaperNode::island("F", 660, 66, ProtocolId::SCION), // 7
+            PaperNode::gulf("14", 14), // 8
             PaperNode::island("D", 680, 90, ProtocolId::PATHLET), // 9, originates 131.4/24
-            PaperNode::gulf("13", 13),                            // 10
-            PaperNode::gulf("12", 12),                            // 11, originates 131.1/24
+            PaperNode::gulf("13", 13), // 10
+            PaperNode::gulf("12", 12), // 11, originates 131.1/24
         ],
         edges: vec![
             (0, 1),
@@ -200,7 +200,13 @@ mod tests {
         let mut stack = vec![0usize];
         while let Some(u) = stack.pop() {
             for &(a, b) in &t.edges {
-                let next = if a == u { b } else if b == u { a } else { continue };
+                let next = if a == u {
+                    b
+                } else if b == u {
+                    a
+                } else {
+                    continue;
+                };
                 if seen.insert(next) {
                     stack.push(next);
                 }
@@ -230,7 +236,13 @@ mod tests {
             let mut q = std::collections::VecDeque::from([from]);
             while let Some(u) = q.pop_front() {
                 for &(a, b) in &t.edges {
-                    let v = if a == u { b } else if b == u { a } else { continue };
+                    let v = if a == u {
+                        b
+                    } else if b == u {
+                        a
+                    } else {
+                        continue;
+                    };
                     if d[v] == usize::MAX {
                         d[v] = d[u] + 1;
                         q.push_back(v);

@@ -44,8 +44,7 @@ impl Default for WaxmanParams {
 pub fn generate(params: WaxmanParams, seed: u64) -> AsGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = params.n;
-    let positions: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
     let diagonal = 2f64.sqrt();
 
     // Pass 1: undirected incremental Waxman attachment.

@@ -69,7 +69,10 @@ impl Origin {
             0 => Ok(Origin::Igp),
             1 => Ok(Origin::Egp),
             2 => Ok(Origin::Incomplete),
-            _ => Err(WireError::MalformedAttribute { code: code::ORIGIN, detail: "bad origin value" }),
+            _ => Err(WireError::MalformedAttribute {
+                code: code::ORIGIN,
+                detail: "bad origin value",
+            }),
         }
     }
 }
@@ -460,8 +463,11 @@ impl PathAttribute {
             }
             code::COMMUNITIES => {
                 check_flags(false, true)?;
-                if body.len() % 4 != 0 {
-                    return Err(WireError::MalformedAttribute { code, detail: "length not multiple of 4" });
+                if !body.len().is_multiple_of(4) {
+                    return Err(WireError::MalformedAttribute {
+                        code,
+                        detail: "length not multiple of 4",
+                    });
                 }
                 let mut cs = Vec::with_capacity(body.len() / 4);
                 while body.has_remaining() {
@@ -678,11 +684,8 @@ mod tests {
     #[test]
     fn extended_length_used_for_big_bodies() {
         let data = Bytes::from(vec![0u8; 300]);
-        let attr = PathAttribute::Unknown {
-            flags: FLAG_OPTIONAL | FLAG_TRANSITIVE,
-            code: 77,
-            data,
-        };
+        let attr =
+            PathAttribute::Unknown { flags: FLAG_OPTIONAL | FLAG_TRANSITIVE, code: 77, data };
         let mut buf = BytesMut::new();
         attr.encode(&mut buf, true);
         assert!(buf[0] & FLAG_EXT_LEN != 0);
@@ -720,9 +723,8 @@ mod tests {
 
     #[test]
     fn as_path_display() {
-        let path = AsPath {
-            segments: vec![AsSegment::Sequence(vec![1, 2]), AsSegment::Set(vec![7, 8])],
-        };
+        let path =
+            AsPath { segments: vec![AsSegment::Sequence(vec![1, 2]), AsSegment::Set(vec![7, 8])] };
         assert_eq!(path.to_string(), "1 2 {7,8}");
     }
 }

@@ -62,7 +62,9 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::Truncated { context } => write!(f, "truncated input while decoding {context}"),
+            WireError::Truncated { context } => {
+                write!(f, "truncated input while decoding {context}")
+            }
             WireError::BadMarker => write!(f, "BGP header marker is not all-ones"),
             WireError::BadLength(l) => write!(f, "bad BGP header length {l}"),
             WireError::BadMessageType(t) => write!(f, "unknown BGP message type {t}"),

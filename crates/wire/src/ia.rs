@@ -277,7 +277,10 @@ impl Ia {
     }
 
     /// All path descriptors owned (or co-owned) by `protocol`.
-    pub fn path_descriptors_for(&self, protocol: ProtocolId) -> impl Iterator<Item = &PathDescriptor> {
+    pub fn path_descriptors_for(
+        &self,
+        protocol: ProtocolId,
+    ) -> impl Iterator<Item = &PathDescriptor> {
         self.path_descriptors.iter().filter(move |d| d.owned_by(protocol))
     }
 
@@ -287,7 +290,10 @@ impl Ia {
     }
 
     /// All island descriptors owned by `protocol`.
-    pub fn island_descriptors_for(&self, protocol: ProtocolId) -> impl Iterator<Item = &IslandDescriptor> {
+    pub fn island_descriptors_for(
+        &self,
+        protocol: ProtocolId,
+    ) -> impl Iterator<Item = &IslandDescriptor> {
         self.island_descriptors.iter().filter(move |d| d.protocol == protocol)
     }
 
@@ -339,10 +345,7 @@ impl Ia {
         if let Some(PathElem::Island(id)) = self.path_vector.get(idx as usize) {
             return Some(*id);
         }
-        self.memberships
-            .iter()
-            .find(|m| m.start <= idx && idx < m.end)
-            .map(|m| m.island)
+        self.memberships.iter().find(|m| m.start <= idx && idx < m.end).map(|m| m.island)
     }
 
     /// Validate structural invariants (membership ranges inside the path
@@ -708,11 +711,7 @@ mod tests {
                 dkey::WISER_PATH_COST,
                 100u64.to_be_bytes().to_vec(),
             )
-            .path_descriptor(
-                ProtocolId::BGPSEC,
-                dkey::BGPSEC_ATTESTATION,
-                b"<signatures>".to_vec(),
-            )
+            .path_descriptor(ProtocolId::BGPSEC, dkey::BGPSEC_ATTESTATION, b"<signatures>".to_vec())
             .island_descriptor(
                 island_a,
                 ProtocolId::SCION,
@@ -745,9 +744,13 @@ mod tests {
     #[test]
     fn figure4_protocols_on_path() {
         let protos = figure4_ia().protocols_on_path();
-        for expect in
-            [ProtocolId::BGP, ProtocolId::WISER, ProtocolId::BGPSEC, ProtocolId::SCION, ProtocolId::MIRO]
-        {
+        for expect in [
+            ProtocolId::BGP,
+            ProtocolId::WISER,
+            ProtocolId::BGPSEC,
+            ProtocolId::SCION,
+            ProtocolId::MIRO,
+        ] {
             assert!(protos.contains(&expect), "missing {expect}");
         }
     }

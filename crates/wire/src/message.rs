@@ -528,7 +528,8 @@ mod tests {
     #[test]
     fn open_rejects_hold_time_one_and_two() {
         for ht in [1u16, 2] {
-            let open = OpenMsg { hold_time: ht, ..OpenMsg::new(100, 90, Ipv4Addr::new(1, 1, 1, 1)) };
+            let open =
+                OpenMsg { hold_time: ht, ..OpenMsg::new(100, 90, Ipv4Addr::new(1, 1, 1, 1)) };
             let bytes = BgpMessage::Open(open).encode(true);
             let mut buf = BytesMut::from(&bytes[..]);
             assert_eq!(

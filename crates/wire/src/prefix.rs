@@ -94,6 +94,7 @@ impl Ipv4Prefix {
     }
 
     /// The mask length in bits.
+    #[allow(clippy::len_without_is_empty)] // a mask length is never "empty"
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -1,7 +1,7 @@
 //! Property-based round-trip and robustness tests for the wire codecs.
 
 use bytes::{Bytes, BytesMut};
-use dbgp_wire::attrs::{encode_attribute_list, decode_attribute_list};
+use dbgp_wire::attrs::{decode_attribute_list, encode_attribute_list};
 use dbgp_wire::ia::{dkey, IslandDescriptor, IslandMembership, PathDescriptor, UnknownRecord};
 use dbgp_wire::varint::{get_uvarint, put_uvarint, uvarint_len};
 use dbgp_wire::{
@@ -58,7 +58,10 @@ fn arb_ia() -> impl Strategy<Value = Ia> {
         arb_origin(),
         proptest::option::of(any::<u32>()),
         proptest::collection::vec(arb_path_elem(), 0..8),
-        proptest::collection::vec((100u16..108, proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
+        proptest::collection::vec(
+            (100u16..108, proptest::collection::vec(any::<u8>(), 0..64)),
+            0..4,
+        ),
         proptest::collection::vec(
             (1u32..1000, 100u16..108, proptest::collection::vec(any::<u8>(), 0..64)),
             0..4,
@@ -73,7 +76,11 @@ fn arb_ia() -> impl Strategy<Value = Ia> {
             // Memberships must be valid ranges; derive them from the
             // path-vector length.
             if pvlen >= 2 {
-                ia.memberships.push(IslandMembership { island: IslandId(7), start: 0, end: pvlen / 2 });
+                ia.memberships.push(IslandMembership {
+                    island: IslandId(7),
+                    start: 0,
+                    end: pvlen / 2,
+                });
             }
             for (key, value) in pds {
                 ia.path_descriptors.push(PathDescriptor::shared(

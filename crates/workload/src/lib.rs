@@ -192,10 +192,7 @@ mod tests {
         for target in [0usize, 4 << 10, 32 << 10, 256 << 10] {
             let ia = gen.ia(target, 5);
             let size = ia.wire_size();
-            assert!(
-                size >= target && size <= target + 2048,
-                "target {target}, actual {size}"
-            );
+            assert!(size >= target && size <= target + 2048, "target {target}, actual {size}");
             assert_eq!(Ia::decode(ia.encode()).unwrap(), ia);
         }
     }

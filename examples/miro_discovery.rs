@@ -42,10 +42,8 @@ fn main() {
 
     // Step 3: contact the portal and negotiate for payment.
     let mut portal = MiroPortal::new();
-    portal.offer(
-        dst,
-        MiroOffer { path: vec![2, 1], price: 150, tunnel_endpoint: sim.node_addr(m) },
-    );
+    portal
+        .offer(dst, MiroOffer { path: vec![2, 1], price: 150, tunnel_endpoint: sim.node_addr(m) });
     portal.offer(
         dst,
         MiroOffer { path: vec![2, 5, 1], price: 80, tunnel_endpoint: sim.node_addr(m) },
@@ -57,8 +55,10 @@ fn main() {
     sim.run(20_000_000);
     let inbox = sim.oob_inbox(t);
     let offer = MiroOffer::from_bytes(&inbox[0].1).expect("portal replied with an offer");
-    println!("\nnegotiated offer: path {:?}, price {}, tunnel to {}",
-        offer.path, offer.price, offer.tunnel_endpoint);
+    println!(
+        "\nnegotiated offer: path {:?}, price {}, tunnel to {}",
+        offer.path, offer.price, offer.tunnel_endpoint
+    );
     assert_eq!(offer.price, 80, "portal sells the cheapest in-budget path");
 
     // Step 4: tunnel traffic to the island; it decapsulates and forwards.

@@ -38,10 +38,8 @@ fn main() {
         Pathlet::between(2, 100, 112),  // d -> a3
         Pathlet::to_dest(4, 112, dest), // a3 -> dest
     ];
-    sim.speaker_mut(a2)
-        .register_module(Box::new(PathletModule::new(island_a.id, 111, a2_exports)));
-    sim.speaker_mut(a3)
-        .register_module(Box::new(PathletModule::new(island_a.id, 112, a3_exports)));
+    sim.speaker_mut(a2).register_module(Box::new(PathletModule::new(island_a.id, 111, a2_exports)));
+    sim.speaker_mut(a3).register_module(Box::new(PathletModule::new(island_a.id, 112, a3_exports)));
 
     sim.link(d, a2, 10, true);
     sim.link(d, a3, 10, true);
@@ -58,10 +56,12 @@ fn main() {
     let mut db = PathletDb::new();
     for (neighbor, ia) in sim.speaker(s).iadb().candidates(&dest) {
         let ads = ingress_translate(ia);
-        println!("  from {}: path [{}], {} pathlets",
+        println!(
+            "  from {}: path [{}], {} pathlets",
             neighbor,
             ia.path_vector.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" "),
-            ads.len());
+            ads.len()
+        );
         for ad in ads {
             println!("    fid {}: {:?} -> {:?}", ad.pathlet.fid, ad.pathlet.from, ad.pathlet.to);
             db.insert(ad.pathlet);
@@ -77,5 +77,8 @@ fn main() {
     for h in &headers {
         println!("  {:?}", h.fids);
     }
-    println!("\n{} distinct pathlet routes available — BGP alone would have offered 1.", headers.len());
+    println!(
+        "\n{} distinct pathlet routes available — BGP alone would have offered 1.",
+        headers.len()
+    );
 }

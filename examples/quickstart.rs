@@ -28,8 +28,11 @@ fn main() {
     let portal = Ipv4Addr::new(163, 42, 5, 0);
     sim.speaker_mut(d).register_module(Box::new(WiserModule::new(island.id, portal, 5)));
     sim.speaker_mut(e).register_module(Box::new(WiserModule::new(island.id, portal, 20)));
-    sim.speaker_mut(s)
-        .register_module(Box::new(WiserModule::new(s_island.id, Ipv4Addr::new(163, 42, 6, 0), 3)));
+    sim.speaker_mut(s).register_module(Box::new(WiserModule::new(
+        s_island.id,
+        Ipv4Addr::new(163, 42, 6, 0),
+        3,
+    )));
 
     sim.link(d, e, 10, true); // intra-island
     sim.link(e, g1, 10, false);
@@ -41,8 +44,10 @@ fn main() {
     sim.originate(d, prefix);
     let stats = sim.run(1_000_000);
 
-    println!("converged in {} simulated ms, {} control messages, {} bytes",
-        stats.last_event_at, stats.messages, stats.bytes);
+    println!(
+        "converged in {} simulated ms, {} control messages, {} bytes",
+        stats.last_event_at, stats.messages, stats.bytes
+    );
 
     // What does the source see?
     let best = sim.speaker(s).best(&prefix).expect("S learned the route");

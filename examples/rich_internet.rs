@@ -116,10 +116,18 @@ fn main() {
     }
     println!("\nIsland descriptors:");
     for id in &ia.island_descriptors {
-        println!("  island {} / {}: key {} ({} bytes)", id.island, id.protocol, id.key, id.value.len());
+        println!(
+            "  island {} / {}: key {} ({} bytes)",
+            id.island,
+            id.protocol,
+            id.key,
+            id.value.len()
+        );
     }
-    println!("\nProtocols on path (G-R4): {:?}",
-        ia.protocols_on_path().iter().map(|p| p.to_string()).collect::<Vec<_>>());
+    println!(
+        "\nProtocols on path (G-R4): {:?}",
+        ia.protocols_on_path().iter().map(|p| p.to_string()).collect::<Vec<_>>()
+    );
     println!("Serialized IA size: {} bytes", ia.wire_size());
 
     // Verify the richness the figure promises.

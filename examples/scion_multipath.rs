@@ -26,8 +26,7 @@ fn main() {
     // The island's two within-island paths, at border-router granularity
     // (paper Figure 4: "br70 br50 br10 br1" / "br70 br20 br5 br1").
     let exposed = PathSet { paths: vec![vec![70, 50, 10, 1], vec![70, 20, 5, 1]] };
-    sim.speaker_mut(border)
-        .register_module(Box::new(ScionModule::new(scion_island.id, exposed)));
+    sim.speaker_mut(border).register_module(Box::new(ScionModule::new(scion_island.id, exposed)));
     sim.speaker_mut(s)
         .register_module(Box::new(ScionModule::new(src_island.id, PathSet::default())));
 

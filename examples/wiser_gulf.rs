@@ -38,8 +38,11 @@ fn build(dbgp_enabled: bool) -> (Sim, usize, Ipv4Prefix) {
     sim.speaker_mut(d).register_module(Box::new(WiserModule::new(island.id, portal, 5)));
     sim.speaker_mut(e1).register_module(Box::new(WiserModule::new(island.id, portal, 10)));
     sim.speaker_mut(e2).register_module(Box::new(WiserModule::new(island.id, portal, 500)));
-    sim.speaker_mut(s)
-        .register_module(Box::new(WiserModule::new(s_island.id, Ipv4Addr::new(163, 42, 6, 0), 3)));
+    sim.speaker_mut(s).register_module(Box::new(WiserModule::new(
+        s_island.id,
+        Ipv4Addr::new(163, 42, 6, 0),
+        3,
+    )));
 
     sim.link(d, e1, 10, true);
     sim.link(d, e2, 10, true);
@@ -59,8 +62,11 @@ fn main() {
     println!("=== BGP baseline: the gulf drops Wiser's control information ===");
     let (sim, s, prefix) = build(false);
     let best = sim.speaker(s).best(&prefix).unwrap();
-    println!("S's chosen path: {} hops, Wiser cost visible: {:?}",
-        best.ia.hop_count(), wiser::path_cost(&best.ia));
+    println!(
+        "S's chosen path: {} hops, Wiser cost visible: {:?}",
+        best.ia.hop_count(),
+        wiser::path_cost(&best.ia)
+    );
     println!("-> S is forced to use BGP rules and picks the SHORT path (via the");
     println!("   expensive exit E2, internal cost 500). Figure 1's failure.\n");
 
@@ -68,8 +74,7 @@ fn main() {
     let (sim, s, prefix) = build(true);
     let best = sim.speaker(s).best(&prefix).unwrap();
     let cost = wiser::path_cost(&best.ia);
-    println!("S's chosen path: {} hops, Wiser cost visible: {cost:?}",
-        best.ia.hop_count());
+    println!("S's chosen path: {} hops, Wiser cost visible: {cost:?}", best.ia.hop_count());
     println!("Wiser portals discovered across the gulf: {:?}", wiser::portals(&best.ia));
     println!("-> S sees both paths' costs and picks the LONG path via the cheap");
     println!("   exit E1 (cost {:?} < 500). Requirement CF-R1 satisfied.", cost);

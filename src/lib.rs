@@ -24,8 +24,11 @@
 //!   test.
 //! * [`experiments`] — the §6.2 overhead model and §6.3
 //!   incremental-benefit simulations.
+//! * [`chaos`] — deterministic fault injection, convergence tracking,
+//!   and routing-invariant checking under churn.
 
 pub use dbgp_bgp as bgp;
+pub use dbgp_chaos as chaos;
 pub use dbgp_core as core;
 pub use dbgp_crypto as crypto;
 pub use dbgp_experiments as experiments;

@@ -41,12 +41,9 @@ fn build() -> World {
         Pathlet::to_dest(5, 100, dest), // the composed two-hop pathlet
     ];
     let a3_exports = vec![Pathlet::between(2, 100, 112), Pathlet::to_dest(4, 112, dest)];
-    sim.speaker_mut(a2)
-        .register_module(Box::new(PathletModule::new(island_a.id, 111, a2_exports)));
-    sim.speaker_mut(a3)
-        .register_module(Box::new(PathletModule::new(island_a.id, 112, a3_exports)));
-    sim.speaker_mut(s)
-        .register_module(Box::new(PathletModule::new(island_b.id, 200, vec![])));
+    sim.speaker_mut(a2).register_module(Box::new(PathletModule::new(island_a.id, 111, a2_exports)));
+    sim.speaker_mut(a3).register_module(Box::new(PathletModule::new(island_a.id, 112, a3_exports)));
+    sim.speaker_mut(s).register_module(Box::new(PathletModule::new(island_b.id, 200, vec![])));
 
     sim.link(d, a2, 10, true);
     sim.link(d, a3, 10, true);

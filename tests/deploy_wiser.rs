@@ -75,8 +75,7 @@ fn both_candidate_costs_are_available() {
     // costs — the raw material for Wiser's choice.
     let candidates = w.sim.speaker(w.s).iadb().candidates(&p("128.6.0.0/16"));
     assert_eq!(candidates.len(), 2);
-    let costs: Vec<u64> =
-        candidates.iter().filter_map(|(_, ia)| wiser::path_cost(ia)).collect();
+    let costs: Vec<u64> = candidates.iter().filter_map(|(_, ia)| wiser::path_cost(ia)).collect();
     assert_eq!(costs.len(), 2, "both paths carry costs");
     assert!(costs.iter().any(|&c| c >= 500), "expensive exit visible");
     assert!(costs.iter().any(|&c| c < 100), "cheap exit visible");

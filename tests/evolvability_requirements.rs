@@ -2,7 +2,9 @@
 //! §2: CF-R1, CF-R2, CP-R3, G-R4 and G-R5, exercised end-to-end through
 //! the public facade.
 
-use dbgp::core::{DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, IslandConfig, NeighborId, RejectReason};
+use dbgp::core::{
+    DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, IslandConfig, NeighborId, RejectReason,
+};
 use dbgp::protocols::{miro, wiser, MiroModule, WiserModule};
 use dbgp::sim::Sim;
 use dbgp::wire::ia::dkey;
@@ -51,11 +53,7 @@ fn cf_r2_dissemination_is_in_band() {
     // carries baseline reachability AND the critical fix's descriptors.
     let island = IslandConfig { id: IslandId(900), abstraction: false };
     let mut speaker = DbgpSpeaker::new(DbgpConfig::island_member(10, island, ProtocolId::WISER));
-    speaker.register_module(Box::new(WiserModule::new(
-        island.id,
-        Ipv4Addr::new(163, 42, 5, 0),
-        7,
-    )));
+    speaker.register_module(Box::new(WiserModule::new(island.id, Ipv4Addr::new(163, 42, 5, 0), 7)));
     speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(4000));
     let outputs = speaker.originate(p("10.0.0.0/8"), Ipv4Addr::new(10, 0, 0, 1));
     let sent = outputs
@@ -125,12 +123,8 @@ fn g_r4_protocols_on_path_are_visible() {
     // And island membership tells receivers which path-vector entries
     // belong to the island.
     let at_receiver = sim.speaker(receiver).best(&p("10.0.0.0/8")).unwrap();
-    let member_idx = at_receiver
-        .ia
-        .path_vector
-        .iter()
-        .position(|e| *e == PathElem::As(10))
-        .unwrap() as u16;
+    let member_idx =
+        at_receiver.ia.path_vector.iter().position(|e| *e == PathElem::As(10)).unwrap() as u16;
     assert_eq!(at_receiver.ia.island_of(member_idx), Some(island.id));
 }
 
@@ -145,25 +139,18 @@ fn g_r5_shared_loop_detection() {
     looped.prepend_as(7);
     looped.prepend_as(8);
     let outputs = speaker.receive_ia(NeighborId(0), looped);
-    assert!(matches!(
-        outputs[0],
-        DbgpOutput::Rejected(_, _, RejectReason::AsLoop)
-    ));
+    assert!(matches!(outputs[0], DbgpOutput::Rejected(_, _, RejectReason::AsLoop)));
 
     // Island-level loop: the path left island 55 and is coming back
     // through a gulf — rejected even though no AS number repeats.
     let island = IslandConfig { id: IslandId(55), abstraction: true };
-    let mut speaker =
-        DbgpSpeaker::new(DbgpConfig::island_member(7, island, ProtocolId::BGP));
+    let mut speaker = DbgpSpeaker::new(DbgpConfig::island_member(7, island, ProtocolId::BGP));
     speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(4000));
     let mut reentrant = Ia::originate(p("10.0.0.0/8"), Ipv4Addr::new(1, 1, 1, 1));
     reentrant.path_vector.push(PathElem::Island(IslandId(55)));
     reentrant.prepend_as(4000);
     let outputs = speaker.receive_ia(NeighborId(0), reentrant);
-    assert!(matches!(
-        outputs[0],
-        DbgpOutput::Rejected(_, _, RejectReason::IslandLoop)
-    ));
+    assert!(matches!(outputs[0], DbgpOutput::Rejected(_, _, RejectReason::IslandLoop)));
 }
 
 /// The Internet-scale sanity check behind G-R5: a densely meshed

@@ -60,10 +60,8 @@ fn link_failure_reconverges_to_the_backup_path() {
     let best = sim.speaker(s).best(&p("128.6.0.0/16")).expect("still reachable");
     assert_eq!(best.ia.hop_count(), 3, "re-converged onto the long path");
     // Data plane agrees.
-    let (delivery, trace) = sim.forward(
-        s,
-        dbgp::sim::Packet::ipv4(dbgp::wire::Ipv4Addr::new(128, 6, 0, 1), 1),
-    );
+    let (delivery, trace) =
+        sim.forward(s, dbgp::sim::Packet::ipv4(dbgp::wire::Ipv4Addr::new(128, 6, 0, 1), 1));
     assert!(matches!(delivery, dbgp::sim::Delivery::Delivered { .. }));
     assert_eq!(trace.len(), 4, "S -> L2b -> L2a -> D");
 }

@@ -88,9 +88,7 @@ fn hlp_island_floods_lsas_and_abstracts_its_path() {
         sim.speaker_mut(h3).receive_ia(dbgp::core::NeighborId(1), back)
     };
     assert!(
-        outputs
-            .iter()
-            .any(|o| matches!(o, dbgp::core::DbgpOutput::Rejected(_, _, _))),
+        outputs.iter().any(|o| matches!(o, dbgp::core::DbgpOutput::Rejected(_, _, _))),
         "island-granular loop detection caught the re-entry: {outputs:?}"
     );
 }

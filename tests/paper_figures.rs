@@ -60,8 +60,11 @@ fn figure1_wiser_costs_cross_the_gulf() {
     {
         let s = t.index_of("S");
         let speaker = sim.speaker_mut(s);
-        speaker
-            .register_module(Box::new(WiserModule::new(island1, Ipv4Addr::new(163, 42, 6, 0), 3)));
+        speaker.register_module(Box::new(WiserModule::new(
+            island1,
+            Ipv4Addr::new(163, 42, 6, 0),
+            3,
+        )));
         speaker.set_active_protocol(ProtocolId::WISER);
     }
     sim.originate(t.index_of("D"), p("128.6.0.0/16"));

@@ -6,9 +6,7 @@
 
 use dbgp::core::{DbgpConfig, IslandConfig};
 use dbgp::protocols::scion::PathSet;
-use dbgp::protocols::{
-    BottleneckBwModule, MiroModule, RbgpModule, ScionModule, WiserModule,
-};
+use dbgp::protocols::{BottleneckBwModule, MiroModule, RbgpModule, ScionModule, WiserModule};
 use dbgp::sim::Sim;
 use dbgp::topology::{waxman, WaxmanParams};
 use dbgp::wire::{Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
@@ -150,10 +148,7 @@ fn rich_world_reaches_everything_under_bounded_churn() {
     let budget = 60_000; // simulated ms
     let stats = sim.run(budget);
     let per_ms = stats.messages as f64 / budget as f64;
-    assert!(
-        per_ms < 20.0,
-        "MRAI must bound churn ({per_ms:.1} msgs/ms across {N} ASes)"
-    );
+    assert!(per_ms < 20.0, "MRAI must bound churn ({per_ms:.1} msgs/ms across {N} ASes)");
     for node in 0..N {
         for &o in &origins {
             if node == o {

@@ -28,8 +28,11 @@ fn contiguous_secure_island_verifies() {
         .iter()
         .map(|&asn| {
             let node = sim.add_node(DbgpConfig::island_member(asn, island, ProtocolId::BGPSEC));
-            sim.speaker_mut(node)
-                .register_module(Box::new(BgpsecModule::new(asn, anchor(), false)));
+            sim.speaker_mut(node).register_module(Box::new(BgpsecModule::new(
+                asn,
+                anchor(),
+                false,
+            )));
             node
         })
         .collect();
@@ -84,8 +87,7 @@ fn enforce_mode_rejects_unsigned_routes() {
     let mut sim = Sim::new();
     let unsigned_origin = sim.add_node(DbgpConfig::gulf(4000));
     let enforcing = sim.add_node(DbgpConfig::island_member(10, island, ProtocolId::BGPSEC));
-    sim.speaker_mut(enforcing)
-        .register_module(Box::new(BgpsecModule::new(10, anchor(), true)));
+    sim.speaker_mut(enforcing).register_module(Box::new(BgpsecModule::new(10, anchor(), true)));
     sim.link(unsigned_origin, enforcing, 10, false);
     sim.originate(unsigned_origin, p("203.0.113.0/24"));
     sim.run(10_000_000);

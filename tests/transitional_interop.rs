@@ -6,9 +6,9 @@
 
 use dbgp::bgp::{NeighborConfig, PeerId, Speaker, TransportEvent};
 use dbgp::core::transitional::{embed_ia, extract_ia};
+use dbgp::wire::attrs::{AsPath, Origin, PathAttribute};
 use dbgp::wire::ia::dkey;
 use dbgp::wire::message::{BgpMessage, OpenMsg, UpdateMsg};
-use dbgp::wire::attrs::{AsPath, Origin, PathAttribute};
 use dbgp::wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
 
 fn p(s: &str) -> Ipv4Prefix {
@@ -41,8 +41,8 @@ fn established(local_as: u32, peer_as: u32) -> Speaker {
     speaker.start(0);
     for (peer, asn) in [(PeerId(0), peer_as), (PeerId(1), peer_as + 1)] {
         speaker.transport_event(0, peer, TransportEvent::Connected);
-        let open = BgpMessage::Open(OpenMsg::new(asn, 90, Ipv4Addr::new(9, 9, 0, asn as u8)))
-            .encode(true);
+        let open =
+            BgpMessage::Open(OpenMsg::new(asn, 90, Ipv4Addr::new(9, 9, 0, asn as u8))).encode(true);
         speaker.receive(1, peer, &open);
         speaker.receive(2, peer, &BgpMessage::Keepalive.encode(true));
         assert!(speaker.is_established(peer));

@@ -1,0 +1,173 @@
+//! Minimal stand-in for `serde`'s serialization half: a [`Serialize`]
+//! trait that lowers values into an in-memory JSON tree ([`value::Value`]).
+//! The companion `serde_json` stub renders that tree; the `derive`
+//! feature re-exports `#[derive(Serialize)]` from the local
+//! `serde_derive` proc-macro crate.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// The JSON tree [`Serialize`] lowers into. Exposed to `serde_json`
+/// (which re-exports it as `serde_json::Value`) and to derive output.
+pub mod value {
+    /// An owned JSON document. Objects preserve insertion order.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A signed integer.
+        Int(i64),
+        /// An unsigned integer too large for `Int`.
+        UInt(u64),
+        /// A finite float.
+        Float(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in insertion order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup on objects; `None` elsewhere.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => {
+                    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+pub use value::Value;
+
+/// Types that can lower themselves into a JSON tree.
+pub trait Serialize {
+    /// Produce the JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Value::Int(v as i64)
+                } else {
+                    Value::UInt(v)
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_cleanly() {
+        assert_eq!(3u32.to_value(), Value::Int(3));
+        assert_eq!(u64::MAX.to_value(), Value::UInt(u64::MAX));
+        assert_eq!((-2i32).to_value(), Value::Int(-2));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+}

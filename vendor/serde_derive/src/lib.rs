@@ -1,0 +1,166 @@
+//! Local stub of serde's `#[derive(Serialize)]`.
+//!
+//! Supports exactly the shapes this workspace derives on: structs with
+//! named fields and enums whose variants are all unit variants. Anything
+//! else is a compile error with a pointed message. No `syn`/`quote` —
+//! the input is parsed directly from the token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize) stub: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize) stub: expected type name, got {other}"),
+    };
+    i += 1;
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize) stub: generic types are not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize) stub: `{name}` has no braced body"),
+        }
+    };
+
+    let code = match kind.as_str() {
+        "struct" => derive_struct(&name, body),
+        "enum" => derive_enum(&name, body),
+        other => panic!("derive(Serialize) stub: cannot derive for `{other}`"),
+    };
+    code.parse().expect("derive(Serialize) stub: generated code must parse")
+}
+
+/// Advance past any `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn derive_struct(name: &str, body: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!(
+                "derive(Serialize) stub: `{name}` must use named fields, got {other}"
+            ),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("derive(Serialize) stub: expected `:` after `{field}`, got {other}"),
+        }
+        // Skip the type: everything up to the next comma outside angle
+        // brackets (generic argument lists contain commas of their own).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n\
+                 ::serde::value::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn derive_enum(name: &str, body: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive(Serialize) stub: expected variant name, got {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(_) => panic!(
+                "derive(Serialize) stub: enum `{name}` variant `{variant}` carries data; \
+                 only unit variants are supported"
+            ),
+        }
+        variants.push(variant);
+    }
+
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            format!(
+                "{name}::{v} => ::serde::value::Value::String(\
+                 ::std::string::String::from(\"{v}\")),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,260 @@
+//! Minimal stand-in for `serde_json`: the [`Value`] tree (re-exported
+//! from the local `serde` stub), a `json!` macro, and compact/pretty
+//! writers. Objects keep insertion order, so output is deterministic
+//! for a deterministic construction sequence.
+
+pub use serde::value::Value;
+use serde::Serialize;
+
+/// Serialization error. The stub writers are total over finite values,
+/// so this is never actually constructed; it exists to keep the
+/// `Result` signatures of the real crate.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower any [`Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Render compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Render two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = f.to_string();
+        out.push_str(&s);
+        // Match serde_json: floats always carry a decimal point or
+        // exponent so they re-parse as floats.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] from JSON-ish syntax with interpolated Rust
+/// expressions, like the real `serde_json::json!`. Expressions that
+/// contain top-level commas (e.g. multi-argument turbofish) must be
+/// parenthesized.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut array: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_internal!(@array array $($tt)*);
+        $crate::Value::Array(array)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_internal!(@object object $($tt)*);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Recursive muncher behind [`json!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- object entries: `"key": value` separated by commas ----
+    (@object $obj:ident) => {};
+    (@object $obj:ident $key:literal : null $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_internal!(@object_rest $obj $($rest)*);
+    };
+    (@object $obj:ident $key:literal : { $($map:tt)* } $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($map)* })));
+        $crate::json_internal!(@object_rest $obj $($rest)*);
+    };
+    (@object $obj:ident $key:literal : [ $($arr:tt)* ] $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($arr)* ])));
+        $crate::json_internal!(@object_rest $obj $($rest)*);
+    };
+    (@object $obj:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!($value)));
+        $crate::json_internal!(@object $obj $($rest)*);
+    };
+    (@object $obj:ident $key:literal : $value:expr) => {
+        $obj.push(($key.to_string(), $crate::json!($value)));
+    };
+
+    // ---- after a structural value: optional comma, then recurse ----
+    (@object_rest $obj:ident , $($rest:tt)*) => {
+        $crate::json_internal!(@object $obj $($rest)*);
+    };
+    (@object_rest $obj:ident) => {};
+
+    // ---- array elements separated by commas ----
+    (@array $vec:ident) => {};
+    (@array $vec:ident null $($rest:tt)*) => {
+        $vec.push($crate::Value::Null);
+        $crate::json_internal!(@array_rest $vec $($rest)*);
+    };
+    (@array $vec:ident { $($map:tt)* } $($rest:tt)*) => {
+        $vec.push($crate::json!({ $($map)* }));
+        $crate::json_internal!(@array_rest $vec $($rest)*);
+    };
+    (@array $vec:ident [ $($arr:tt)* ] $($rest:tt)*) => {
+        $vec.push($crate::json!([ $($arr)* ]));
+        $crate::json_internal!(@array_rest $vec $($rest)*);
+    };
+    (@array $vec:ident $value:expr , $($rest:tt)*) => {
+        $vec.push($crate::json!($value));
+        $crate::json_internal!(@array $vec $($rest)*);
+    };
+    (@array $vec:ident $value:expr) => {
+        $vec.push($crate::json!($value));
+    };
+
+    (@array_rest $vec:ident , $($rest:tt)*) => {
+        $crate::json_internal!(@array $vec $($rest)*);
+    };
+    (@array_rest $vec:ident) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_nesting() {
+        let v = json!({
+            "num": 3,
+            "nested": { "flag": true, "none": null },
+            "list": [1, 2.5, "three", [4]],
+        });
+        assert_eq!(v.get("num"), Some(&Value::Int(3)));
+        assert_eq!(
+            v.get("nested").and_then(|n| n.get("flag")),
+            Some(&Value::Bool(true))
+        );
+        let compact = to_string(&v).unwrap();
+        assert_eq!(
+            compact,
+            r#"{"num":3,"nested":{"flag":true,"none":null},"list":[1,2.5,"three",[4]]}"#
+        );
+    }
+
+    #[test]
+    fn interpolation() {
+        let xs = vec![1u32, 2, 3];
+        let name = "chaos";
+        let v = json!({ "name": name, "xs": xs, "sum": xs.iter().sum::<u32>() });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"chaos","xs":[1,2,3],"sum":6}"#
+        );
+    }
+
+    #[test]
+    fn pretty_matches_expected_shape() {
+        let v = json!({ "a": [1], "b": {} });
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        assert_eq!(to_string(&json!(1.0)).unwrap(), "1.0");
+        assert_eq!(to_string(&json!(0.25)).unwrap(), "0.25");
+    }
+}
