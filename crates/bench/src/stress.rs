@@ -120,7 +120,7 @@ pub fn run_dbgp(n: usize, payload_bytes: usize, seed: u64) -> StressResult {
             // forwarding border router would.
             for output in outputs {
                 if let DbgpOutput::SendIa(_, ia) = output {
-                    std::hint::black_box(DbgpUpdate::announce(ia).encode());
+                    std::hint::black_box(DbgpUpdate::announce((*ia).clone()).encode());
                 }
             }
         }

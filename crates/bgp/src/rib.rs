@@ -1,15 +1,21 @@
 //! Routing information bases: Adj-RIB-In, Loc-RIB and Adj-RIB-Out
 //! (RFC 4271 §3.2).
+//!
+//! Routes are interned behind `Arc` so the decision process, the
+//! Loc-RIB and the per-peer Adj-RIB-Out bookkeeping share one
+//! allocation per distinct route instead of deep-cloning AS paths at
+//! every hand-off.
 
 use crate::config::PeerId;
 use crate::route::Route;
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Routes received from each peer, post-import-policy.
 #[derive(Debug, Clone, Default)]
 pub struct AdjRibIn {
-    routes: HashMap<PeerId, BTreeMap<Ipv4Prefix, Route>>,
+    routes: HashMap<PeerId, BTreeMap<Ipv4Prefix, Arc<Route>>>,
 }
 
 impl AdjRibIn {
@@ -20,12 +26,12 @@ impl AdjRibIn {
 
     /// Store a route from a peer, replacing any previous one (implicit
     /// withdraw). Returns the replaced route.
-    pub fn insert(&mut self, peer: PeerId, prefix: Ipv4Prefix, route: Route) -> Option<Route> {
-        self.routes.entry(peer).or_default().insert(prefix, route)
+    pub fn insert(&mut self, peer: PeerId, prefix: Ipv4Prefix, route: Route) -> Option<Arc<Route>> {
+        self.routes.entry(peer).or_default().insert(prefix, Arc::new(route))
     }
 
     /// Remove a route (explicit withdraw). Returns the removed route.
-    pub fn remove(&mut self, peer: PeerId, prefix: &Ipv4Prefix) -> Option<Route> {
+    pub fn remove(&mut self, peer: PeerId, prefix: &Ipv4Prefix) -> Option<Arc<Route>> {
         self.routes.get_mut(&peer).and_then(|m| m.remove(prefix))
     }
 
@@ -37,12 +43,12 @@ impl AdjRibIn {
 
     /// The route `peer` gave us for `prefix`, if any.
     pub fn get(&self, peer: PeerId, prefix: &Ipv4Prefix) -> Option<&Route> {
-        self.routes.get(&peer).and_then(|m| m.get(prefix))
+        self.routes.get(&peer).and_then(|m| m.get(prefix)).map(Arc::as_ref)
     }
 
     /// All (peer, route) candidates for one prefix.
-    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(PeerId, &Route)> {
-        let mut out: Vec<(PeerId, &Route)> =
+    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(PeerId, &Arc<Route>)> {
+        let mut out: Vec<(PeerId, &Arc<Route>)> =
             self.routes.iter().filter_map(|(peer, m)| m.get(prefix).map(|r| (*peer, r))).collect();
         out.sort_by_key(|(peer, _)| *peer);
         out
@@ -77,13 +83,24 @@ pub enum RouteSource {
     Local,
 }
 
-/// One selected best route.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One selected best route. Holds the route by `Arc`, so installing,
+/// cloning into `BestRouteChanged` outputs and re-exporting are
+/// refcount bumps, not deep copies.
+#[derive(Debug, Clone, Eq)]
 pub struct LocRibEntry {
     /// Winning route.
-    pub route: Route,
+    pub route: Arc<Route>,
     /// Who supplied it.
     pub source: RouteSource,
+}
+
+impl PartialEq for LocRibEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.source == other.source
+            // Pointer equality short-circuits the common "same interned
+            // route re-selected" comparison.
+            && (Arc::ptr_eq(&self.route, &other.route) || *self.route == *other.route)
+    }
 }
 
 /// The speaker's view of best paths, one per prefix.
@@ -140,7 +157,7 @@ impl LocRib {
 /// replacements can be generated precisely.
 #[derive(Debug, Clone, Default)]
 pub struct AdjRibOut {
-    routes: HashMap<PeerId, BTreeMap<Ipv4Prefix, Route>>,
+    routes: HashMap<PeerId, BTreeMap<Ipv4Prefix, Arc<Route>>>,
 }
 
 impl AdjRibOut {
@@ -151,10 +168,10 @@ impl AdjRibOut {
 
     /// Record an advertisement. Returns `true` if this changed what the
     /// peer sees (new route or different attributes).
-    pub fn advertise(&mut self, peer: PeerId, prefix: Ipv4Prefix, route: Route) -> bool {
+    pub fn advertise(&mut self, peer: PeerId, prefix: Ipv4Prefix, route: Arc<Route>) -> bool {
         let slot = self.routes.entry(peer).or_default();
         match slot.get(&prefix) {
-            Some(existing) if *existing == route => false,
+            Some(existing) if Arc::ptr_eq(existing, &route) || **existing == *route => false,
             _ => {
                 slot.insert(prefix, route);
                 true
@@ -174,7 +191,7 @@ impl AdjRibOut {
 
     /// What we last sent `peer` for `prefix`.
     pub fn get(&self, peer: PeerId, prefix: &Ipv4Prefix) -> Option<&Route> {
-        self.routes.get(&peer).and_then(|m| m.get(prefix))
+        self.routes.get(&peer).and_then(|m| m.get(prefix)).map(Arc::as_ref)
     }
 
     /// All prefixes currently advertised to `peer`.
@@ -204,9 +221,9 @@ mod tests {
         assert!(rib.insert(PeerId(1), p("10.0.0.0/8"), route(1)).is_none());
         // Implicit withdraw: replacement returns the old route.
         let old = rib.insert(PeerId(1), p("10.0.0.0/8"), route(2));
-        assert_eq!(old, Some(route(1)));
+        assert_eq!(old.as_deref(), Some(&route(1)));
         assert_eq!(rib.len(), 1);
-        assert_eq!(rib.remove(PeerId(1), &p("10.0.0.0/8")), Some(route(2)));
+        assert_eq!(rib.remove(PeerId(1), &p("10.0.0.0/8")).as_deref(), Some(&route(2)));
         assert!(rib.is_empty());
     }
 
@@ -239,11 +256,11 @@ mod tests {
         let mut rib = LocRib::new();
         rib.install(
             p("10.0.0.0/8"),
-            LocRibEntry { route: route(1), source: RouteSource::Peer(PeerId(1)) },
+            LocRibEntry { route: Arc::new(route(1)), source: RouteSource::Peer(PeerId(1)) },
         );
         rib.install(
             p("10.5.0.0/16"),
-            LocRibEntry { route: route(2), source: RouteSource::Peer(PeerId(2)) },
+            LocRibEntry { route: Arc::new(route(2)), source: RouteSource::Peer(PeerId(2)) },
         );
         let (prefix, entry) = rib.longest_match(Ipv4Addr::new(10, 5, 1, 1)).unwrap();
         assert_eq!(*prefix, p("10.5.0.0/16"));
@@ -256,16 +273,27 @@ mod tests {
     #[test]
     fn adj_out_dedupes_identical_advertisements() {
         let mut rib = AdjRibOut::new();
-        assert!(rib.advertise(PeerId(1), p("10.0.0.0/8"), route(1)));
-        assert!(!rib.advertise(PeerId(1), p("10.0.0.0/8"), route(1)), "no change, no send");
-        assert!(rib.advertise(PeerId(1), p("10.0.0.0/8"), route(2)), "changed attributes");
+        let interned = Arc::new(route(1));
+        assert!(rib.advertise(PeerId(1), p("10.0.0.0/8"), Arc::clone(&interned)));
+        assert!(
+            !rib.advertise(PeerId(1), p("10.0.0.0/8"), interned),
+            "same interned route, ptr-eq fast path"
+        );
+        assert!(
+            !rib.advertise(PeerId(1), p("10.0.0.0/8"), Arc::new(route(1))),
+            "equal attributes, no change, no send"
+        );
+        assert!(
+            rib.advertise(PeerId(1), p("10.0.0.0/8"), Arc::new(route(2))),
+            "changed attributes"
+        );
     }
 
     #[test]
     fn adj_out_withdraw_only_if_advertised() {
         let mut rib = AdjRibOut::new();
         assert!(!rib.withdraw(PeerId(1), &p("10.0.0.0/8")));
-        rib.advertise(PeerId(1), p("10.0.0.0/8"), route(1));
+        rib.advertise(PeerId(1), p("10.0.0.0/8"), Arc::new(route(1)));
         assert!(rib.withdraw(PeerId(1), &p("10.0.0.0/8")));
         assert!(!rib.withdraw(PeerId(1), &p("10.0.0.0/8")));
     }

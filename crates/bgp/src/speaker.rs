@@ -23,6 +23,7 @@ use bytes::{Bytes, BytesMut};
 use dbgp_wire::message::{BgpMessage, NotificationMsg, UpdateMsg};
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix, WireError};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Transport-level inputs the host forwards to the speaker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +69,7 @@ pub struct Speaker {
     adj_in: AdjRibIn,
     loc_rib: LocRib,
     adj_out: AdjRibOut,
-    originated: BTreeMap<Ipv4Prefix, Route>,
+    originated: BTreeMap<Ipv4Prefix, Arc<Route>>,
 }
 
 impl Speaker {
@@ -172,7 +173,7 @@ impl Speaker {
     /// Originate a prefix locally and propagate it.
     pub fn originate(&mut self, now: Millis, prefix: Ipv4Prefix) -> Vec<Output> {
         let mut out = Vec::new();
-        let route = Route::originated(self.router_id);
+        let route = Arc::new(Route::originated(self.router_id));
         self.originated.insert(prefix, route);
         self.redecide(now, prefix, &mut out);
         out
@@ -347,12 +348,18 @@ impl Speaker {
     fn select_best(&self, prefix: &Ipv4Prefix) -> Option<LocRibEntry> {
         let local = self.originated.get(prefix);
         let learned = self.adj_in.candidates(prefix);
+        // The decision process borrows plain `&Route` views; `arcs` keeps
+        // the interned handles in lockstep so the winner is retained by
+        // refcount bump, not deep clone.
+        let mut arcs: Vec<&Arc<Route>> = Vec::with_capacity(learned.len() + 1);
         let mut candidates: Vec<Candidate<'_>> = Vec::with_capacity(learned.len() + 1);
         if let Some(route) = local {
+            arcs.push(route);
             candidates.push(Candidate::local(route));
         }
         for (peer_id, route) in learned {
             let peer = &self.peers[&peer_id];
+            arcs.push(route);
             candidates.push(Candidate {
                 route,
                 source: RouteSource::Peer(peer_id),
@@ -361,10 +368,8 @@ impl Speaker {
                 peer_router_id: peer.summary.map(|s| s.peer_id).unwrap_or(Ipv4Addr(u32::MAX)),
             });
         }
-        decision::best(&candidates).map(|i| LocRibEntry {
-            route: candidates[i].route.clone(),
-            source: candidates[i].source,
-        })
+        decision::best(&candidates)
+            .map(|i| LocRibEntry { route: Arc::clone(arcs[i]), source: candidates[i].source })
     }
 
     /// Compute what `peer` should see for `prefix`, diff against
@@ -379,7 +384,7 @@ impl Speaker {
         let export = self.export_route(id, &prefix);
         match export {
             Some(route) => {
-                if self.adj_out.advertise(id, prefix, route.clone()) {
+                if self.adj_out.advertise(id, prefix, Arc::clone(&route)) {
                     let peer = &self.peers[&id];
                     let ibgp = peer.cfg.is_ibgp();
                     let update = UpdateMsg::announce(vec![prefix], route.to_attrs(ibgp));
@@ -400,7 +405,7 @@ impl Speaker {
 
     /// The route to advertise to `peer` for `prefix`, or `None` to
     /// withdraw/suppress.
-    fn export_route(&self, id: PeerId, prefix: &Ipv4Prefix) -> Option<Route> {
+    fn export_route(&self, id: PeerId, prefix: &Ipv4Prefix) -> Option<Arc<Route>> {
         let entry = self.loc_rib.get(prefix)?;
         let peer = &self.peers[&id];
         match entry.source {
@@ -416,15 +421,23 @@ impl Speaker {
             }
             RouteSource::Local => {}
         }
-        let mut route = if peer.cfg.is_ibgp() {
-            entry.route.clone()
-        } else {
-            entry.route.for_ebgp_export(self.asn, peer.cfg.local_addr)
-        };
+        if peer.cfg.is_ibgp() {
+            // iBGP forwards the route unmodified; with a transparent
+            // export policy the interned Loc-RIB route is shared as-is.
+            if peer.cfg.export.clauses.is_empty() && peer.cfg.export.default_permit {
+                return Some(Arc::clone(&entry.route));
+            }
+            let mut route = (*entry.route).clone();
+            if !peer.cfg.export.apply(prefix, &mut route, peer.cfg.peer_as) {
+                return None;
+            }
+            return Some(Arc::new(route));
+        }
+        let mut route = entry.route.for_ebgp_export(self.asn, peer.cfg.local_addr);
         if !peer.cfg.export.apply(prefix, &mut route, peer.cfg.peer_as) {
             return None;
         }
-        Some(route)
+        Some(Arc::new(route))
     }
 }
 

@@ -8,12 +8,18 @@
 
 use crate::neighbor::NeighborId;
 use dbgp_wire::{Ia, Ipv4Prefix};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Store of received IAs.
+/// Store of received IAs. Entries are interned behind `Arc` so the
+/// decision process, the chosen-route table and the factory can hold
+/// references without deep-cloning path/island descriptors. Keyed by
+/// `BTreeMap` so candidate enumeration is already in neighbor order —
+/// the decision process runs once per received IA, and a sort there
+/// would be pure hot-path overhead.
 #[derive(Debug, Clone, Default)]
 pub struct IaDb {
-    entries: HashMap<NeighborId, BTreeMap<Ipv4Prefix, Ia>>,
+    entries: BTreeMap<NeighborId, BTreeMap<Ipv4Prefix, Arc<Ia>>>,
 }
 
 impl IaDb {
@@ -24,12 +30,12 @@ impl IaDb {
 
     /// Store an IA, replacing the neighbor's previous one for the prefix
     /// (implicit withdraw). Returns the replaced IA.
-    pub fn insert(&mut self, neighbor: NeighborId, ia: Ia) -> Option<Ia> {
-        self.entries.entry(neighbor).or_default().insert(ia.prefix, ia)
+    pub fn insert(&mut self, neighbor: NeighborId, ia: Ia) -> Option<Arc<Ia>> {
+        self.entries.entry(neighbor).or_default().insert(ia.prefix, Arc::new(ia))
     }
 
     /// Remove the IA a neighbor advertised for a prefix.
-    pub fn remove(&mut self, neighbor: NeighborId, prefix: &Ipv4Prefix) -> Option<Ia> {
+    pub fn remove(&mut self, neighbor: NeighborId, prefix: &Ipv4Prefix) -> Option<Arc<Ia>> {
         self.entries.get_mut(&neighbor).and_then(|m| m.remove(prefix))
     }
 
@@ -41,15 +47,13 @@ impl IaDb {
 
     /// The IA `neighbor` advertised for `prefix`.
     pub fn get(&self, neighbor: NeighborId, prefix: &Ipv4Prefix) -> Option<&Ia> {
-        self.entries.get(&neighbor).and_then(|m| m.get(prefix))
+        self.entries.get(&neighbor).and_then(|m| m.get(prefix)).map(Arc::as_ref)
     }
 
-    /// All (neighbor, IA) pairs for a prefix, in neighbor order.
-    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(NeighborId, &Ia)> {
-        let mut out: Vec<(NeighborId, &Ia)> =
-            self.entries.iter().filter_map(|(n, m)| m.get(prefix).map(|ia| (*n, ia))).collect();
-        out.sort_by_key(|(n, _)| *n);
-        out
+    /// All (neighbor, IA) pairs for a prefix, in neighbor order (the
+    /// map iterates sorted, so no extra sort is needed).
+    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(NeighborId, &Arc<Ia>)> {
+        self.entries.iter().filter_map(|(n, m)| m.get(prefix).map(|ia| (*n, ia))).collect()
     }
 
     /// Every distinct prefix known.
@@ -74,7 +78,7 @@ impl IaDb {
     /// Total wire bytes of all stored IAs — the "state kept at a tier-1"
     /// quantity of the §6.2 overhead analysis.
     pub fn total_wire_bytes(&self) -> usize {
-        self.entries.values().flat_map(|m| m.values()).map(Ia::wire_size).sum()
+        self.entries.values().flat_map(|m| m.values()).map(|ia| ia.wire_size()).sum()
     }
 }
 

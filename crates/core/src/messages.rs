@@ -49,6 +49,25 @@ impl DbgpUpdate {
         buf.freeze()
     }
 
+    /// Assemble the frame [`DbgpUpdate::encode`] would produce, from IA
+    /// bodies that were already encoded (e.g. by an Adj-RIB-Out encode
+    /// cache). Byte-identical to encoding the equivalent update, so a
+    /// cached send path and a fresh one are indistinguishable on the
+    /// wire.
+    pub fn encode_frame(withdrawn: &[Ipv4Prefix], ia_bodies: &[Bytes]) -> Bytes {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, withdrawn.len() as u64);
+        for prefix in withdrawn {
+            prefix.encode(&mut buf);
+        }
+        put_uvarint(&mut buf, ia_bodies.len() as u64);
+        for body in ia_bodies {
+            put_uvarint(&mut buf, body.len() as u64);
+            buf.put_slice(body);
+        }
+        buf.freeze()
+    }
+
     /// Decode one frame (consumes exactly one update from `buf`).
     pub fn decode(buf: &mut Bytes) -> WireResult<Self> {
         let nwith = get_uvarint(buf)? as usize;
@@ -123,6 +142,17 @@ mod tests {
             let mut partial = bytes.slice(..cut);
             assert!(DbgpUpdate::decode(&mut partial).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn encode_frame_matches_encode() {
+        let update = DbgpUpdate {
+            withdrawn: vec![p("192.168.0.0/16"), p("10.0.0.0/8")],
+            ias: vec![sample_ia("128.6.0.0/16"), sample_ia("203.0.113.0/24")],
+        };
+        let bodies: Vec<Bytes> = update.ias.iter().map(Ia::encode).collect();
+        let assembled = DbgpUpdate::encode_frame(&update.withdrawn, &bodies);
+        assert_eq!(assembled, update.encode(), "cached-body assembly is byte-identical");
     }
 
     #[test]

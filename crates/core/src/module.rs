@@ -79,6 +79,19 @@ pub trait DecisionModule {
     /// must not be touched.
     fn export(&mut self, _ia: &mut Ia, _ctx: ExportContext) {}
 
+    /// True when this module's [`export`](Self::export) is a pure
+    /// function of the outgoing IA — it neither varies by destination
+    /// neighbor nor consults mutable module state. A speaker whose
+    /// resident modules are all uniform builds one outgoing IA per
+    /// (island-membership, capability) neighbor class and shares it
+    /// across the fan-out instead of re-running the factory per
+    /// neighbor. Default is the conservative `false`; modules that
+    /// stamp per-neighbor data (BGPSec attestations) or live state
+    /// (Wiser costs, R-BGP failover paths) must keep it that way.
+    fn export_is_uniform(&self) -> bool {
+        false
+    }
+
     /// Deliver an out-of-band message (e.g., Wiser's cost exchange,
     /// MIRO's negotiation) addressed to this module. Default: ignored.
     fn deliver_oob(&mut self, _from: u32, _payload: &[u8]) {}
@@ -104,6 +117,12 @@ impl BgpDecision {
 impl DecisionModule for BgpDecision {
     fn protocol(&self) -> ProtocolId {
         ProtocolId::BGP
+    }
+
+    // The baseline never touches outgoing IAs, so its export is trivially
+    // neighbor- and state-independent.
+    fn export_is_uniform(&self) -> bool {
+        true
     }
 
     fn select_best(

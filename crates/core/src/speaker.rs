@@ -29,6 +29,7 @@ use crate::module::{BgpDecision, CandidateIa, DecisionModule, ImportContext};
 use crate::neighbor::{DbgpNeighbor, NeighborId};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Speaker-level configuration.
 #[derive(Debug, Clone)]
@@ -72,20 +73,29 @@ impl DbgpConfig {
 }
 
 /// The best path currently installed for a prefix.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Chosen {
     /// The neighbor the winning IA came from; `None` for locally
     /// originated prefixes.
     pub neighbor: Option<NeighborId>,
-    /// The winning *incoming* IA (our own AS not yet prepended).
-    pub ia: Ia,
+    /// The winning *incoming* IA (our own AS not yet prepended), shared
+    /// with the IA DB entry it was selected from.
+    pub ia: Arc<Ia>,
+}
+
+impl PartialEq for Chosen {
+    fn eq(&self, other: &Self) -> bool {
+        self.neighbor == other.neighbor && (Arc::ptr_eq(&self.ia, &other.ia) || self.ia == other.ia)
+    }
 }
 
 /// Outputs of the speaker, to be executed by the host.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DbgpOutput {
-    /// Advertise this IA to the neighbor.
-    SendIa(NeighborId, Ia),
+    /// Advertise this IA to the neighbor. The `Arc` is shared across the
+    /// fan-out (and with the Adj-RIB-Out), so hosts can key encode
+    /// caches on pointer identity.
+    SendIa(NeighborId, Arc<Ia>),
     /// Withdraw this prefix from the neighbor.
     SendWithdraw(NeighborId, Ipv4Prefix),
     /// The locally installed best path changed (`None` = unreachable);
@@ -102,10 +112,24 @@ pub struct DbgpSpeaker {
     modules: BTreeMap<ProtocolId, Box<dyn DecisionModule>>,
     iadb: IaDb,
     loc: BTreeMap<Ipv4Prefix, Chosen>,
-    originated: BTreeMap<Ipv4Prefix, Ia>,
-    adj_out: BTreeMap<(NeighborId, Ipv4Prefix), Ia>,
+    originated: BTreeMap<Ipv4Prefix, Arc<Ia>>,
+    adj_out: BTreeMap<(NeighborId, Ipv4Prefix), Arc<Ia>>,
+    /// Built-outgoing-IA cache, used only when every resident module's
+    /// export is uniform: one entry per (prefix, neighbor-in-island,
+    /// speaks-dbgp) class, valid while `chosen` is still the installed
+    /// best path (pointer identity; holding the `Arc` pins the
+    /// allocation so a match can never be a stale reuse).
+    out_cache: BTreeMap<(Ipv4Prefix, bool, bool), OutCacheEntry>,
     /// Count of IAs processed (for the stress benchmarks).
     processed: u64,
+}
+
+/// One cached factory product.
+struct OutCacheEntry {
+    /// The chosen incoming IA this was built from.
+    chosen: Arc<Ia>,
+    /// The built outgoing IA (class stripping already applied).
+    built: Arc<Ia>,
 }
 
 impl DbgpSpeaker {
@@ -120,6 +144,7 @@ impl DbgpSpeaker {
             loc: BTreeMap::new(),
             originated: BTreeMap::new(),
             adj_out: BTreeMap::new(),
+            out_cache: BTreeMap::new(),
             processed: 0,
         };
         speaker.register_module(Box::new(BgpDecision::new()));
@@ -140,6 +165,8 @@ impl DbgpSpeaker {
     /// for the same protocol).
     pub fn register_module(&mut self, module: Box<dyn DecisionModule>) {
         self.modules.insert(module.protocol(), module);
+        // A new module may change what exports look like.
+        self.out_cache.clear();
     }
 
     /// Mutable access to a registered module (for out-of-band delivery
@@ -187,6 +214,7 @@ impl DbgpSpeaker {
     /// (an island "deploying" a new protocol).
     pub fn set_active_protocol(&mut self, protocol: ProtocolId) -> Vec<DbgpOutput> {
         self.cfg.active = protocol;
+        self.out_cache.clear();
         let mut out = Vec::new();
         let mut prefixes = self.iadb.prefixes();
         prefixes.extend(self.originated.keys().copied());
@@ -207,7 +235,7 @@ impl DbgpSpeaker {
         for module in self.modules.values_mut() {
             module.decorate_origin(&mut ia, local_as);
         }
-        self.originated.insert(prefix, ia);
+        self.originated.insert(prefix, Arc::new(ia));
         let mut out = Vec::new();
         self.redecide(prefix, &mut out);
         out
@@ -217,7 +245,7 @@ impl DbgpSpeaker {
     /// this to control descriptors precisely).
     pub fn originate_ia(&mut self, ia: Ia) -> Vec<DbgpOutput> {
         let prefix = ia.prefix;
-        self.originated.insert(prefix, ia);
+        self.originated.insert(prefix, Arc::new(ia));
         let mut out = Vec::new();
         self.redecide(prefix, &mut out);
         out
@@ -337,7 +365,7 @@ impl DbgpSpeaker {
     fn select(&mut self, prefix: Ipv4Prefix) -> Option<Chosen> {
         // Locally originated prefixes always win (they are "ours").
         if let Some(ia) = self.originated.get(&prefix) {
-            return Some(Chosen { neighbor: None, ia: ia.clone() });
+            return Some(Chosen { neighbor: None, ia: Arc::clone(ia) });
         }
         let active = self.active_protocol(&prefix);
         // An active protocol without a registered module falls back to
@@ -347,15 +375,17 @@ impl DbgpSpeaker {
         let key = if self.modules.contains_key(&active) { active } else { ProtocolId::BGP };
         let module = self.modules.get_mut(&key)?;
         let neighbors = &self.neighbors;
-        let candidates: Vec<CandidateIa<'_>> = self
+        // Candidates keep their Arc alongside the module-facing borrow so
+        // the winner is interned into `Chosen` with a refcount bump.
+        let candidates: Vec<(CandidateIa<'_>, &Arc<Ia>)> = self
             .iadb
             .candidates(&prefix)
             .into_iter()
             .filter_map(|(n, ia)| {
                 let asn = neighbors.get(&n)?.asn;
-                Some(CandidateIa { neighbor: n, neighbor_as: asn, ia })
+                Some((CandidateIa { neighbor: n, neighbor_as: asn, ia: ia.as_ref() }, ia))
             })
-            .filter(|c| {
+            .filter(|(c, _)| {
                 module.accept(ImportContext {
                     neighbor: c.neighbor,
                     neighbor_as: c.neighbor_as,
@@ -364,9 +394,10 @@ impl DbgpSpeaker {
                 })
             })
             .collect();
-        let best = module.select_best(prefix, &candidates)?;
-        let c = &candidates[best];
-        Some(Chosen { neighbor: Some(c.neighbor), ia: c.ia.clone() })
+        let views: Vec<CandidateIa<'_>> = candidates.iter().map(|(c, _)| *c).collect();
+        let best = module.select_best(prefix, &views)?;
+        let (c, arc) = &candidates[best];
+        Some(Chosen { neighbor: Some(c.neighbor), ia: Arc::clone(arc) })
     }
 
     /// Steps 5–7 for one neighbor: build (or withdraw) and send.
@@ -380,11 +411,23 @@ impl DbgpSpeaker {
             if chosen.neighbor == Some(id) {
                 return None;
             }
-            Some(chosen.ia.clone())
+            Some(Arc::clone(&chosen.ia))
         });
         match export {
             Some(chosen_ia) => {
                 let neighbor_in_island = self.cfg.island.is_some() && neighbor.same_island;
+                let class = (prefix, neighbor_in_island, neighbor.speaks_dbgp);
+                // With uniform exports the factory product depends only
+                // on (chosen IA, neighbor class): build once per class
+                // and share the Arc across the whole fan-out.
+                let cacheable = self.modules.values().all(|m| m.export_is_uniform());
+                if let Some(entry) = self.out_cache.get(&class) {
+                    if cacheable && Arc::ptr_eq(&entry.chosen, &chosen_ia) {
+                        let ia = Arc::clone(&entry.built);
+                        self.stage_send(id, prefix, ia, out);
+                        return;
+                    }
+                }
                 let ctx = FactoryContext {
                     local_as: self.cfg.asn,
                     island: self.cfg.island,
@@ -409,17 +452,44 @@ impl DbgpSpeaker {
                     ia.memberships.clear();
                     ia.island_descriptors.clear();
                 }
-                let key = (id, prefix);
-                if self.adj_out.get(&key) != Some(&ia) {
-                    self.adj_out.insert(key, ia.clone());
-                    out.push(DbgpOutput::SendIa(id, ia));
+                let ia = Arc::new(ia);
+                if cacheable {
+                    self.out_cache
+                        .insert(class, OutCacheEntry { chosen: chosen_ia, built: Arc::clone(&ia) });
                 }
+                self.stage_send(id, prefix, ia, out);
             }
             None => {
+                // Nothing to export: drop this prefix's cached builds so
+                // they don't pin dead IAs.
+                for in_island in [false, true] {
+                    for speaks in [false, true] {
+                        self.out_cache.remove(&(prefix, in_island, speaks));
+                    }
+                }
                 if self.adj_out.remove(&(id, prefix)).is_some() {
                     out.push(DbgpOutput::SendWithdraw(id, prefix));
                 }
             }
+        }
+    }
+
+    /// Adj-RIB-Out diff: emit `SendIa` only when the outgoing IA differs
+    /// from what the neighbor already has (pointer equality short-circuits
+    /// the deep comparison for cache-shared builds).
+    fn stage_send(
+        &mut self,
+        id: NeighborId,
+        prefix: Ipv4Prefix,
+        ia: Arc<Ia>,
+        out: &mut Vec<DbgpOutput>,
+    ) {
+        let key = (id, prefix);
+        let unchanged =
+            self.adj_out.get(&key).is_some_and(|prev| Arc::ptr_eq(prev, &ia) || **prev == *ia);
+        if !unchanged {
+            self.adj_out.insert(key, Arc::clone(&ia));
+            out.push(DbgpOutput::SendIa(id, ia));
         }
     }
 }
@@ -478,7 +548,7 @@ mod tests {
                         } else {
                             (at + 1, NeighborId(0))
                         };
-                        let outs = self.speakers[to].receive_ia(from_id, ia);
+                        let outs = self.speakers[to].receive_ia(from_id, (*ia).clone());
                         work.extend(outs.into_iter().map(|o| (to, o)));
                     }
                     DbgpOutput::SendWithdraw(n, prefix) => {

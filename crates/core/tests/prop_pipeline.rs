@@ -3,8 +3,8 @@
 //! structural invariants, over randomized IAs and speaker chains.
 
 use dbgp_core::{
-    filters, DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, FilterConfig, IslandConfig,
-    NeighborId,
+    filters, DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, FilterConfig,
+    IslandConfig, NeighborId,
 };
 use dbgp_wire::ia::{IslandDescriptor, PathDescriptor};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
@@ -194,5 +194,35 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The Adj-RIB-Out encode cache keeps pre-encoded IA bodies and
+    /// assembles outgoing frames from them. Across arbitrary IA
+    /// mutations (each prepend makes a new cache generation) the
+    /// assembled frame must be byte-identical to a fresh encode of the
+    /// same update — the wire cannot tell a cached send from a cold one.
+    #[test]
+    fn cached_body_assembly_is_byte_identical(
+        prefix in arb_prefix(),
+        (pds, ids) in arb_descriptors(),
+        hops in proptest::collection::vec(1u32..65000, 0..6),
+        withdrawn in proptest::collection::vec(arb_prefix(), 0..3),
+    ) {
+        let mut ia = Ia::originate(prefix, Ipv4Addr::new(9, 9, 9, 9));
+        ia.path_descriptors = pds;
+        ia.island_descriptors = ids;
+        let mut ias = vec![ia.clone()];
+        for asn in hops {
+            ia.prepend_as(asn); // mutate: a new IA generation
+            ias.push(ia.clone());
+        }
+        let update = DbgpUpdate { withdrawn, ias };
+        // What the cache stores: each generation's body, encoded once.
+        let bodies: Vec<bytes::Bytes> = update.ias.iter().map(Ia::encode).collect();
+        prop_assert_eq!(
+            DbgpUpdate::encode_frame(&update.withdrawn, &bodies),
+            update.encode(),
+            "cached-body frame differs from fresh encode"
+        );
     }
 }

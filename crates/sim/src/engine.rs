@@ -56,6 +56,18 @@ impl<E: Eq> EventQueue<E> {
         EventQueue { heap: BinaryHeap::new(), now: 0, seq: 0, popped: 0 }
     }
 
+    /// An empty queue with room for `cap` events before the heap has to
+    /// regrow — large topologies pre-size from their edge count so
+    /// warmup doesn't pay repeated reallocation.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), now: 0, seq: 0, popped: 0 }
+    }
+
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Current simulated time (the timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
         self.now
@@ -190,6 +202,15 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.now(), 20, "clock must not run past the horizon");
         assert_eq!(q.pop(), Some((21, "beyond")));
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_without_changing_behavior() {
+        let mut q = EventQueue::with_capacity(64);
+        q.schedule(5, "only");
+        q.reserve(128);
+        assert_eq!(q.pop(), Some((5, "only")));
+        assert!(q.is_empty());
     }
 
     #[test]

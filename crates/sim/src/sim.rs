@@ -19,10 +19,12 @@
 use crate::engine::{EventQueue, SimTime};
 use crate::link::LinkModel;
 use crate::link::SimRng;
+use bytes::Bytes;
 use dbgp_core::{DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId};
 use dbgp_protocols::{MiroPortal, MiroRequest};
-use dbgp_wire::{Ipv4Addr, Ipv4Prefix, ProtocolId};
+use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Index of a node (one AS) in the simulation.
 pub type NodeId = usize;
@@ -35,8 +37,10 @@ fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 /// What travels on the simulated wires and bus.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Event {
-    /// Control-plane bytes arriving on a link.
-    Deliver { to: NodeId, from: NodeId, bytes: Vec<u8> },
+    /// Control-plane bytes arriving on a link. The buffer is refcounted:
+    /// a fan-out or a duplicating link shares one allocation, and only a
+    /// corrupting fault model copies (copy-on-corrupt).
+    Deliver { to: NodeId, from: NodeId, bytes: Bytes },
     /// MRAI window expired: flush pending advertisements to a neighbor.
     Flush { node: NodeId, neighbor: NeighborId },
     /// Out-of-band request to a service address.
@@ -76,11 +80,59 @@ struct Node {
     oob_inbox: Vec<(Ipv4Addr, Vec<u8>)>,
     next_neighbor_id: u32,
     /// Coalesced outbound state per neighbor: prefix -> latest IA
-    /// (`None` = withdraw), flushed when the MRAI window closes.
-    pending_out: HashMap<NeighborId, BTreeMap<Ipv4Prefix, Option<dbgp_wire::Ia>>>,
+    /// (`None` = withdraw), flushed when the MRAI window closes. The
+    /// `Arc` is shared with the speaker's Adj-RIB-Out.
+    pending_out: HashMap<NeighborId, BTreeMap<Ipv4Prefix, Option<Arc<Ia>>>>,
     /// Neighbors with a Flush already scheduled.
     flush_armed: std::collections::HashSet<NeighborId>,
+    /// Adj-RIB-Out encode cache: wire bytes for an outgoing IA, keyed by
+    /// the `Arc`'s pointer identity (the speaker hands the *same* `Arc`
+    /// to every neighbor of a class and across re-advertisements of an
+    /// unchanged best path, so identity is exactly "same chosen-IA
+    /// generation"). Each entry pins its `Arc` so a recycled allocation
+    /// can never alias a live key.
+    encode_cache: PtrMap<EncodeCacheEntry>,
 }
+
+/// Hasher for pointer-keyed caches: the key is an `Arc` address, so one
+/// Fibonacci multiply spreads it well enough and the SipHash setup cost
+/// disappears from the per-send hot path. Never iterated, so the hash
+/// choice cannot leak into event ordering.
+#[derive(Default)]
+struct PtrHasher(u64);
+
+impl std::hash::Hasher for PtrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PtrMap<V> = HashMap<usize, V, std::hash::BuildHasherDefault<PtrHasher>>;
+
+/// Cached wire form of one outgoing IA.
+struct EncodeCacheEntry {
+    /// Pins the IA so the pointer key stays unique while cached.
+    _ia: Arc<Ia>,
+    /// The encoded IA body (the unit batched frames are assembled from).
+    body: Bytes,
+    /// A ready-made single-IA announce frame (the common MRAI flush).
+    announce: Bytes,
+}
+
+/// Entries per node before the encode cache is wiped (a crude bound; a
+/// routing table that cycles through this many distinct outgoing IAs
+/// inside one epoch is churning too hard to cache anyway).
+const ENCODE_CACHE_CAP: usize = 8192;
 
 /// One adjacency's static parameters plus its administrative state.
 #[derive(Debug, Clone, Copy)]
@@ -118,6 +170,12 @@ pub struct SimStats {
     pub corrupted_messages: u64,
     /// Total `BestChanged` decisions across all nodes (route churn).
     pub best_changes: u64,
+    /// IA bodies freshly serialized on the send path, plus withdraw-only
+    /// frames (which carry no cacheable IA body).
+    pub updates_encoded: u64,
+    /// IA bodies whose wire bytes were reused from the Adj-RIB-Out
+    /// encode cache instead of being re-serialized.
+    pub encode_cache_hits: u64,
 }
 
 /// Per-(node, prefix) route-churn record, maintained on every
@@ -204,8 +262,16 @@ impl Sim {
             next_neighbor_id: 0,
             pending_out: HashMap::new(),
             flush_armed: std::collections::HashSet::new(),
+            encode_cache: PtrMap::default(),
         });
         id
+    }
+
+    /// Pre-size the event queue (drivers call this with a multiple of
+    /// the topology's edge count so large-run warmup doesn't regrow the
+    /// heap).
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
     }
 
     /// Number of nodes in the simulation.
@@ -241,6 +307,12 @@ impl Sim {
     /// Events still scheduled (a quiescent simulation has none).
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Total events processed since construction (the throughput
+    /// numerator `sim_bench` reports).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
     }
 
     /// Route-churn records per (node, prefix), cumulative since the
@@ -372,11 +444,12 @@ impl Sim {
             self.teardown_neighbor(node, peer);
             self.teardown_neighbor(peer, node);
         }
-        // The rebooting router loses its coalescing buffers and any
-        // undelivered out-of-band responses.
+        // The rebooting router loses its coalescing buffers, encode
+        // cache and any undelivered out-of-band responses.
         self.nodes[node].pending_out.clear();
         self.nodes[node].flush_armed.clear();
         self.nodes[node].oob_inbox.clear();
+        self.nodes[node].encode_cache.clear();
         for &(peer, same_island, speaks_dbgp) in &peers {
             self.establish(node, peer, same_island, speaks_dbgp);
             self.establish(peer, node, same_island, speaks_dbgp);
@@ -403,7 +476,7 @@ impl Sim {
     /// from `from` — a hook for tests and chaos drivers to model
     /// garbage or stale traffic without a sending speaker.
     pub fn inject_raw(&mut self, from: NodeId, to: NodeId, delay: SimTime, bytes: Vec<u8>) {
-        self.queue.schedule(delay, Event::Deliver { to, from, bytes });
+        self.queue.schedule(delay, Event::Deliver { to, from, bytes: Bytes::from(bytes) });
     }
 
     /// Run until no events remain or `max_time` is reached. Events at
@@ -422,7 +495,7 @@ impl Sim {
                 Event::Deliver { to, from, bytes } => {
                     self.stats.messages += 1;
                     self.stats.bytes += bytes.len() as u64;
-                    let mut buf = bytes::Bytes::from(bytes);
+                    let mut buf = bytes;
                     let Ok(update) = DbgpUpdate::decode(&mut buf) else {
                         self.stats.decode_errors += 1;
                         continue;
@@ -531,19 +604,48 @@ impl Sim {
         }
     }
 
+    /// The wire form of one outgoing IA, from the node's encode cache
+    /// when the speaker has handed us this exact `Arc` before. Returns
+    /// `(body, announce_frame)` views into the shared cached buffers.
+    fn cached_wire(&mut self, node: NodeId, ia: &Arc<Ia>) -> (Bytes, Bytes) {
+        let key = Arc::as_ptr(ia) as usize;
+        if let Some(entry) = self.nodes[node].encode_cache.get(&key) {
+            self.stats.encode_cache_hits += 1;
+            return (entry.body.clone(), entry.announce.clone());
+        }
+        self.stats.updates_encoded += 1;
+        let body = ia.encode();
+        let announce = DbgpUpdate::encode_frame(&[], std::slice::from_ref(&body));
+        let cache = &mut self.nodes[node].encode_cache;
+        if cache.len() >= ENCODE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(
+            key,
+            EncodeCacheEntry {
+                _ia: Arc::clone(ia),
+                body: body.clone(),
+                announce: announce.clone(),
+            },
+        );
+        (body, announce)
+    }
+
     fn send_now(
         &mut self,
         node: NodeId,
         neighbor: NeighborId,
         prefix: Ipv4Prefix,
-        ia: Option<dbgp_wire::Ia>,
+        ia: Option<Arc<Ia>>,
     ) {
         let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
-        let update = match ia {
-            Some(ia) => DbgpUpdate::announce(ia),
-            None => DbgpUpdate::withdraw(prefix),
+        let bytes = match ia {
+            Some(ia) => self.cached_wire(node, &ia).1,
+            None => {
+                self.stats.updates_encoded += 1;
+                DbgpUpdate::encode_frame(std::slice::from_ref(&prefix), &[])
+            }
         };
-        let bytes = update.encode().to_vec();
         self.deliver_on_link(node, to, bytes);
     }
 
@@ -554,14 +656,26 @@ impl Sim {
             return;
         }
         let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
-        let mut update = DbgpUpdate::default();
+        let mut withdrawn = Vec::new();
+        let mut ias = Vec::with_capacity(pending.len());
         for (prefix, ia) in pending {
             match ia {
-                Some(ia) => update.ias.push(ia),
-                None => update.withdrawn.push(prefix),
+                Some(ia) => ias.push(ia),
+                None => withdrawn.push(prefix),
             }
         }
-        let bytes = update.encode().to_vec();
+        // Announce frames for a single IA are cached whole; batched
+        // frames are assembled from cached bodies (byte-identical to a
+        // fresh `DbgpUpdate::encode`, see `encode_frame`).
+        let bytes = if withdrawn.is_empty() && ias.len() == 1 {
+            self.cached_wire(node, &ias[0]).1
+        } else {
+            let bodies: Vec<Bytes> = ias.iter().map(|ia| self.cached_wire(node, ia).0).collect();
+            if bodies.is_empty() {
+                self.stats.updates_encoded += 1;
+            }
+            DbgpUpdate::encode_frame(&withdrawn, &bodies)
+        };
         self.deliver_on_link(node, to, bytes);
     }
 
@@ -571,7 +685,12 @@ impl Sim {
     /// For an unreliable model the RNG draw order per message is fixed —
     /// loss, corruption, duplication, jitter — so a given seed and fault
     /// schedule always perturbs the same messages the same way.
-    fn deliver_on_link(&mut self, node: NodeId, to: NodeId, mut bytes: Vec<u8>) {
+    ///
+    /// The buffer arrives refcounted (possibly shared with the encode
+    /// cache and other in-flight deliveries); only a corrupting model
+    /// copies it, so the flipped byte never leaks into anyone else's
+    /// view (copy-on-corrupt).
+    fn deliver_on_link(&mut self, node: NodeId, to: NodeId, mut bytes: Bytes) {
         let (mut delay, model, up) = match self.links.get(&link_key(node, to)) {
             Some(l) => (l.delay, l.model, l.up),
             // Adjacency without an explicit link record (not constructed
@@ -596,12 +715,16 @@ impl Sim {
             if corrupt && !bytes.is_empty() {
                 let idx = self.rng.below(bytes.len() as u64) as usize;
                 let flip = 1 + self.rng.below(255) as u8;
-                bytes[idx] ^= flip;
+                let mut copy = bytes.to_vec();
+                copy[idx] ^= flip;
+                bytes = Bytes::from(copy);
                 self.stats.corrupted_messages += 1;
             }
             delay += jitter;
             if duplicate {
                 self.stats.duplicated_messages += 1;
+                // Refcount bump: the duplicate shares the original's
+                // buffer.
                 self.queue
                     .schedule(delay + 1, Event::Deliver { to, from: node, bytes: bytes.clone() });
             }

@@ -31,6 +31,35 @@ fn chain_converges_and_installs_fibs() {
 }
 
 #[test]
+fn fanout_encodes_once_and_reuses_cached_bytes() {
+    // Star: the hub re-advertises the origin leaf's IA to every other
+    // leaf. The chosen IA is one interned Arc, so the hub's encode
+    // cache serializes it once and hands out the shared bytes after
+    // that — fan-out minus one deliveries are cache hits.
+    let mut sim = Sim::new();
+    let hub = sim.add_node(DbgpConfig::gulf(1));
+    let leaves: Vec<_> = (2..=5).map(|asn| sim.add_node(DbgpConfig::gulf(asn))).collect();
+    for &leaf in &leaves {
+        sim.link(hub, leaf, 10, false);
+    }
+    sim.originate(leaves[0], p("128.6.0.0/16"));
+    let stats = sim.run(60_000_000);
+    assert_eq!(sim.pending_events(), 0, "quiesces");
+    for &leaf in &leaves {
+        assert!(
+            leaf == leaves[0] || sim.speaker(leaf).best(&p("128.6.0.0/16")).is_some(),
+            "leaf {leaf} learned the route"
+        );
+    }
+    // Hub fans out to 3 non-chosen leaves: 1 fresh encode + 2 reuses.
+    assert!(stats.encode_cache_hits >= 2, "fan-out reused cached bytes: {stats:?}");
+    assert!(
+        stats.updates_encoded + stats.encode_cache_hits >= stats.messages,
+        "every message is either freshly encoded or a cache reuse: {stats:?}"
+    );
+}
+
+#[test]
 fn data_plane_follows_control_plane() {
     let mut sim = Sim::new();
     let nodes: Vec<_> = (1..=4).map(|asn| sim.add_node(DbgpConfig::gulf(asn))).collect();

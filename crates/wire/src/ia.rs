@@ -370,14 +370,16 @@ impl Ia {
     /// Encode to the TLV wire form.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_size_estimate());
-        put_record(&mut buf, tag::PREFIX, |b| self.prefix.encode(b));
-        put_record(&mut buf, tag::ORIGIN, |b| b.put_u8(self.origin as u8));
-        put_record(&mut buf, tag::NEXT_HOP, |b| b.put_u32(self.next_hop.0));
+        let mut scratch = BytesMut::with_capacity(32);
+        let s = &mut scratch;
+        put_record(&mut buf, s, tag::PREFIX, |b| self.prefix.encode(b));
+        put_record(&mut buf, s, tag::ORIGIN, |b| b.put_u8(self.origin as u8));
+        put_record(&mut buf, s, tag::NEXT_HOP, |b| b.put_u32(self.next_hop.0));
         if let Some(med) = self.med {
-            put_record(&mut buf, tag::MED, |b| put_uvarint(b, med as u64));
+            put_record(&mut buf, s, tag::MED, |b| put_uvarint(b, med as u64));
         }
         for elem in &self.path_vector {
-            put_record(&mut buf, tag::PATH_ELEM, |b| match elem {
+            put_record(&mut buf, s, tag::PATH_ELEM, |b| match elem {
                 PathElem::As(asn) => {
                     b.put_u8(0);
                     put_uvarint(b, *asn as u64);
@@ -396,14 +398,14 @@ impl Ia {
             });
         }
         for m in &self.memberships {
-            put_record(&mut buf, tag::MEMBERSHIP, |b| {
+            put_record(&mut buf, s, tag::MEMBERSHIP, |b| {
                 put_uvarint(b, m.island.0 as u64);
                 put_uvarint(b, m.start as u64);
                 put_uvarint(b, m.end as u64);
             });
         }
         for d in &self.path_descriptors {
-            put_record(&mut buf, tag::PATH_DESC, |b| {
+            put_record(&mut buf, s, tag::PATH_DESC, |b| {
                 put_uvarint(b, d.protocols.len() as u64);
                 for p in &d.protocols {
                     put_uvarint(b, p.0 as u64);
@@ -414,7 +416,7 @@ impl Ia {
             });
         }
         for d in &self.island_descriptors {
-            put_record(&mut buf, tag::ISLAND_DESC, |b| {
+            put_record(&mut buf, s, tag::ISLAND_DESC, |b| {
                 put_uvarint(b, d.island.0 as u64);
                 put_uvarint(b, d.protocol.0 as u64);
                 put_uvarint(b, d.key as u64);
@@ -662,12 +664,21 @@ mod tag {
     pub const ISLAND_DESC: u64 = 8;
 }
 
-fn put_record(buf: &mut BytesMut, tag: u64, body: impl FnOnce(&mut BytesMut)) {
-    let mut tmp = BytesMut::new();
-    body(&mut tmp);
+/// Append one `tag | len | body` record. The body is staged in
+/// `scratch` (cleared, capacity kept) so a full [`Ia::encode`] reuses
+/// one staging allocation across all of its records instead of paying
+/// a fresh buffer per record.
+fn put_record(
+    buf: &mut BytesMut,
+    scratch: &mut BytesMut,
+    tag: u64,
+    body: impl FnOnce(&mut BytesMut),
+) {
+    scratch.clear();
+    body(scratch);
     put_uvarint(buf, tag);
-    put_uvarint(buf, tmp.len() as u64);
-    buf.put_slice(&tmp);
+    put_uvarint(buf, scratch.len() as u64);
+    buf.put_slice(scratch.as_slice());
     debug_assert!(uvarint_len(tag) >= 1);
 }
 
@@ -878,7 +889,8 @@ mod tests {
     #[test]
     fn decode_rejects_missing_prefix() {
         let mut buf = BytesMut::new();
-        put_record(&mut buf, tag::ORIGIN, |b| b.put_u8(0));
+        let mut scratch = BytesMut::new();
+        put_record(&mut buf, &mut scratch, tag::ORIGIN, |b| b.put_u8(0));
         assert!(matches!(Ia::decode(buf.freeze()), Err(WireError::MalformedIa(_))));
     }
 

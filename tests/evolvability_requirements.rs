@@ -69,7 +69,7 @@ fn cf_r2_dissemination_is_in_band() {
     assert!(sent.path_descriptor(ProtocolId::WISER, dkey::WISER_PATH_COST).is_some());
     // And it is one wire object.
     let decoded = Ia::decode(sent.encode()).unwrap();
-    assert_eq!(&decoded, sent);
+    assert_eq!(&decoded, sent.as_ref());
 }
 
 /// CP-R3: across-gulf discovery of islands running custom protocols and

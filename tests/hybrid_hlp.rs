@@ -82,7 +82,7 @@ fn hlp_island_floods_lsas_and_abstracts_its_path() {
     // Loop safety: re-advertising this back toward the island is
     // rejected at island granularity.
     let outputs = {
-        let evil = best.ia.clone();
+        let evil = (*best.ia).clone();
         let mut back = evil;
         back.prepend_as(4000);
         sim.speaker_mut(h3).receive_ia(dbgp::core::NeighborId(1), back)

@@ -105,13 +105,14 @@ impl BufMut for Vec<u8> {
 
 /// An immutable byte buffer with a read cursor.
 ///
-/// The real `Bytes` shares one allocation between clones; this stub
-/// clones the underlying vector. Semantics (views, equality, ordering)
-/// match; only the allocation profile differs.
+/// Like the real `Bytes`, clones, slices, and `split_to` views share
+/// one refcounted allocation — only the `(start, end)` window differs.
+/// Copies happen only on explicit `to_vec`/`copy_from_slice`.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Vec<u8>,
-    pos: usize,
+    data: std::sync::Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -122,7 +123,7 @@ impl Bytes {
 
     /// Copy a slice into a fresh buffer.
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Bytes { data: src.to_vec(), pos: 0 }
+        Bytes::from(src.to_vec())
     }
 
     /// Wrap a static slice (copied here; the real crate borrows).
@@ -132,7 +133,7 @@ impl Bytes {
 
     /// Remaining length.
     pub fn len(&self) -> usize {
-        self.data.len() - self.pos
+        self.end - self.start
     }
 
     /// True when no bytes remain.
@@ -142,14 +143,16 @@ impl Bytes {
 
     /// Remaining bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.start..self.end]
     }
 
-    /// Split off and return the first `at` remaining bytes.
+    /// Split off and return the first `at` remaining bytes. Both halves
+    /// keep sharing the same allocation.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of range");
-        let head = Bytes { data: self.as_slice()[..at].to_vec(), pos: 0 };
-        self.pos += at;
+        let head =
+            Bytes { data: std::sync::Arc::clone(&self.data), start: self.start, end: self.start + at };
+        self.start += at;
         head
     }
 
@@ -158,7 +161,8 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
-    /// A new buffer over a subrange of the remaining bytes.
+    /// A view over a subrange of the remaining bytes, sharing the same
+    /// allocation.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         let len = self.len();
         let start = match range.start_bound() {
@@ -172,7 +176,11 @@ impl Bytes {
             std::ops::Bound::Unbounded => len,
         };
         assert!(start <= end && end <= len, "slice out of range");
-        Bytes::copy_from_slice(&self.as_slice()[start..end])
+        Bytes {
+            data: std::sync::Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
     }
 }
 
@@ -185,7 +193,7 @@ impl Buf for Bytes {
     }
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "buffer underflow");
-        self.pos += cnt;
+        self.start += cnt;
     }
 }
 
@@ -204,7 +212,8 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data, pos: 0 }
+        let end = data.len();
+        Bytes { data: std::sync::Arc::new(data), start: 0, end }
     }
 }
 
@@ -324,9 +333,12 @@ impl BytesMut {
         head
     }
 
-    /// Freeze the unread remainder into an immutable `Bytes`.
+    /// Freeze the unread remainder into an immutable `Bytes`. The
+    /// backing vector moves into the refcounted buffer without copying;
+    /// any consumed front is skipped by the view window.
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data[self.pos..].to_vec(), pos: 0 }
+        let end = self.data.len();
+        Bytes { data: std::sync::Arc::new(self.data), start: self.pos, end }
     }
 
     /// Copy the unread bytes out.
@@ -430,5 +442,31 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::copy_from_slice(&[1]);
         b.get_u32();
+    }
+
+    #[test]
+    fn clones_and_views_share_the_allocation() {
+        let original = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let base = original.as_slice().as_ptr();
+        let cloned = original.clone();
+        assert_eq!(cloned.as_slice().as_ptr(), base, "clone is a refcount bump");
+        let tail = original.slice(2..);
+        assert_eq!(tail.as_slice().as_ptr(), unsafe { base.add(2) }, "slice is a view");
+        let mut rest = original.clone();
+        let head = rest.split_to(3);
+        assert_eq!(head.as_slice().as_ptr(), base, "split head is a view");
+        assert_eq!(rest.as_slice().as_ptr(), unsafe { base.add(3) }, "split tail is a view");
+        assert_eq!(head.to_vec(), vec![1, 2, 3]);
+        assert_eq!(rest.to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    fn freeze_moves_without_copy() {
+        let mut buf = BytesMut::from(&b"abcdef"[..]);
+        buf.advance(2);
+        let ptr = buf.as_slice().as_ptr();
+        let frozen = buf.freeze();
+        assert_eq!(frozen.as_slice().as_ptr(), ptr, "freeze reuses the backing vector");
+        assert_eq!(frozen.to_vec(), b"cdef");
     }
 }

@@ -41,6 +41,59 @@ pub mod value {
                 _ => None,
             }
         }
+
+        /// The value as an unsigned integer, if it is one (or a
+        /// non-negative signed integer).
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::UInt(u) => Some(*u),
+                Value::Int(i) if *i >= 0 => Some(*i as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as a float (integers widen losslessly enough for
+        /// benchmark metrics).
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Float(f) => Some(*f),
+                Value::Int(i) => Some(*i as f64),
+                Value::UInt(u) => Some(*u as f64),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, if it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s.as_str()),
+                _ => None,
+            }
+        }
+
+        /// The value as a bool, if it is one.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value's elements, if it is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The value's fields in insertion order, if it is an object.
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
     }
 }
 
