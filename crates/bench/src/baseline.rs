@@ -1,0 +1,180 @@
+//! Schema validation for the committed `BENCH_sim.json` performance
+//! baseline.
+//!
+//! The baseline is load-bearing: the telemetry overhead budget (<3%
+//! events/sec on waxman-1000) and the zero-copy speedup table are both
+//! measured against it, so CI refuses a baseline document that silently
+//! lost a field or changed a type. `sim_bench --quick` (and
+//! `--validate-only`) calls [`validate_sim_bench_schema`] and exits
+//! nonzero listing every problem found.
+
+use serde_json::Value;
+
+/// Schema identifier every `BENCH_sim.json` document must carry.
+pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v1";
+
+/// Fields every per-scenario record must carry, with their types
+/// checked: `quiesced` is a bool, `events_per_sec`/`wall_seconds` are
+/// floats, everything else an unsigned integer.
+pub const REQUIRED_METRICS: [&str; 12] = [
+    "nodes",
+    "edges",
+    "events",
+    "events_per_sec",
+    "wall_seconds",
+    "messages",
+    "bytes_delivered",
+    "updates_encoded",
+    "encode_cache_hits",
+    "bytes_allocated",
+    "best_changes",
+    "quiesced",
+];
+
+/// Validate a committed baseline document's shape; returns a list of
+/// problems, one human-readable line each (empty = valid).
+pub fn validate_sim_bench_schema(doc: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    if doc.get("schema").and_then(Value::as_str) != Some(SIM_BENCH_SCHEMA) {
+        problems.push(format!("schema field must be \"{SIM_BENCH_SCHEMA}\""));
+    }
+    if doc.get("seed").and_then(Value::as_u64).is_none() {
+        problems.push("seed must be an unsigned integer".into());
+    }
+    for block in ["baseline", "current"] {
+        let Some(scenarios) = doc.get(block).and_then(Value::as_object) else {
+            problems.push(format!("missing object block \"{block}\""));
+            continue;
+        };
+        if !scenarios.iter().any(|(name, _)| name == "waxman50_churn") {
+            problems.push(format!("{block} lacks the waxman50_churn scenario"));
+        }
+        for (name, record) in scenarios {
+            for field in REQUIRED_METRICS {
+                let ok = match field {
+                    "quiesced" => record.get(field).and_then(Value::as_bool).is_some(),
+                    "events_per_sec" | "wall_seconds" => {
+                        record.get(field).and_then(Value::as_f64).is_some()
+                    }
+                    _ => record.get(field).and_then(Value::as_u64).is_some(),
+                };
+                if !ok {
+                    problems.push(format!("{block}.{name}.{field} missing or mistyped"));
+                }
+            }
+        }
+    }
+    if doc.get("speedup").and_then(Value::as_object).is_none() {
+        problems.push("missing object block \"speedup\"".into());
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn record() -> Value {
+        json!({
+            "nodes": 50u64, "edges": 97u64, "events": 1000u64,
+            "events_per_sec": 1.5f64, "wall_seconds": 0.5f64,
+            "messages": 10u64, "bytes_delivered": 100u64,
+            "updates_encoded": 5u64, "encode_cache_hits": 3u64,
+            "bytes_allocated": 4096u64, "best_changes": 7u64,
+            "quiesced": true,
+        })
+    }
+
+    fn valid_doc() -> Value {
+        json!({
+            "schema": SIM_BENCH_SCHEMA,
+            "seed": 42u64,
+            "baseline": { "waxman50_churn": record() },
+            "current": { "waxman50_churn": record() },
+            "speedup": {},
+        })
+    }
+
+    fn set(doc: &mut Value, block: &str, field: &str, v: Value) {
+        let rec = doc
+            .get_mut(block)
+            .and_then(|b| b.get_mut("waxman50_churn"))
+            .and_then(Value::as_object_mut)
+            .unwrap();
+        if let Some(slot) = rec.iter_mut().find(|(k, _)| k == field) {
+            slot.1 = v;
+        }
+    }
+
+    fn remove(doc: &mut Value, block: &str, field: &str) {
+        let rec = doc
+            .get_mut(block)
+            .and_then(|b| b.get_mut("waxman50_churn"))
+            .and_then(Value::as_object_mut)
+            .unwrap();
+        rec.retain(|(k, _)| k != field);
+    }
+
+    #[test]
+    fn a_complete_document_validates() {
+        assert_eq!(validate_sim_bench_schema(&valid_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn every_required_metric_is_load_bearing() {
+        for field in REQUIRED_METRICS {
+            let mut doc = valid_doc();
+            remove(&mut doc, "current", field);
+            let problems = validate_sim_bench_schema(&doc);
+            assert_eq!(
+                problems,
+                vec![format!("current.waxman50_churn.{field} missing or mistyped")],
+                "dropping {field} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn type_confusion_is_caught() {
+        let mut doc = valid_doc();
+        set(&mut doc, "baseline", "events", Value::String("1000".into()));
+        let problems = validate_sim_bench_schema(&doc);
+        assert_eq!(problems, vec!["baseline.waxman50_churn.events missing or mistyped"]);
+
+        let mut doc = valid_doc();
+        set(&mut doc, "baseline", "quiesced", Value::UInt(1));
+        assert_eq!(
+            validate_sim_bench_schema(&doc),
+            vec!["baseline.waxman50_churn.quiesced missing or mistyped"]
+        );
+    }
+
+    #[test]
+    fn missing_blocks_and_bad_schema_tag_are_caught() {
+        let mut doc = valid_doc();
+        if let Some(o) = doc.as_object_mut() {
+            o.retain(|(k, _)| k != "baseline");
+        }
+        assert!(validate_sim_bench_schema(&doc)
+            .contains(&"missing object block \"baseline\"".to_string()));
+
+        let doc = json!({"schema": "bogus/v9"});
+        let problems = validate_sim_bench_schema(&doc);
+        assert!(problems.iter().any(|p| p.contains("schema field")));
+        assert!(problems.iter().any(|p| p.contains("seed")));
+    }
+
+    #[test]
+    fn the_anchor_scenario_is_required() {
+        let doc = json!({
+            "schema": SIM_BENCH_SCHEMA,
+            "seed": 42u64,
+            "baseline": { "other": record() },
+            "current": { "waxman50_churn": record() },
+            "speedup": {},
+        });
+        assert!(validate_sim_bench_schema(&doc)
+            .contains(&"baseline lacks the waxman50_churn scenario".to_string()));
+    }
+}

@@ -10,9 +10,11 @@
 use dbgp_chaos::scenario::{figure8_wiser, scenario_prefix, sim_from_graph};
 use dbgp_chaos::{FaultPlan, InvariantReport, Invariants, ScenarioReport, ScenarioRunner};
 use dbgp_sim::{LinkModel, Sim};
+use dbgp_telemetry::TraceRecorder;
 use dbgp_topology::fixtures::waxman_50;
 use dbgp_wire::ProtocolId;
 use serde_json::{json, Value};
+use std::rc::Rc;
 
 struct Row {
     scenario: &'static str,
@@ -32,6 +34,9 @@ fn reachable_count(sim: &Sim) -> usize {
 /// at the source.
 fn fig8_wiser_flap() -> Row {
     let mut f = figure8_wiser();
+    // Record the full causal trace; the tracker measures each fault
+    // window by scanning the event bus instead of diffing counters.
+    f.sim.enable_telemetry(Rc::new(TraceRecorder::unbounded()));
     f.sim.originate(f.d, scenario_prefix());
     f.sim.run(10_000_000);
     let plan = FaultPlan::new()
@@ -54,6 +59,7 @@ fn fig8_wiser_flap() -> Row {
 /// Figure 8 with a gulf AS rebooting (§3.5 session reset).
 fn fig8_gulf_restart() -> Row {
     let mut f = figure8_wiser();
+    f.sim.enable_telemetry(Rc::new(TraceRecorder::unbounded()));
     f.sim.originate(f.d, scenario_prefix());
     f.sim.run(10_000_000);
     let plan = FaultPlan::new().node_restart(f.g2b, 20_000_000).node_restart(f.g1, 60_000_000);
@@ -75,6 +81,7 @@ fn fig8_gulf_restart() -> Row {
 fn waxman_flap(seed: u64) -> Row {
     let graph = waxman_50(seed);
     let mut sim = sim_from_graph(&graph, 10);
+    sim.enable_telemetry(Rc::new(TraceRecorder::unbounded()));
     sim.set_seed(seed);
     sim.originate(0, scenario_prefix());
     sim.run(100_000_000);
@@ -102,6 +109,7 @@ fn waxman_flap(seed: u64) -> Row {
 fn waxman_loss_burst(seed: u64) -> Row {
     let graph = waxman_50(seed.wrapping_add(2));
     let mut sim = sim_from_graph(&graph, 10);
+    sim.enable_telemetry(Rc::new(TraceRecorder::unbounded()));
     sim.set_seed(seed.wrapping_add(2));
     sim.originate(0, scenario_prefix());
     sim.run(100_000_000);

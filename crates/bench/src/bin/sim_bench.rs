@@ -3,15 +3,20 @@
 //! scenarios, tracked in a committed `BENCH_sim.json`.
 //!
 //! Usage:
-//!   sim_bench            run both scenarios, write `BENCH_sim.json`
-//!                        (preserving the recorded baseline block, or
-//!                        seeding it from this run if absent)
-//!   sim_bench --quick    run only waxman-50 churn, write
-//!                        `results/BENCH_sim.quick.json`, and validate
-//!                        the committed `BENCH_sim.json` schema (the CI
-//!                        bench-smoke mode — never rewrites the
-//!                        committed baseline)
+//!   sim_bench                 run both scenarios, write `BENCH_sim.json`
+//!                             (preserving the recorded baseline block,
+//!                             or seeding it from this run if absent)
+//!   sim_bench --quick         run only waxman-50 churn, write
+//!                             `results/BENCH_sim.quick.json`, and
+//!                             validate the committed `BENCH_sim.json`
+//!                             schema (the CI bench-smoke mode — never
+//!                             rewrites the committed baseline)
+//!   sim_bench --validate-only skip the scenarios entirely and just
+//!                             validate the baseline document's schema
+//!   --bench-path <path>       validate <path> instead of BENCH_sim.json
 //!
+//! A missing or mistyped required field in the baseline document is a
+//! hard failure: the exit code is nonzero and every problem is listed.
 //! Simulated quantities (events, messages, bytes, churn) are pure
 //! functions of the seed; wall-time and events/sec vary with the host.
 
@@ -19,6 +24,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use dbgp_bench::{validate_sim_bench_schema, SIM_BENCH_SCHEMA};
 use dbgp_chaos::scenario::sim_from_graph;
 use dbgp_chaos::{FaultPlan, ScenarioRunner};
 use dbgp_sim::Sim;
@@ -56,7 +62,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 const SEED: u64 = 42;
-const SCHEMA: &str = "dbgp-sim-bench/v1";
+const SCHEMA: &str = SIM_BENCH_SCHEMA;
 const BENCH_PATH: &str = "BENCH_sim.json";
 const QUICK_PATH: &str = "results/BENCH_sim.quick.json";
 
@@ -214,59 +220,25 @@ fn scenarios_json(results: &[ScenarioResult]) -> Value {
     Value::Object(results.iter().map(|r| (r.name.to_string(), r.to_json())).collect())
 }
 
-/// Fields every per-scenario record must carry.
-const REQUIRED_METRICS: [&str; 12] = [
-    "nodes",
-    "edges",
-    "events",
-    "events_per_sec",
-    "wall_seconds",
-    "messages",
-    "bytes_delivered",
-    "updates_encoded",
-    "encode_cache_hits",
-    "bytes_allocated",
-    "best_changes",
-    "quiesced",
-];
-
-/// Validate the committed baseline document shape; returns a list of
-/// problems (empty = valid).
-fn validate_schema(doc: &Value) -> Vec<String> {
-    let mut problems = Vec::new();
-    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
-        problems.push(format!("schema field must be \"{SCHEMA}\""));
-    }
-    if doc.get("seed").and_then(Value::as_u64).is_none() {
-        problems.push("seed must be an unsigned integer".into());
-    }
-    for block in ["baseline", "current"] {
-        let Some(scenarios) = doc.get(block).and_then(Value::as_object) else {
-            problems.push(format!("missing object block \"{block}\""));
-            continue;
-        };
-        if !scenarios.iter().any(|(name, _)| name == "waxman50_churn") {
-            problems.push(format!("{block} lacks the waxman50_churn scenario"));
+/// Validate the baseline document at `path`; exits the process with a
+/// diagnostic on any problem.
+fn enforce_schema(path: &str) {
+    let Some(committed): Option<Value> =
+        std::fs::read_to_string(path).ok().and_then(|s| serde_json::from_str(&s).ok())
+    else {
+        eprintln!("{path}: missing or unparseable");
+        std::process::exit(1);
+    };
+    let problems = validate_sim_bench_schema(&committed);
+    if problems.is_empty() {
+        println!("{path}: schema ok ({SCHEMA})");
+    } else {
+        eprintln!("{path}: schema invalid:");
+        for p in &problems {
+            eprintln!("  - {p}");
         }
-        for (name, record) in scenarios {
-            for field in REQUIRED_METRICS {
-                let ok = match field {
-                    "quiesced" => record.get(field).and_then(Value::as_bool).is_some(),
-                    "events_per_sec" | "wall_seconds" => {
-                        record.get(field).and_then(Value::as_f64).is_some()
-                    }
-                    _ => record.get(field).and_then(Value::as_u64).is_some(),
-                };
-                if !ok {
-                    problems.push(format!("{block}.{name}.{field} missing or mistyped"));
-                }
-            }
-        }
+        std::process::exit(1);
     }
-    if doc.get("speedup").and_then(Value::as_object).is_none() {
-        problems.push("missing object block \"speedup\"".into());
-    }
-    problems
 }
 
 fn print_table(results: &[ScenarioResult]) {
@@ -302,7 +274,24 @@ fn print_table(results: &[ScenarioResult]) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let validate_only = args.iter().any(|a| a == "--validate-only");
+    let bench_path = args
+        .iter()
+        .position(|a| a == "--bench-path")
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--bench-path needs a path");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| BENCH_PATH.to_string());
+
+    if validate_only {
+        enforce_schema(&bench_path);
+        return;
+    }
 
     let mut results = vec![waxman50_churn()];
     if !quick {
@@ -328,24 +317,7 @@ fn main() {
         std::fs::create_dir_all("results").ok();
         std::fs::write(QUICK_PATH, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
         println!("\n(wrote {QUICK_PATH})");
-        match existing {
-            Some(committed) => {
-                let problems = validate_schema(&committed);
-                if problems.is_empty() {
-                    println!("{BENCH_PATH}: schema ok ({SCHEMA})");
-                } else {
-                    eprintln!("{BENCH_PATH}: schema invalid:");
-                    for p in &problems {
-                        eprintln!("  - {p}");
-                    }
-                    std::process::exit(1);
-                }
-            }
-            None => {
-                eprintln!("{BENCH_PATH}: missing or unparseable");
-                std::process::exit(1);
-            }
-        }
+        enforce_schema(&bench_path);
         return;
     }
 

@@ -1,6 +1,9 @@
 //! Shared harness code for the benchmark binaries and Criterion benches:
-//! the §5 stress test, implemented once and reported two ways.
+//! the §5 stress test, implemented once and reported two ways, plus the
+//! `BENCH_sim.json` baseline schema validator `sim_bench` enforces.
 
+pub mod baseline;
 pub mod stress;
 
+pub use baseline::{validate_sim_bench_schema, REQUIRED_METRICS, SIM_BENCH_SCHEMA};
 pub use stress::{run_classic_bgp, run_dbgp, StressResult};

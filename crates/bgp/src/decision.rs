@@ -19,6 +19,7 @@
 
 use crate::rib::RouteSource;
 use crate::route::Route;
+use dbgp_telemetry::SelectionReason;
 use dbgp_wire::Ipv4Addr;
 use std::cmp::Ordering;
 
@@ -52,51 +53,60 @@ impl<'a> Candidate<'a> {
     }
 }
 
-/// Compare two candidates; `Ordering::Greater` means `a` is preferred.
-pub fn compare(a: &Candidate<'_>, b: &Candidate<'_>) -> Ordering {
+/// Compare two candidates and report the decisive tie-break step.
+/// `Ordering::Greater` means `a` is preferred.
+pub fn compare_explain(a: &Candidate<'_>, b: &Candidate<'_>) -> (Ordering, SelectionReason) {
     // Locally originated routes beat everything.
     let a_local = matches!(a.source, RouteSource::Local);
     let b_local = matches!(b.source, RouteSource::Local);
     if a_local != b_local {
-        return if a_local { Ordering::Greater } else { Ordering::Less };
+        let ord = if a_local { Ordering::Greater } else { Ordering::Less };
+        return (ord, SelectionReason::LocalOrigin);
     }
 
     // 1. Highest LOCAL_PREF.
     let lp = a.route.effective_local_pref().cmp(&b.route.effective_local_pref());
     if lp != Ordering::Equal {
-        return lp;
+        return (lp, SelectionReason::LocalPref);
     }
     // 2. Shortest AS path.
     let len = b.route.as_path.hop_count().cmp(&a.route.as_path.hop_count());
     if len != Ordering::Equal {
-        return len;
+        return (len, SelectionReason::ShortestPath);
     }
     // 3. Lowest origin.
     let origin = (b.route.origin as u8).cmp(&(a.route.origin as u8));
     if origin != Ordering::Equal {
-        return origin;
+        return (origin, SelectionReason::Origin);
     }
     // 4. Lowest MED, same neighbouring AS only.
     if a.peer_as == b.peer_as {
         let med = b.route.med.unwrap_or(0).cmp(&a.route.med.unwrap_or(0));
         if med != Ordering::Equal {
-            return med;
+            return (med, SelectionReason::Med);
         }
     }
     // 5. eBGP over iBGP.
     if a.ebgp != b.ebgp {
-        return if a.ebgp { Ordering::Greater } else { Ordering::Less };
+        let ord = if a.ebgp { Ordering::Greater } else { Ordering::Less };
+        return (ord, SelectionReason::EbgpOverIbgp);
     }
     // 6. Lowest peer router ID.
     let rid = b.peer_router_id.cmp(&a.peer_router_id);
     if rid != Ordering::Equal {
-        return rid;
+        return (rid, SelectionReason::RouterId);
     }
     // 7. Lowest peer ID.
-    match (a.source, b.source) {
+    let ord = match (a.source, b.source) {
         (RouteSource::Peer(pa), RouteSource::Peer(pb)) => pb.cmp(&pa),
         _ => Ordering::Equal,
-    }
+    };
+    (ord, SelectionReason::NeighborId)
+}
+
+/// Compare two candidates; `Ordering::Greater` means `a` is preferred.
+pub fn compare(a: &Candidate<'_>, b: &Candidate<'_>) -> Ordering {
+    compare_explain(a, b).0
 }
 
 /// Pick the index of the best candidate, or `None` if the slice is empty.
@@ -111,6 +121,26 @@ pub fn best(candidates: &[Candidate<'_>]) -> Option<usize> {
         }
     }
     Some(best)
+}
+
+/// Like [`best`], but also report which tie-break step separated the
+/// winner from the runner-up (the best of the remaining candidates).
+pub fn best_explain(candidates: &[Candidate<'_>]) -> Option<(usize, SelectionReason)> {
+    let winner = best(candidates)?;
+    if candidates.len() == 1 {
+        return Some((winner, SelectionReason::OnlyCandidate));
+    }
+    let mut runner = usize::from(winner == 0);
+    for i in 0..candidates.len() {
+        if i == winner || i == runner {
+            continue;
+        }
+        if compare(&candidates[i], &candidates[runner]) == Ordering::Greater {
+            runner = i;
+        }
+    }
+    let (_, step) = compare_explain(&candidates[winner], &candidates[runner]);
+    Some((winner, step))
 }
 
 #[cfg(test)]
@@ -220,6 +250,47 @@ mod tests {
     #[test]
     fn empty_candidates_give_none() {
         assert_eq!(best(&[]), None);
+    }
+
+    #[test]
+    fn explain_reports_the_decisive_step() {
+        let short = route(vec![1, 2]);
+        let long = route(vec![3, 4, 5]);
+        let cands = [cand(&long, 1, 3, true, 1), cand(&short, 2, 1, true, 2)];
+        assert_eq!(best_explain(&cands), Some((1, SelectionReason::ShortestPath)));
+
+        let mut pref = route(vec![1, 2, 3]);
+        pref.local_pref = Some(200);
+        let plain = route(vec![4]);
+        let cands = [cand(&plain, 1, 4, true, 1), cand(&pref, 2, 1, true, 2)];
+        assert_eq!(best_explain(&cands), Some((1, SelectionReason::LocalPref)));
+
+        let r1 = route(vec![1, 2]);
+        let r2 = route(vec![3, 4]);
+        let cands = [cand(&r1, 1, 1, true, 50), cand(&r2, 2, 3, true, 10)];
+        assert_eq!(best_explain(&cands), Some((1, SelectionReason::RouterId)));
+
+        let only = route(vec![1]);
+        let cands = [cand(&only, 1, 1, true, 1)];
+        assert_eq!(best_explain(&cands), Some((0, SelectionReason::OnlyCandidate)));
+
+        let local = route(vec![]);
+        let learned = route(vec![9]);
+        let cands = [cand(&learned, 1, 9, true, 1), Candidate::local(&local)];
+        assert_eq!(best_explain(&cands), Some((1, SelectionReason::LocalOrigin)));
+
+        assert_eq!(best_explain(&[]), None);
+    }
+
+    #[test]
+    fn explain_picks_runner_up_among_many() {
+        // Winner: 2 hops. Others: 3 and 4 hops. The decisive comparison is
+        // against the 3-hop runner-up, not the 4-hop also-ran.
+        let w = route(vec![1, 2]);
+        let r3 = route(vec![3, 4, 5]);
+        let r4 = route(vec![6, 7, 8, 9]);
+        let cands = [cand(&r4, 1, 6, true, 1), cand(&w, 2, 1, true, 2), cand(&r3, 3, 3, true, 3)];
+        assert_eq!(best_explain(&cands), Some((1, SelectionReason::ShortestPath)));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! and no DelayOpen.
 
 use crate::config::PeerConfig;
+use dbgp_telemetry::{SinkHandle, TraceKind};
 use dbgp_wire::message::{notif, BgpMessage, NotificationMsg, OpenMsg, UpdateMsg};
 use dbgp_wire::Capability;
 
@@ -34,6 +35,20 @@ pub enum SessionState {
     OpenConfirm,
     /// Session fully up; UPDATEs flow.
     Established,
+}
+
+impl SessionState {
+    /// Stable lowercase name used in telemetry events.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionState::Idle => "idle",
+            SessionState::Connect => "connect",
+            SessionState::Active => "active",
+            SessionState::OpenSent => "opensent",
+            SessionState::OpenConfirm => "openconfirm",
+            SessionState::Established => "established",
+        }
+    }
 }
 
 /// Inputs to the FSM.
@@ -118,6 +133,12 @@ pub struct Session {
     connect_retry_deadline: Option<Millis>,
     hold_deadline: Option<Millis>,
     keepalive_deadline: Option<Millis>,
+    /// Telemetry sink; no-op by default.
+    sink: SinkHandle,
+    /// Host-assigned label (node index) stamped on emitted events.
+    node_label: u32,
+    /// Host-assigned peer label recorded on FSM transition events.
+    peer_label: u32,
 }
 
 impl Session {
@@ -133,6 +154,37 @@ impl Session {
             connect_retry_deadline: None,
             hold_deadline: None,
             keepalive_deadline: None,
+            sink: SinkHandle::none(),
+            node_label: 0,
+            peer_label: 0,
+        }
+    }
+
+    /// Attach a telemetry sink. Every FSM transition is then recorded as
+    /// a `SessionFsm` event stamped with `node_label`/`peer_label`.
+    pub fn set_telemetry(&mut self, sink: SinkHandle, node_label: u32, peer_label: u32) {
+        self.sink = sink;
+        self.node_label = node_label;
+        self.peer_label = peer_label;
+    }
+
+    /// Move to `to`, recording the transition when it changes state and
+    /// telemetry is attached.
+    fn transition(&mut self, now: Millis, to: SessionState, trigger: &'static str) {
+        let from = self.state;
+        self.state = to;
+        if from != to && self.sink.enabled() {
+            self.sink.record_at(
+                now,
+                self.node_label,
+                None,
+                TraceKind::SessionFsm {
+                    peer: self.peer_label,
+                    from: from.name().to_string(),
+                    to: to.name().to_string(),
+                    trigger: trigger.to_string(),
+                },
+            );
         }
     }
 
@@ -173,7 +225,7 @@ impl Session {
             self.connect_retry_deadline = Some(now + self.config.connect_retry_ms);
             match self.state {
                 SessionState::Connect | SessionState::Active => {
-                    self.state = SessionState::Connect;
+                    self.transition(now, SessionState::Connect, "connect-retry");
                     actions.push(Action::TcpConnect);
                 }
                 _ => {}
@@ -184,7 +236,11 @@ impl Session {
             let notification = NotificationMsg::new(notif::HOLD_TIMER_EXPIRED, 0);
             actions.push(Action::Send(BgpMessage::Notification(notification)));
             actions.push(Action::TcpClose);
-            actions.extend(self.enter_idle(DownReason::HoldTimerExpired));
+            actions.extend(self.enter_idle(
+                now,
+                DownReason::HoldTimerExpired,
+                "hold-timer-expired",
+            ));
         }
         if self.keepalive_deadline.is_some_and(|d| d <= now) {
             if self.state == SessionState::Established || self.state == SessionState::OpenConfirm {
@@ -205,10 +261,10 @@ impl Session {
             (Idle, ManualStart) => {
                 self.connect_retry_deadline = Some(now + self.config.connect_retry_ms);
                 if self.config.passive {
-                    self.state = Active;
+                    self.transition(now, Active, "manual-start");
                     vec![]
                 } else {
-                    self.state = Connect;
+                    self.transition(now, Connect, "manual-start");
                     vec![Action::TcpConnect]
                 }
             }
@@ -219,30 +275,30 @@ impl Session {
                     Action::Send(BgpMessage::Notification(NotificationMsg::new(notif::CEASE, 0))),
                     Action::TcpClose,
                 ];
-                actions.extend(self.enter_idle(DownReason::AdminStop));
+                actions.extend(self.enter_idle(now, DownReason::AdminStop, "manual-stop"));
                 actions
             }
             (Connect | Active, TcpConnected) => {
-                self.state = OpenSent;
+                self.transition(now, OpenSent, "tcp-connected");
                 self.connect_retry_deadline = None;
                 self.hold_deadline = Some(now + OPEN_HOLD_MS);
                 vec![Action::Send(BgpMessage::Open(self.make_open()))]
             }
             (Connect, TcpFailed) => {
-                self.state = Active;
+                self.transition(now, Active, "tcp-failed");
                 vec![]
             }
             (Active, TcpFailed) => vec![],
             (Connect | Active, _) => vec![],
             (OpenSent, Message(BgpMessage::Open(open))) => self.on_open(now, open),
             (OpenSent, TcpClosed) => {
-                self.state = Active;
+                self.transition(now, Active, "tcp-closed");
                 self.hold_deadline = None;
                 self.connect_retry_deadline = Some(now + self.config.connect_retry_ms);
                 vec![]
             }
             (OpenConfirm, Message(BgpMessage::Keepalive)) => {
-                self.state = Established;
+                self.transition(now, Established, "keepalive-received");
                 self.arm_established_timers(now);
                 vec![Action::Up(self.summary())]
             }
@@ -256,12 +312,12 @@ impl Session {
             }
             (_, Message(BgpMessage::Notification(n))) => {
                 let mut actions = vec![Action::TcpClose];
-                actions.extend(self.enter_idle(DownReason::Notification(n)));
+                actions.extend(self.enter_idle(now, DownReason::Notification(n), "notification"));
                 actions
             }
             (OpenConfirm | Established, TcpClosed) => {
                 let mut actions = Vec::new();
-                actions.extend(self.enter_idle(DownReason::TransportClosed));
+                actions.extend(self.enter_idle(now, DownReason::TransportClosed, "tcp-closed"));
                 actions
             }
             // Anything else is an FSM error: NOTIFICATION and reset.
@@ -271,7 +327,11 @@ impl Session {
                     Action::Send(BgpMessage::Notification(notification.clone())),
                     Action::TcpClose,
                 ];
-                actions.extend(self.enter_idle(DownReason::Notification(notification)));
+                actions.extend(self.enter_idle(
+                    now,
+                    DownReason::Notification(notification),
+                    "fsm-error",
+                ));
                 actions
             }
             (_, TcpFailed | TcpConnected) => vec![],
@@ -294,7 +354,11 @@ impl Session {
                 let notification = NotificationMsg::new(notif::OPEN_ERROR, 2); // bad peer AS
                 let mut actions =
                     vec![Action::Send(BgpMessage::Notification(notification)), Action::TcpClose];
-                actions.extend(self.enter_idle(DownReason::OpenRejected("unexpected peer AS")));
+                actions.extend(self.enter_idle(
+                    now,
+                    DownReason::OpenRejected("unexpected peer AS"),
+                    "open-rejected",
+                ));
                 return actions;
             }
         }
@@ -307,7 +371,7 @@ impl Session {
         self.four_octet = open.capabilities.iter().any(|c| matches!(c, Capability::FourOctetAs(_)));
         self.ia_support = open.supports_ia() && self.config.advertise_ia;
         self.peer_open = Some(open);
-        self.state = SessionState::OpenConfirm;
+        self.transition(now, SessionState::OpenConfirm, "open-received");
         self.arm_established_timers(now);
         vec![Action::Send(BgpMessage::Keepalive)]
     }
@@ -343,12 +407,17 @@ impl Session {
         }
     }
 
-    fn enter_idle(&mut self, reason: DownReason) -> Vec<Action> {
+    fn enter_idle(
+        &mut self,
+        now: Millis,
+        reason: DownReason,
+        trigger: &'static str,
+    ) -> Vec<Action> {
         let was_live = matches!(
             self.state,
             SessionState::Established | SessionState::OpenConfirm | SessionState::OpenSent
         );
-        self.state = SessionState::Idle;
+        self.transition(now, SessionState::Idle, trigger);
         self.peer_open = None;
         self.hold_deadline = None;
         self.keepalive_deadline = None;

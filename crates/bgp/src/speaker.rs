@@ -20,6 +20,7 @@ use crate::session::{
     Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary,
 };
 use bytes::{Bytes, BytesMut};
+use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
 use dbgp_wire::message::{BgpMessage, NotificationMsg, UpdateMsg};
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix, WireError};
 use std::collections::BTreeMap;
@@ -70,6 +71,8 @@ pub struct Speaker {
     loc_rib: LocRib,
     adj_out: AdjRibOut,
     originated: BTreeMap<Ipv4Prefix, Arc<Route>>,
+    sink: SinkHandle,
+    node_label: u32,
 }
 
 impl Speaker {
@@ -83,6 +86,19 @@ impl Speaker {
             loc_rib: LocRib::new(),
             adj_out: AdjRibOut::new(),
             originated: BTreeMap::new(),
+            sink: SinkHandle::none(),
+            node_label: 0,
+        }
+    }
+
+    /// Attach a telemetry sink; `node_label` identifies this speaker in
+    /// recorded events. Propagates to every existing session (new peers
+    /// added later inherit it in [`add_peer`](Self::add_peer)).
+    pub fn set_telemetry(&mut self, sink: SinkHandle, node_label: u32) {
+        self.sink = sink;
+        self.node_label = node_label;
+        for (id, peer) in self.peers.iter_mut() {
+            peer.session.set_telemetry(self.sink.clone(), node_label, id.0);
         }
     }
 
@@ -99,7 +115,8 @@ impl Speaker {
     /// Register a neighbor. Panics if the peer ID is already used.
     pub fn add_peer(&mut self, id: PeerId, cfg: NeighborConfig) {
         assert!(!self.peers.contains_key(&id), "duplicate peer {id}");
-        let session = Session::new(cfg.session.clone());
+        let mut session = Session::new(cfg.session.clone());
+        session.set_telemetry(self.sink.clone(), self.node_label, id.0);
         self.peers.insert(id, Peer { cfg, session, rx: BytesMut::new(), summary: None });
     }
 
@@ -319,7 +336,8 @@ impl Speaker {
     /// Re-run the decision process for one prefix and propagate any
     /// change.
     fn redecide(&mut self, now: Millis, prefix: Ipv4Prefix, out: &mut Vec<Output>) {
-        let new_entry = self.select_best(&prefix);
+        let explain = self.sink.enabled();
+        let (new_entry, why, n_candidates) = self.select_best(&prefix, explain);
         let changed = match (self.loc_rib.get(&prefix), &new_entry) {
             (None, None) => false,
             (Some(old), Some(new)) => old != new,
@@ -327,6 +345,37 @@ impl Speaker {
         };
         if !changed {
             return;
+        }
+        if explain {
+            let (selected, neighbor_as, path, hops) = match &new_entry {
+                Some(entry) => {
+                    let nas = match entry.source {
+                        RouteSource::Peer(pid) => Some(self.peers[&pid].cfg.peer_as),
+                        RouteSource::Local => None,
+                    };
+                    (
+                        true,
+                        nas,
+                        entry.route.as_path.to_string(),
+                        entry.route.as_path.hop_count() as u32,
+                    )
+                }
+                None => (false, None, String::new(), 0),
+            };
+            self.sink.record_at(
+                now,
+                self.node_label,
+                self.sink.ambient_parent(),
+                TraceKind::Decision {
+                    prefix,
+                    selected,
+                    neighbor_as,
+                    path,
+                    hops,
+                    candidates: n_candidates,
+                    why,
+                },
+            );
         }
         match new_entry.clone() {
             Some(entry) => {
@@ -345,7 +394,11 @@ impl Speaker {
         }
     }
 
-    fn select_best(&self, prefix: &Ipv4Prefix) -> Option<LocRibEntry> {
+    fn select_best(
+        &self,
+        prefix: &Ipv4Prefix,
+        explain: bool,
+    ) -> (Option<LocRibEntry>, SelectionReason, u32) {
         let local = self.originated.get(prefix);
         let learned = self.adj_in.candidates(prefix);
         // The decision process borrows plain `&Route` views; `arcs` keeps
@@ -368,8 +421,20 @@ impl Speaker {
                 peer_router_id: peer.summary.map(|s| s.peer_id).unwrap_or(Ipv4Addr(u32::MAX)),
             });
         }
-        decision::best(&candidates)
-            .map(|i| LocRibEntry { route: Arc::clone(arcs[i]), source: candidates[i].source })
+        let n = candidates.len() as u32;
+        let picked = if explain {
+            decision::best_explain(&candidates)
+        } else {
+            decision::best(&candidates).map(|i| (i, SelectionReason::ModulePreference))
+        };
+        match picked {
+            Some((i, why)) => (
+                Some(LocRibEntry { route: Arc::clone(arcs[i]), source: candidates[i].source }),
+                why,
+                n,
+            ),
+            None => (None, SelectionReason::Unreachable, n),
+        }
     }
 
     /// Compute what `peer` should see for `prefix`, diff against
@@ -789,6 +854,103 @@ mod tests {
         assert!(fabric.speakers[2].is_established(PeerId(0)));
         let entry = fabric.speakers[2].loc_rib().get(&p("128.6.0.0/16")).unwrap();
         assert_eq!(entry.route.as_path.hop_count(), 2);
+    }
+
+    #[test]
+    fn telemetry_records_fsm_transitions_and_decisions() {
+        use dbgp_telemetry::TraceRecorder;
+        use std::rc::Rc;
+
+        let rec = Rc::new(TraceRecorder::unbounded());
+        let mut s1 = speaker(101);
+        let mut s2 = speaker(102);
+        s1.add_peer(PeerId(0), neighbor(101, 102));
+        s2.add_peer(PeerId(0), neighbor(102, 101));
+        s2.set_telemetry(SinkHandle::new(rec.clone()), 1);
+        let mut fabric = Fabric::new(vec![s1, s2]);
+        fabric.connect(0, PeerId(0), 1, PeerId(0));
+        fabric.start();
+        fabric.originate(0, p("128.6.0.0/16"));
+
+        let events = rec.events();
+        // Every recorded FSM hop on the way to Established, in order.
+        let fsm: Vec<(String, String)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::SessionFsm { from, to, .. } => Some((from.clone(), to.clone())),
+                _ => None,
+            })
+            .collect();
+        assert!(fsm.contains(&("idle".into(), "connect".into())));
+        assert!(fsm.iter().any(|(_, to)| to == "established"));
+        // The decision process explained the install.
+        let decided = events.iter().any(|e| {
+            matches!(
+                &e.kind,
+                TraceKind::Decision { prefix, selected: true, neighbor_as: Some(101), hops: 1,
+                    candidates: 1, why: SelectionReason::OnlyCandidate, .. }
+                    if *prefix == p("128.6.0.0/16")
+            )
+        });
+        assert!(decided, "expected an explained Decision event, got {events:?}");
+    }
+
+    #[test]
+    fn telemetry_decision_explains_router_id_tiebreak() {
+        use dbgp_telemetry::TraceRecorder;
+        use std::rc::Rc;
+
+        // Equal-length diamond 101-{105,102}-104. The origin's peer order
+        // makes the via-105 path reach AS 104 first (installed as the only
+        // candidate); when the via-102 path arrives, both tie through path
+        // length, so the recorded flip must be explained by the router-id
+        // step (102's id 10.0.0.102 < 105's 10.0.0.105).
+        let rec = Rc::new(TraceRecorder::unbounded());
+        let mut s1 = speaker(101);
+        let mut s2 = speaker(102);
+        let mut s3 = speaker(105);
+        let mut s4 = speaker(104);
+        s1.add_peer(PeerId(0), neighbor(101, 105));
+        s1.add_peer(PeerId(1), neighbor(101, 102));
+        s2.add_peer(PeerId(0), neighbor(102, 101));
+        s2.add_peer(PeerId(1), neighbor(102, 104));
+        s3.add_peer(PeerId(0), neighbor(105, 101));
+        s3.add_peer(PeerId(1), neighbor(105, 104));
+        s4.add_peer(PeerId(0), neighbor(104, 102));
+        s4.add_peer(PeerId(1), neighbor(104, 105));
+        s4.set_telemetry(SinkHandle::new(rec.clone()), 4);
+        let mut fabric = Fabric::new(vec![s1, s2, s3, s4]);
+        fabric.connect(0, PeerId(0), 2, PeerId(0));
+        fabric.connect(0, PeerId(1), 1, PeerId(0));
+        fabric.connect(1, PeerId(1), 3, PeerId(0));
+        fabric.connect(2, PeerId(1), 3, PeerId(1));
+        fabric.start();
+        fabric.originate(0, p("203.0.113.0/24"));
+
+        // AS 104 ends up routing via 102 (lower router id).
+        let entry = fabric.speakers[3].loc_rib().get(&p("203.0.113.0/24")).unwrap();
+        assert_eq!(entry.source, RouteSource::Peer(PeerId(0)));
+
+        let decisions: Vec<(SelectionReason, u32, Option<u32>)> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::Decision { prefix, why, candidates, neighbor_as, .. }
+                    if *prefix == p("203.0.113.0/24") =>
+                {
+                    Some((*why, *candidates, *neighbor_as))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            decisions,
+            vec![
+                (SelectionReason::OnlyCandidate, 1, Some(105)),
+                (SelectionReason::RouterId, 2, Some(102)),
+            ],
+            "first install then router-id flip"
+        );
     }
 
     #[test]

@@ -10,8 +10,11 @@ use dbgp_core::{DbgpConfig, IslandConfig};
 use dbgp_protocols::rbgp::RbgpModule;
 use dbgp_protocols::wiser::WiserModule;
 use dbgp_sim::{Sim, SimTime};
+use dbgp_telemetry::query::TraceLog;
+use dbgp_telemetry::TraceRecorder;
 use dbgp_topology::AsGraph;
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
+use std::rc::Rc;
 
 /// The prefix every scenario's destination originates (Rutgers' /16,
 /// the paper's running example).
@@ -146,6 +149,39 @@ pub fn rbgp_diamond() -> RbgpDiamond {
         sim.link(a, b, 10, false);
     }
     RbgpDiamond { sim, d: 0, short: 1, long_a: 2, long_b: 3, s: 4 }
+}
+
+/// Run the `fig8-wiser-flap` chaos scenario (the same fault plan
+/// `chaos_table` reports on) with an unbounded trace recorder attached
+/// and return the recorded log — the fixture behind `trace_query` and
+/// its pinned-answer tests.
+pub fn traced_fig8_wiser_flap() -> TraceLog {
+    let mut f = figure8_wiser();
+    f.sim.enable_telemetry(Rc::new(TraceRecorder::unbounded()));
+    f.sim.originate(f.d, scenario_prefix());
+    f.sim.run(10_000_000);
+    let plan = crate::FaultPlan::new()
+        .link_flaps(f.g2a, f.g2b, 20_000_000, 40_000_000, 10_000_000, 2)
+        .link_flap(f.g1, f.s, 110_000_000, 130_000_000);
+    crate::ScenarioRunner::default().run(&mut f.sim, &plan);
+    TraceLog::from_recorder(f.sim.trace_recorder().expect("recorder attached"), "fig8-wiser-flap")
+}
+
+/// Run the `rbgp-diamond-failover` scenario traced: converge on the
+/// short primary, kill the destination-primary link, converge again on
+/// the staged disjoint backup.
+pub fn traced_rbgp_diamond_failover() -> TraceLog {
+    let diamond = rbgp_diamond();
+    let (mut sim, d, short) = (diamond.sim, diamond.d, diamond.short);
+    sim.enable_telemetry(Rc::new(TraceRecorder::unbounded()));
+    sim.originate(d, scenario_prefix());
+    sim.run(10_000_000);
+    sim.fail_link(d, short);
+    sim.run(60_000_000);
+    TraceLog::from_recorder(
+        sim.trace_recorder().expect("recorder attached"),
+        "rbgp-diamond-failover",
+    )
 }
 
 #[cfg(test)]

@@ -1,13 +1,30 @@
 //! Convergence measurement.
 //!
-//! A [`ConvergenceTracker`] snapshots the simulator's cumulative
-//! statistics and per-prefix churn records, and turns the delta since
-//! the last snapshot into a [`ConvergenceWindow`]: how long the network
-//! took to quiesce after a disturbance, how many messages that cost,
-//! and how much per-prefix route churn it caused.
+//! A [`ConvergenceTracker`] measures what one disturbance cost the
+//! control plane as a [`ConvergenceWindow`]: how long the network took
+//! to quiesce, how many messages that cost, and how much per-prefix
+//! route churn it caused.
+//!
+//! Two measurement backends, picked automatically per window:
+//!
+//! * **Event bus** — when the simulator has a [`dbgp_telemetry`]
+//!   recorder attached ([`dbgp_sim::Sim::enable_telemetry`]), the
+//!   tracker remembers the recorder's id watermark at `begin` and
+//!   derives the window by scanning the trace events recorded since:
+//!   `Deliver` → messages/bytes, `Decision` → best-route changes and
+//!   per-`(node, prefix)` churn, `MessageDropped` → drops,
+//!   `DecodeError` → decode failures.
+//! * **Stats diff** — without a recorder (or if the ring evicted events
+//!   past the watermark) it falls back to diffing the simulator's
+//!   cumulative [`SimStats`] and churn map, the pre-telemetry behavior.
+//!
+//! Both backends count the same underlying occurrences (the simulator
+//! emits exactly one trace event per counted statistic), so a scenario
+//! produces identical windows with or without a recorder attached.
 
 use dbgp_sim::sim::{NodeId, PrefixChurn};
 use dbgp_sim::{Sim, SimStats, SimTime};
+use dbgp_telemetry::TraceKind;
 use dbgp_wire::Ipv4Prefix;
 use std::collections::BTreeMap;
 
@@ -17,6 +34,9 @@ pub struct ConvergenceTracker {
     started_at: SimTime,
     stats: SimStats,
     churn: BTreeMap<(NodeId, Ipv4Prefix), PrefixChurn>,
+    /// Recorder id watermark at the last baseline, when the sim had a
+    /// trace recorder attached.
+    watermark: Option<u64>,
 }
 
 /// What one disturbance cost the control plane.
@@ -51,44 +71,107 @@ pub struct ConvergenceWindow {
 impl ConvergenceTracker {
     /// Open a measurement window at the simulator's current state.
     pub fn begin(sim: &Sim) -> Self {
-        ConvergenceTracker { started_at: sim.now(), stats: sim.stats(), churn: sim.churn().clone() }
+        ConvergenceTracker {
+            started_at: sim.now(),
+            stats: sim.stats(),
+            churn: sim.churn().clone(),
+            watermark: sim.trace_recorder().map(|r| r.next_id()),
+        }
     }
 
-    /// Close the window: diff against the snapshot taken at
+    /// Close the window: measure the activity since
     /// [`begin`](ConvergenceTracker::begin) (or the previous
     /// [`window`](ConvergenceTracker::window) call) and re-baseline, so
     /// one tracker can measure a whole sequence of disturbances.
     pub fn window(&mut self, sim: &Sim, label: impl Into<String>) -> ConvergenceWindow {
         let stats = sim.stats();
-        let mut affected_routes = 0u64;
-        let mut max_route_churn = 0u64;
-        for (key, record) in sim.churn() {
-            let before = self.churn.get(key).map(|c| c.best_changes).unwrap_or(0);
-            let delta = record.best_changes - before;
-            if delta > 0 {
-                affected_routes += 1;
-                max_route_churn = max_route_churn.max(delta);
-            }
-        }
         // Activity quiesced at the last processed event; a window with
         // no activity has zero width.
         let quiesced_at = stats.last_event_at.max(self.started_at);
+        let bus = self.watermark.and_then(|wm| {
+            let rec = sim.trace_recorder()?;
+            // The ring dropped part of the window: the scan would
+            // undercount, so fall back to the stats diff.
+            if rec.evicted() > wm {
+                return None;
+            }
+            let mut messages = 0u64;
+            let mut bytes = 0u64;
+            let mut best_changes = 0u64;
+            let mut dropped_messages = 0u64;
+            let mut decode_errors = 0u64;
+            let mut churn: BTreeMap<(u32, Ipv4Prefix), u64> = BTreeMap::new();
+            rec.for_each_since(wm, |ev| match &ev.kind {
+                TraceKind::Deliver { bytes: n, .. } => {
+                    messages += 1;
+                    bytes += u64::from(*n);
+                }
+                TraceKind::Decision { prefix, .. } => {
+                    best_changes += 1;
+                    *churn.entry((ev.node, *prefix)).or_default() += 1;
+                }
+                TraceKind::MessageDropped { .. } => dropped_messages += 1,
+                TraceKind::DecodeError { .. } => decode_errors += 1,
+                _ => {}
+            });
+            let affected_routes = churn.len() as u64;
+            let max_route_churn = churn.values().copied().max().unwrap_or(0);
+            Some((
+                messages,
+                bytes,
+                best_changes,
+                dropped_messages,
+                decode_errors,
+                affected_routes,
+                max_route_churn,
+            ))
+        });
+        let (
+            messages,
+            bytes,
+            best_changes,
+            dropped_messages,
+            decode_errors,
+            affected_routes,
+            max_route_churn,
+        ) = bus.unwrap_or_else(|| {
+            let mut affected_routes = 0u64;
+            let mut max_route_churn = 0u64;
+            for (key, record) in sim.churn() {
+                let before = self.churn.get(key).map(|c| c.best_changes).unwrap_or(0);
+                let delta = record.best_changes - before;
+                if delta > 0 {
+                    affected_routes += 1;
+                    max_route_churn = max_route_churn.max(delta);
+                }
+            }
+            (
+                stats.messages - self.stats.messages,
+                stats.bytes - self.stats.bytes,
+                stats.best_changes - self.stats.best_changes,
+                stats.dropped_messages - self.stats.dropped_messages,
+                stats.decode_errors - self.stats.decode_errors,
+                affected_routes,
+                max_route_churn,
+            )
+        });
         let window = ConvergenceWindow {
             label: label.into(),
             started_at: self.started_at,
             quiesced_at,
             convergence_time: quiesced_at - self.started_at,
-            messages: stats.messages - self.stats.messages,
-            bytes: stats.bytes - self.stats.bytes,
-            best_changes: stats.best_changes - self.stats.best_changes,
-            dropped_messages: stats.dropped_messages - self.stats.dropped_messages,
-            decode_errors: stats.decode_errors - self.stats.decode_errors,
+            messages,
+            bytes,
+            best_changes,
+            dropped_messages,
+            decode_errors,
             affected_routes,
             max_route_churn,
         };
         self.started_at = sim.now();
         self.stats = stats;
         self.churn = sim.churn().clone();
+        self.watermark = sim.trace_recorder().map(|r| r.next_id());
         window
     }
 }
@@ -133,5 +216,35 @@ mod tests {
         assert_eq!(w3.messages, 0);
         assert_eq!(w3.best_changes, 0);
         assert_eq!(w3.convergence_time, 0);
+    }
+
+    #[test]
+    fn bus_backed_windows_match_stats_diff_windows() {
+        let build = |recorder: bool| {
+            let mut sim = Sim::new();
+            if recorder {
+                sim.enable_telemetry(std::rc::Rc::new(dbgp_telemetry::TraceRecorder::unbounded()));
+            }
+            let a = sim.add_node(DbgpConfig::gulf(1));
+            let b = sim.add_node(DbgpConfig::gulf(2));
+            let c = sim.add_node(DbgpConfig::gulf(3));
+            sim.link(a, b, 10, false);
+            sim.link(b, c, 10, false);
+            sim.originate(a, p("10.0.0.0/8"));
+            sim.run(1_000_000);
+            let mut tracker = ConvergenceTracker::begin(&sim);
+            let mut windows = Vec::new();
+            sim.fail_link(a, b);
+            sim.run(2_000_000);
+            windows.push(tracker.window(&sim, "down"));
+            sim.restore_link(a, b);
+            sim.run(3_000_000);
+            windows.push(tracker.window(&sim, "up"));
+            windows
+        };
+        let plain = build(false);
+        let traced = build(true);
+        assert_eq!(plain, traced);
+        assert!(traced[0].messages > 0, "the measurement is not vacuous");
     }
 }

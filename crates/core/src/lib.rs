@@ -39,4 +39,4 @@ pub use iadb::IaDb;
 pub use messages::DbgpUpdate;
 pub use module::{BgpDecision, CandidateIa, DecisionModule, ExportContext, ImportContext};
 pub use neighbor::{DbgpNeighbor, NeighborId};
-pub use speaker::{Chosen, DbgpConfig, DbgpOutput, DbgpSpeaker};
+pub use speaker::{render_path, Chosen, DbgpConfig, DbgpOutput, DbgpSpeaker};

@@ -9,6 +9,7 @@
 //! extracted control information to it and asks it to pick best paths.
 
 use crate::neighbor::NeighborId;
+use dbgp_telemetry::SelectionReason;
 use dbgp_wire::{Ia, Ipv4Prefix, ProtocolId};
 
 /// One candidate path for a prefix, as presented to a decision module.
@@ -71,6 +72,24 @@ pub trait DecisionModule {
     /// declares the prefix unreachable. Candidates are presented in
     /// deterministic (neighbor-id) order.
     fn select_best(&mut self, prefix: Ipv4Prefix, candidates: &[CandidateIa<'_>]) -> Option<usize>;
+
+    /// Explain why `best` (an index returned by
+    /// [`select_best`](Self::select_best) over the same candidate slice)
+    /// won. Only called when telemetry is recording, so implementations
+    /// may re-run comparisons. The default can only distinguish "it was
+    /// the only candidate" from "the module preferred it".
+    fn explain_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+        _best: usize,
+    ) -> SelectionReason {
+        if candidates.len() == 1 {
+            SelectionReason::OnlyCandidate
+        } else {
+            SelectionReason::ModulePreference
+        }
+    }
 
     /// Protocol-specific export filter: update this protocol's own
     /// descriptors on the outgoing IA (e.g., Wiser adds its internal cost
@@ -135,6 +154,27 @@ impl DecisionModule for BgpDecision {
             .enumerate()
             .min_by_key(|(_, c)| (c.ia.hop_count(), c.neighbor_as, c.neighbor.0))
             .map(|(i, _)| i)
+    }
+
+    fn explain_best(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        candidates: &[CandidateIa<'_>],
+        best: usize,
+    ) -> SelectionReason {
+        if candidates.len() == 1 {
+            return SelectionReason::OnlyCandidate;
+        }
+        let key = |c: &CandidateIa<'_>| (c.ia.hop_count(), c.neighbor_as, c.neighbor.0);
+        let winner = key(&candidates[best]);
+        let runner_up =
+            candidates.iter().enumerate().filter(|(i, _)| *i != best).map(|(_, c)| key(c)).min();
+        match runner_up {
+            Some(r) if winner.0 != r.0 => SelectionReason::ShortestPath,
+            Some(r) if winner.1 != r.1 => SelectionReason::NeighborAs,
+            Some(_) => SelectionReason::NeighborId,
+            None => SelectionReason::OnlyCandidate,
+        }
     }
 }
 

@@ -27,6 +27,7 @@ use crate::filters::{self, FilterConfig, IslandConfig, RejectReason};
 use crate::iadb::IaDb;
 use crate::module::{BgpDecision, CandidateIa, DecisionModule, ImportContext};
 use crate::neighbor::{DbgpNeighbor, NeighborId};
+use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -122,6 +123,18 @@ pub struct DbgpSpeaker {
     out_cache: BTreeMap<(Ipv4Prefix, bool, bool), OutCacheEntry>,
     /// Count of IAs processed (for the stress benchmarks).
     processed: u64,
+    /// Telemetry sink; the default no-op handle costs one branch per
+    /// instrumentation site.
+    sink: SinkHandle,
+    /// Host-assigned label (node index) stamped on emitted events.
+    node_label: u32,
+}
+
+/// Render an IA's path vector for telemetry ("near far" order, space
+/// separated; empty string for an origin IA).
+pub fn render_path(ia: &Ia) -> String {
+    let parts: Vec<String> = ia.path_vector.iter().map(|e| e.to_string()).collect();
+    parts.join(" ")
 }
 
 /// One cached factory product.
@@ -146,6 +159,8 @@ impl DbgpSpeaker {
             adj_out: BTreeMap::new(),
             out_cache: BTreeMap::new(),
             processed: 0,
+            sink: SinkHandle::none(),
+            node_label: 0,
         };
         speaker.register_module(Box::new(BgpDecision::new()));
         speaker
@@ -154,6 +169,15 @@ impl DbgpSpeaker {
     /// Our AS number.
     pub fn asn(&self) -> u32 {
         self.cfg.asn
+    }
+
+    /// Attach a telemetry sink. `node_label` (typically the host's node
+    /// index) is stamped on every event this speaker emits. Decision and
+    /// loop-drop events chain to the sink's ambient parent, which the
+    /// host points at the triggering decode/origination event.
+    pub fn set_telemetry(&mut self, sink: SinkHandle, node_label: u32) {
+        self.sink = sink;
+        self.node_label = node_label;
     }
 
     /// Our configuration.
@@ -271,6 +295,18 @@ impl DbgpSpeaker {
         if let Err(reason) =
             filters::global_import(&self.cfg.filters, self.cfg.asn, self.cfg.island, &mut ia)
         {
+            if self.sink.enabled() {
+                let from_as = self.neighbors.get(&from).map_or(0, |n| n.asn);
+                self.sink.record_now(
+                    self.node_label,
+                    self.sink.ambient_parent(),
+                    TraceKind::LoopDrop {
+                        prefix: ia.prefix,
+                        from_as,
+                        reason: format!("{reason:?}"),
+                    },
+                );
+            }
             out.push(DbgpOutput::Rejected(from, ia.prefix, reason));
             // A looped IA implicitly withdraws whatever this neighbor
             // previously advertised for the prefix.
@@ -331,7 +367,7 @@ impl DbgpSpeaker {
 
     /// Returns whether the installed best path changed.
     fn redecide(&mut self, prefix: Ipv4Prefix, out: &mut Vec<DbgpOutput>) -> bool {
-        let new_chosen = self.select(prefix);
+        let (new_chosen, reason, candidates) = self.select(prefix);
         let changed = self.loc.get(&prefix) != new_chosen.as_ref();
         if !changed {
             return false;
@@ -343,6 +379,30 @@ impl DbgpSpeaker {
             None => {
                 self.loc.remove(&prefix);
             }
+        }
+        if self.sink.enabled() {
+            let (selected, neighbor_as, path, hops) = match &new_chosen {
+                Some(c) => (
+                    true,
+                    c.neighbor.and_then(|n| self.neighbors.get(&n)).map(|n| n.asn),
+                    render_path(&c.ia),
+                    c.ia.hop_count() as u32,
+                ),
+                None => (false, None, String::new(), 0),
+            };
+            self.sink.record_now(
+                self.node_label,
+                self.sink.ambient_parent(),
+                TraceKind::Decision {
+                    prefix,
+                    selected,
+                    neighbor_as,
+                    path,
+                    hops,
+                    candidates,
+                    why: reason,
+                },
+            );
         }
         out.push(DbgpOutput::BestChanged(prefix, new_chosen));
         self.propagate_all(prefix, out);
@@ -361,11 +421,18 @@ impl DbgpSpeaker {
     }
 
     /// Steps 3–4: extract the active protocol's information and run its
-    /// decision module over the candidates.
-    fn select(&mut self, prefix: Ipv4Prefix) -> Option<Chosen> {
+    /// decision module over the candidates. Also returns why the winner
+    /// won (only computed in depth while telemetry records) and how many
+    /// candidates were considered.
+    fn select(&mut self, prefix: Ipv4Prefix) -> (Option<Chosen>, SelectionReason, u32) {
+        let explain = self.sink.enabled();
         // Locally originated prefixes always win (they are "ours").
         if let Some(ia) = self.originated.get(&prefix) {
-            return Some(Chosen { neighbor: None, ia: Arc::clone(ia) });
+            return (
+                Some(Chosen { neighbor: None, ia: Arc::clone(ia) }),
+                SelectionReason::LocalOrigin,
+                1,
+            );
         }
         let active = self.active_protocol(&prefix);
         // An active protocol without a registered module falls back to
@@ -373,7 +440,10 @@ impl DbgpSpeaker {
         // algorithm and the new protocol's" mitigation, and keeping a
         // misconfigured speaker connected.
         let key = if self.modules.contains_key(&active) { active } else { ProtocolId::BGP };
-        let module = self.modules.get_mut(&key)?;
+        let module = match self.modules.get_mut(&key) {
+            Some(m) => m,
+            None => return (None, SelectionReason::Unreachable, 0),
+        };
         let neighbors = &self.neighbors;
         // Candidates keep their Arc alongside the module-facing borrow so
         // the winner is interned into `Chosen` with a refcount bump.
@@ -395,9 +465,18 @@ impl DbgpSpeaker {
             })
             .collect();
         let views: Vec<CandidateIa<'_>> = candidates.iter().map(|(c, _)| *c).collect();
-        let best = module.select_best(prefix, &views)?;
+        let count = views.len() as u32;
+        let best = match module.select_best(prefix, &views) {
+            Some(b) => b,
+            None => return (None, SelectionReason::Unreachable, count),
+        };
+        let reason = if explain {
+            module.explain_best(prefix, &views, best)
+        } else {
+            SelectionReason::ModulePreference
+        };
         let (c, arc) = &candidates[best];
-        Some(Chosen { neighbor: Some(c.neighbor), ia: Arc::clone(arc) })
+        (Some(Chosen { neighbor: Some(c.neighbor), ia: Arc::clone(arc) }), reason, count)
     }
 
     /// Steps 5–7 for one neighbor: build (or withdraw) and send.

@@ -20,10 +20,18 @@ use crate::engine::{EventQueue, SimTime};
 use crate::link::LinkModel;
 use crate::link::SimRng;
 use bytes::Bytes;
-use dbgp_core::{DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId};
+use dbgp_core::{
+    render_path, DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId,
+};
 use dbgp_protocols::{MiroPortal, MiroRequest};
+use dbgp_telemetry::{
+    CounterId, EventId, GaugeId, HistogramId, MetricsRegistry, RibEntry, RibSnapshot, Semantics,
+    SinkHandle, TraceKind, TraceRecorder,
+};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
+use serde_json::Value;
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Index of a node (one AS) in the simulation.
@@ -34,13 +42,26 @@ fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     (a.min(b), a.max(b))
 }
 
+/// Causal annotations riding with a [`Event::Deliver`] when tracing is
+/// on: the ids the receiver needs to chain its Deliver/Decode events to
+/// the sender's Transmit/Advertise events. `None` in the untraced (and
+/// therefore hot) configuration, so the only cost there is the pointer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DeliverTrace {
+    /// The sender's Transmit event for this frame.
+    frame: EventId,
+    /// Per-element causes in frame order (withdraws first, then IAs):
+    /// the sender-side Withdraw/Advertise events.
+    causes: Vec<EventId>,
+}
+
 /// What travels on the simulated wires and bus.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Event {
     /// Control-plane bytes arriving on a link. The buffer is refcounted:
     /// a fan-out or a duplicating link shares one allocation, and only a
     /// corrupting fault model copies (copy-on-corrupt).
-    Deliver { to: NodeId, from: NodeId, bytes: Bytes },
+    Deliver { to: NodeId, from: NodeId, bytes: Bytes, trace: Option<Box<DeliverTrace>> },
     /// MRAI window expired: flush pending advertisements to a neighbor.
     Flush { node: NodeId, neighbor: NeighborId },
     /// Out-of-band request to a service address.
@@ -66,6 +87,10 @@ pub enum Service {
     Lookup(HashMap<Vec<u8>, Vec<u8>>),
 }
 
+/// A coalesced outbound advertisement: the latest IA for a prefix
+/// (`None` = withdraw) plus the trace event that caused it.
+type PendingAdvert = (Option<Arc<Ia>>, Option<EventId>);
+
 struct Node {
     speaker: DbgpSpeaker,
     /// Neighbor ID -> peer node.
@@ -82,7 +107,7 @@ struct Node {
     /// Coalesced outbound state per neighbor: prefix -> latest IA
     /// (`None` = withdraw), flushed when the MRAI window closes. The
     /// `Arc` is shared with the speaker's Adj-RIB-Out.
-    pending_out: HashMap<NeighborId, BTreeMap<Ipv4Prefix, Option<Arc<Ia>>>>,
+    pending_out: HashMap<NeighborId, BTreeMap<Ipv4Prefix, PendingAdvert>>,
     /// Neighbors with a Flush already scheduled.
     flush_armed: std::collections::HashSet<NeighborId>,
     /// Adj-RIB-Out encode cache: wire bytes for an outgoing IA, keyed by
@@ -92,6 +117,77 @@ struct Node {
     /// generation"). Each entry pins its `Arc` so a recycled allocation
     /// can never alias a live key.
     encode_cache: PtrMap<EncodeCacheEntry>,
+    /// Per-incarnation control-plane counters (see [`NodeCounters`]).
+    counters: NodeCounters,
+}
+
+/// Per-node control-plane counters with explicit restart semantics
+/// (`reset-on-restart`): a node restart zeroes them and bumps
+/// `generation`, so a reader can tell "1000 messages since boot" from
+/// "1000 messages across three incarnations". Engine-wide totals in
+/// [`SimStats`] accumulate regardless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Incarnation number: 0 at creation, +1 per restart.
+    pub generation: u64,
+    /// Control-plane frames delivered to this node this incarnation.
+    pub messages_in: u64,
+    /// IA announcements decoded at this node this incarnation.
+    pub updates_in: u64,
+    /// Withdraws decoded at this node this incarnation.
+    pub withdraws_in: u64,
+    /// Best-path changes at this node this incarnation.
+    pub best_changes: u64,
+}
+
+/// Handles into the simulator's [`MetricsRegistry`]. Engine-wide totals
+/// are mirrored from [`SimStats`] at snapshot time (keeping the hot path
+/// byte-identical to the pre-telemetry engine); histograms are observed
+/// inline.
+struct SimMetrics {
+    registry: MetricsRegistry,
+    messages: CounterId,
+    bytes: CounterId,
+    best_changes: CounterId,
+    decode_errors: CounterId,
+    orphaned_deliveries: CounterId,
+    dropped_messages: CounterId,
+    duplicated_messages: CounterId,
+    corrupted_messages: CounterId,
+    oob_requests: CounterId,
+    updates_encoded: CounterId,
+    encode_cache_hits: CounterId,
+    node_restarts: CounterId,
+    pending_events: GaugeId,
+    last_event_at: GaugeId,
+    message_bytes: HistogramId,
+    flush_batch: HistogramId,
+}
+
+impl SimMetrics {
+    fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        let acc = Semantics::Accumulate;
+        SimMetrics {
+            messages: registry.counter("sim.messages_total", acc),
+            bytes: registry.counter("sim.bytes_total", acc),
+            best_changes: registry.counter("sim.best_changes_total", acc),
+            decode_errors: registry.counter("sim.decode_errors_total", acc),
+            orphaned_deliveries: registry.counter("sim.orphaned_deliveries_total", acc),
+            dropped_messages: registry.counter("sim.dropped_messages_total", acc),
+            duplicated_messages: registry.counter("sim.duplicated_messages_total", acc),
+            corrupted_messages: registry.counter("sim.corrupted_messages_total", acc),
+            oob_requests: registry.counter("sim.oob_requests_total", acc),
+            updates_encoded: registry.counter("sim.updates_encoded_total", acc),
+            encode_cache_hits: registry.counter("sim.encode_cache_hits_total", acc),
+            node_restarts: registry.counter("sim.node_restarts_total", acc),
+            pending_events: registry.gauge("sim.pending_events"),
+            last_event_at: registry.gauge("sim.last_event_at"),
+            message_bytes: registry.histogram("sim.message_bytes", acc),
+            flush_batch: registry.histogram("sim.flush_batch_prefixes", acc),
+            registry,
+        }
+    }
 }
 
 /// Hasher for pointer-keyed caches: the key is an `Arc` address, so one
@@ -212,6 +308,13 @@ pub struct Sim {
     /// policy oscillations burn bandwidth instead of CPU). Latest state
     /// wins within a window.
     mrai: SimTime,
+    /// Telemetry sink; `SinkHandle::none()` (one predictable branch per
+    /// instrumentation site) unless [`Sim::enable_telemetry`] was called.
+    sink: SinkHandle,
+    /// The recorder behind `sink`, kept for watermark/scan queries.
+    recorder: Option<Rc<TraceRecorder>>,
+    /// Metrics registry mirrored from [`SimStats`] at snapshot time.
+    metrics: SimMetrics,
 }
 
 impl Default for Sim {
@@ -233,7 +336,37 @@ impl Sim {
             rng: SimRng::new(0),
             oob_delay: 5,
             mrai: 30,
+            sink: SinkHandle::none(),
+            recorder: None,
+            metrics: SimMetrics::new(),
         }
+    }
+
+    /// Attach a recording sink: every control-plane action from here on
+    /// is recorded as a causally linked [`dbgp_telemetry::TraceEvent`],
+    /// and each speaker's decision process starts explaining itself.
+    /// Node -> ASN labels are registered with the recorder (nodes added
+    /// later register at [`Sim::add_node`] time).
+    pub fn enable_telemetry(&mut self, recorder: Rc<TraceRecorder>) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            recorder.set_node_asn(i as u32, node.speaker.asn());
+        }
+        self.sink = SinkHandle::new(recorder.clone());
+        self.recorder = Some(recorder);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.speaker.set_telemetry(self.sink.clone(), i as u32);
+        }
+    }
+
+    /// The recorder attached by [`Sim::enable_telemetry`], if any.
+    pub fn trace_recorder(&self) -> Option<&Rc<TraceRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// A clone of the telemetry sink handle (no-op unless telemetry is
+    /// enabled).
+    pub fn telemetry_sink(&self) -> SinkHandle {
+        self.sink.clone()
     }
 
     /// Change the minimum route advertisement interval (0 disables
@@ -252,8 +385,13 @@ impl Sim {
     pub fn add_node(&mut self, cfg: DbgpConfig) -> NodeId {
         let id = self.nodes.len();
         let addr = Ipv4Addr::new(10, (id >> 8) as u8, (id & 0xff) as u8, 1);
+        let mut speaker = DbgpSpeaker::new(cfg);
+        if let Some(recorder) = &self.recorder {
+            recorder.set_node_asn(id as u32, speaker.asn());
+            speaker.set_telemetry(self.sink.clone(), id as u32);
+        }
         self.nodes.push(Node {
-            speaker: DbgpSpeaker::new(cfg),
+            speaker,
             neighbor_nodes: BTreeMap::new(),
             ids_by_node: HashMap::new(),
             fib: BTreeMap::new(),
@@ -263,6 +401,7 @@ impl Sim {
             pending_out: HashMap::new(),
             flush_armed: std::collections::HashSet::new(),
             encode_cache: PtrMap::default(),
+            counters: NodeCounters::default(),
         });
         id
     }
@@ -321,6 +460,94 @@ impl Sim {
         &self.churn
     }
 
+    /// This node's per-incarnation counters (reset on restart, with the
+    /// incarnation recorded in `generation`).
+    pub fn node_counters(&self, node: NodeId) -> NodeCounters {
+        self.nodes[node].counters
+    }
+
+    /// A `dbgp-metrics/v1` snapshot: the engine-wide registry (totals
+    /// mirrored from [`SimStats`], `accumulate` semantics) plus a
+    /// `nodes` array of per-node `reset-on-restart` counters, each with
+    /// its own restart generation.
+    pub fn metrics_snapshot(&mut self) -> Value {
+        let s = self.stats;
+        let m = &mut self.metrics;
+        m.registry.set_counter(m.messages, s.messages);
+        m.registry.set_counter(m.bytes, s.bytes);
+        m.registry.set_counter(m.best_changes, s.best_changes);
+        m.registry.set_counter(m.decode_errors, s.decode_errors);
+        m.registry.set_counter(m.orphaned_deliveries, s.orphaned_deliveries);
+        m.registry.set_counter(m.dropped_messages, s.dropped_messages);
+        m.registry.set_counter(m.duplicated_messages, s.duplicated_messages);
+        m.registry.set_counter(m.corrupted_messages, s.corrupted_messages);
+        m.registry.set_counter(m.oob_requests, s.oob_requests);
+        m.registry.set_counter(m.updates_encoded, s.updates_encoded);
+        m.registry.set_counter(m.encode_cache_hits, s.encode_cache_hits);
+        m.registry.set_gauge(m.pending_events, self.queue.len() as i64);
+        m.registry.set_gauge(m.last_event_at, s.last_event_at as i64);
+        let mut snap = m.registry.snapshot(self.queue.now());
+        let nodes: Vec<Value> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let c = n.counters;
+                Value::Object(vec![
+                    ("node".into(), Value::UInt(i as u64)),
+                    ("asn".into(), Value::UInt(u64::from(n.speaker.asn()))),
+                    ("generation".into(), Value::UInt(c.generation)),
+                    ("semantics".into(), Value::String("reset-on-restart".into())),
+                    ("messages_in".into(), Value::UInt(c.messages_in)),
+                    ("updates_in".into(), Value::UInt(c.updates_in)),
+                    ("withdraws_in".into(), Value::UInt(c.withdraws_in)),
+                    ("best_changes".into(), Value::UInt(c.best_changes)),
+                ])
+            })
+            .collect();
+        if let Value::Object(fields) = &mut snap {
+            fields.push(("nodes".into(), Value::Array(nodes)));
+        }
+        snap
+    }
+
+    /// Snapshot every node's chosen best paths, for convergence diffing
+    /// via [`RibSnapshot::diff`].
+    pub fn rib_snapshot(&self) -> RibSnapshot {
+        let mut snap = RibSnapshot { at: self.queue.now(), entries: BTreeMap::new() };
+        for (node, n) in self.nodes.iter().enumerate() {
+            for (prefix, chosen) in n.speaker.routes() {
+                let via_as = chosen
+                    .neighbor
+                    .and_then(|id| n.neighbor_nodes.get(&id))
+                    .map(|&peer| self.nodes[peer].speaker.asn());
+                snap.entries.insert(
+                    (node as u32, *prefix),
+                    RibEntry {
+                        path: render_path(&chosen.ia),
+                        hops: chosen.ia.hop_count() as u32,
+                        via_as,
+                    },
+                );
+            }
+        }
+        snap
+    }
+
+    /// This node's island id, if it is an island member.
+    fn island_of(&self, node: NodeId) -> Option<u32> {
+        self.nodes[node].speaker.config().island.as_ref().map(|i| i.id.0)
+    }
+
+    /// Sync the sink's ambient clock to simulation time so events the
+    /// speakers record from inside their pipelines are stamped correctly.
+    #[inline]
+    fn sync_trace_clock(&self) {
+        if self.sink.enabled() {
+            self.sink.set_now(self.queue.now());
+        }
+    }
+
     /// Connect two nodes with symmetric one-way `delay`. `same_island`
     /// marks both ends as intra-island peers.
     pub fn link(&mut self, a: NodeId, b: NodeId, delay: SimTime, same_island: bool) {
@@ -342,7 +569,7 @@ impl Sim {
             LinkState { delay, same_island, speaks_dbgp, model: LinkModel::reliable(), up: true },
         );
         for (me, peer) in [(a, b), (b, a)] {
-            self.establish(me, peer, same_island, speaks_dbgp);
+            self.establish(me, peer, same_island, speaks_dbgp, "link-up", None);
         }
     }
 
@@ -375,25 +602,52 @@ impl Sim {
 
     /// Originate a prefix at a node.
     pub fn originate(&mut self, node: NodeId, prefix: Ipv4Prefix) {
+        self.sync_trace_clock();
+        let root = self.sink.record_at(
+            self.queue.now(),
+            node as u32,
+            None,
+            TraceKind::Originate { prefix },
+        );
         let addr = self.nodes[node].addr;
+        self.sink.set_ambient_parent(root);
         let outputs = self.nodes[node].speaker.originate(prefix, addr);
+        self.sink.set_ambient_parent(None);
         self.apply_local(node, &outputs);
-        self.dispatch(node, outputs);
+        self.dispatch(node, outputs, root);
     }
 
     /// Originate a hand-built IA at a node (replacement protocols use
     /// this to control descriptors).
     pub fn originate_ia(&mut self, node: NodeId, ia: dbgp_wire::Ia) {
+        self.sync_trace_clock();
+        let root = self.sink.record_at(
+            self.queue.now(),
+            node as u32,
+            None,
+            TraceKind::Originate { prefix: ia.prefix },
+        );
+        self.sink.set_ambient_parent(root);
         let outputs = self.nodes[node].speaker.originate_ia(ia);
+        self.sink.set_ambient_parent(None);
         self.apply_local(node, &outputs);
-        self.dispatch(node, outputs);
+        self.dispatch(node, outputs, root);
     }
 
     /// Withdraw a locally originated prefix.
     pub fn withdraw(&mut self, node: NodeId, prefix: Ipv4Prefix) {
+        self.sync_trace_clock();
+        let root = self.sink.record_at(
+            self.queue.now(),
+            node as u32,
+            None,
+            TraceKind::OriginWithdraw { prefix },
+        );
+        self.sink.set_ambient_parent(root);
         let outputs = self.nodes[node].speaker.withdraw_origin(prefix);
+        self.sink.set_ambient_parent(None);
         self.apply_local(node, &outputs);
-        self.dispatch(node, outputs);
+        self.dispatch(node, outputs, root);
     }
 
     /// Fail the link between two nodes: both speakers see the neighbor
@@ -405,8 +659,15 @@ impl Sim {
             Some(l) if l.up => l.up = false,
             _ => return,
         }
+        self.sync_trace_clock();
+        let root = self.sink.record_at(
+            self.queue.now(),
+            a as u32,
+            None,
+            TraceKind::LinkDown { a: a as u32, b: b as u32 },
+        );
         for (me, peer) in [(a, b), (b, a)] {
-            self.teardown_neighbor(me, peer);
+            self.teardown_neighbor(me, peer, "link-down", root);
         }
     }
 
@@ -423,8 +684,15 @@ impl Sim {
             }
             _ => return,
         };
+        self.sync_trace_clock();
+        let root = self.sink.record_at(
+            self.queue.now(),
+            a as u32,
+            None,
+            TraceKind::LinkUp { a: a as u32, b: b as u32 },
+        );
         for (me, peer) in [(a, b), (b, a)] {
-            self.establish(me, peer, same_island, speaks_dbgp);
+            self.establish(me, peer, same_island, speaks_dbgp, "link-up", root);
         }
     }
 
@@ -440,10 +708,27 @@ impl Sim {
             .filter(|(&(x, y), l)| l.up && (x == node || y == node))
             .map(|(&(x, y), l)| (if x == node { y } else { x }, l.same_island, l.speaks_dbgp))
             .collect();
+        // The restart opens a new incarnation: the node's generation
+        // bumps and the registry-wide generation follows (S2 semantics —
+        // engine totals keep accumulating, per-node counters reset).
+        let generation = self.nodes[node].counters.generation + 1;
+        self.metrics.registry.on_restart();
+        self.metrics.registry.inc(self.metrics.node_restarts, 1);
+        self.sync_trace_clock();
+        let root = self.sink.record_at(
+            self.queue.now(),
+            node as u32,
+            None,
+            TraceKind::NodeRestart { generation },
+        );
         for &(peer, ..) in &peers {
-            self.teardown_neighbor(node, peer);
-            self.teardown_neighbor(peer, node);
+            self.teardown_neighbor(node, peer, "node-restart", root);
+            self.teardown_neighbor(peer, node, "node-restart", root);
         }
+        // Counters reset after the teardown: the going-down route losses
+        // belong to the old incarnation, the new one counts only its
+        // re-convergence.
+        self.nodes[node].counters = NodeCounters { generation, ..NodeCounters::default() };
         // The rebooting router loses its coalescing buffers, encode
         // cache and any undelivered out-of-band responses.
         self.nodes[node].pending_out.clear();
@@ -451,8 +736,8 @@ impl Sim {
         self.nodes[node].oob_inbox.clear();
         self.nodes[node].encode_cache.clear();
         for &(peer, same_island, speaks_dbgp) in &peers {
-            self.establish(node, peer, same_island, speaks_dbgp);
-            self.establish(peer, node, same_island, speaks_dbgp);
+            self.establish(node, peer, same_island, speaks_dbgp, "node-restart", root);
+            self.establish(peer, node, same_island, speaks_dbgp, "node-restart", root);
         }
     }
 
@@ -476,7 +761,8 @@ impl Sim {
     /// from `from` — a hook for tests and chaos drivers to model
     /// garbage or stale traffic without a sending speaker.
     pub fn inject_raw(&mut self, from: NodeId, to: NodeId, delay: SimTime, bytes: Vec<u8>) {
-        self.queue.schedule(delay, Event::Deliver { to, from, bytes: Bytes::from(bytes) });
+        self.queue
+            .schedule(delay, Event::Deliver { to, from, bytes: Bytes::from(bytes), trace: None });
     }
 
     /// Run until no events remain or `max_time` is reached. Events at
@@ -492,27 +778,98 @@ impl Sim {
             let (at, event) = self.queue.pop().expect("peeked event must pop");
             self.stats.last_event_at = at;
             match event {
-                Event::Deliver { to, from, bytes } => {
+                Event::Deliver { to, from, bytes, trace } => {
                     self.stats.messages += 1;
                     self.stats.bytes += bytes.len() as u64;
+                    self.nodes[to].counters.messages_in += 1;
+                    self.metrics.registry.observe(self.metrics.message_bytes, bytes.len() as u64);
+                    let traced = self.sink.enabled();
+                    let deliver_id = if traced {
+                        self.sink.set_now(at);
+                        self.sink.record_at(
+                            at,
+                            to as u32,
+                            trace.as_ref().map(|t| t.frame),
+                            TraceKind::Deliver { from: from as u32, bytes: bytes.len() as u32 },
+                        )
+                    } else {
+                        None
+                    };
                     let mut buf = bytes;
                     let Ok(update) = DbgpUpdate::decode(&mut buf) else {
                         self.stats.decode_errors += 1;
+                        if traced {
+                            self.sink.record_at(
+                                at,
+                                to as u32,
+                                deliver_id,
+                                TraceKind::DecodeError { from: from as u32 },
+                            );
+                        }
                         continue;
                     };
                     let Some(&from_id) = self.nodes[to].ids_by_node.get(&from) else {
                         self.stats.orphaned_deliveries += 1;
                         continue;
                     };
-                    let mut outputs = Vec::new();
-                    for prefix in update.withdrawn {
-                        outputs.extend(self.nodes[to].speaker.receive_withdraw(from_id, prefix));
+                    self.nodes[to].counters.withdraws_in += update.withdrawn.len() as u64;
+                    self.nodes[to].counters.updates_in += update.ias.len() as u64;
+                    if traced {
+                        // Per-element processing: behaviorally identical
+                        // to the batch path below (the speaker never
+                        // reads sim-side state that `apply_local` or
+                        // `dispatch` mutate, and outputs keep the same
+                        // total order), but it lets each Decode event
+                        // parent exactly the outputs it causes.
+                        let causes: &[EventId] =
+                            trace.as_deref().map(|t| t.causes.as_slice()).unwrap_or(&[]);
+                        let mut element = 0usize;
+                        for prefix in update.withdrawn {
+                            let parent = causes.get(element).copied().or(deliver_id);
+                            element += 1;
+                            let decode_id = self.sink.record_at(
+                                at,
+                                to as u32,
+                                parent,
+                                TraceKind::Decode { prefix, from: from as u32, withdraw: true },
+                            );
+                            self.sink.set_ambient_parent(decode_id);
+                            let outputs = self.nodes[to].speaker.receive_withdraw(from_id, prefix);
+                            self.sink.set_ambient_parent(None);
+                            self.apply_local(to, &outputs);
+                            self.dispatch(to, outputs, decode_id);
+                        }
+                        for ia in update.ias {
+                            let parent = causes.get(element).copied().or(deliver_id);
+                            element += 1;
+                            let decode_id = self.sink.record_at(
+                                at,
+                                to as u32,
+                                parent,
+                                TraceKind::Decode {
+                                    prefix: ia.prefix,
+                                    from: from as u32,
+                                    withdraw: false,
+                                },
+                            );
+                            self.sink.set_ambient_parent(decode_id);
+                            let outputs = self.nodes[to].speaker.receive_ia(from_id, ia);
+                            self.sink.set_ambient_parent(None);
+                            self.apply_local(to, &outputs);
+                            self.dispatch(to, outputs, decode_id);
+                        }
+                    } else {
+                        let mut outputs = Vec::new();
+                        for prefix in update.withdrawn {
+                            outputs
+                                .extend(self.nodes[to].speaker.receive_withdraw(from_id, prefix));
+                        }
+                        for ia in update.ias {
+                            outputs.extend(self.nodes[to].speaker.receive_ia(from_id, ia));
+                        }
+                        self.apply_local(to, &outputs);
+                        self.dispatch(to, outputs, None);
                     }
-                    for ia in update.ias {
-                        outputs.extend(self.nodes[to].speaker.receive_ia(from_id, ia));
-                    }
-                    self.apply_local(to, &outputs);
-                    self.dispatch(to, outputs);
                 }
                 Event::Flush { node, neighbor } => {
                     self.flush(node, neighbor);
@@ -533,8 +890,18 @@ impl Sim {
 
     /// One end of session bring-up: allocate a neighbor ID for `peer`,
     /// register the adjacency, and dispatch the speaker's full-table
-    /// transfer to it.
-    fn establish(&mut self, me: NodeId, peer: NodeId, same_island: bool, speaks_dbgp: bool) {
+    /// transfer to it. The transfer's advertisements chain to the
+    /// adjacency's session-up event (itself a child of `parent`, e.g. the
+    /// LinkUp or NodeRestart that caused the bring-up).
+    fn establish(
+        &mut self,
+        me: NodeId,
+        peer: NodeId,
+        same_island: bool,
+        speaks_dbgp: bool,
+        trigger: &'static str,
+        parent: Option<EventId>,
+    ) {
         let peer_as = self.nodes[peer].speaker.asn();
         let id = NeighborId(self.nodes[me].next_neighbor_id);
         self.nodes[me].next_neighbor_id += 1;
@@ -543,19 +910,59 @@ impl Sim {
         let mut neighbor =
             if speaks_dbgp { DbgpNeighbor::dbgp(peer_as) } else { DbgpNeighbor::legacy(peer_as) };
         neighbor.same_island = same_island;
+        let root = if self.sink.enabled() {
+            self.sink.record_at(
+                self.queue.now(),
+                me as u32,
+                parent,
+                TraceKind::SessionFsm {
+                    peer: peer as u32,
+                    from: "down".into(),
+                    to: "up".into(),
+                    trigger: trigger.into(),
+                },
+            )
+        } else {
+            None
+        };
+        self.sink.set_ambient_parent(root);
         let outputs = self.nodes[me].speaker.add_neighbor(id, neighbor);
-        self.dispatch(me, outputs);
+        self.sink.set_ambient_parent(None);
+        self.dispatch(me, outputs, root);
     }
 
     /// One end of session teardown: `me` loses its adjacency to `peer`.
-    fn teardown_neighbor(&mut self, me: NodeId, peer: NodeId) {
+    fn teardown_neighbor(
+        &mut self,
+        me: NodeId,
+        peer: NodeId,
+        trigger: &'static str,
+        parent: Option<EventId>,
+    ) {
         let Some(&id) = self.nodes[me].ids_by_node.get(&peer) else { return };
         self.nodes[me].neighbor_nodes.remove(&id);
         self.nodes[me].ids_by_node.remove(&peer);
         self.nodes[me].pending_out.remove(&id);
+        let root = if self.sink.enabled() {
+            self.sink.record_at(
+                self.queue.now(),
+                me as u32,
+                parent,
+                TraceKind::SessionFsm {
+                    peer: peer as u32,
+                    from: "up".into(),
+                    to: "down".into(),
+                    trigger: trigger.into(),
+                },
+            )
+        } else {
+            None
+        };
+        self.sink.set_ambient_parent(root);
         let outputs = self.nodes[me].speaker.neighbor_down(id);
+        self.sink.set_ambient_parent(None);
         self.apply_local(me, &outputs);
-        self.dispatch(me, outputs);
+        self.dispatch(me, outputs, root);
     }
 
     /// Track FIB updates and churn from `BestChanged` outputs.
@@ -563,6 +970,7 @@ impl Sim {
         for output in outputs {
             if let DbgpOutput::BestChanged(prefix, chosen) = output {
                 self.stats.best_changes += 1;
+                self.nodes[node].counters.best_changes += 1;
                 let record = self.churn.entry((node, *prefix)).or_default();
                 record.best_changes += 1;
                 record.last_change_at = self.queue.now();
@@ -582,8 +990,11 @@ impl Sim {
     }
 
     /// Turn speaker outputs into scheduled deliveries, coalescing per
-    /// (neighbor, prefix) over the MRAI window.
-    fn dispatch(&mut self, node: NodeId, outputs: Vec<DbgpOutput>) {
+    /// (neighbor, prefix) over the MRAI window. `cause` is the trace
+    /// event (Decode, Originate, SessionFsm, ...) that produced these
+    /// outputs; it rides with each pending element so the eventual
+    /// Advertise/Withdraw chains back to it.
+    fn dispatch(&mut self, node: NodeId, outputs: Vec<DbgpOutput>, cause: Option<EventId>) {
         for output in outputs {
             let (neighbor, prefix, ia) = match output {
                 DbgpOutput::SendIa(neighbor, ia) => (neighbor, ia.prefix, Some(ia)),
@@ -594,14 +1005,48 @@ impl Sim {
                 continue;
             }
             if self.mrai == 0 {
-                self.send_now(node, neighbor, prefix, ia);
+                self.send_now(node, neighbor, prefix, ia, cause);
                 continue;
             }
-            self.nodes[node].pending_out.entry(neighbor).or_default().insert(prefix, ia);
+            self.nodes[node].pending_out.entry(neighbor).or_default().insert(prefix, (ia, cause));
             if self.nodes[node].flush_armed.insert(neighbor) {
                 self.queue.schedule(self.mrai, Event::Flush { node, neighbor });
             }
         }
+    }
+
+    /// Record the per-element trace events for one outgoing frame
+    /// element (Advertise or Withdraw, plus an IslandCrossing child when
+    /// the adjacency spans an island boundary). Only called when the
+    /// sink is recording.
+    fn record_element(
+        &mut self,
+        node: NodeId,
+        to: NodeId,
+        prefix: Ipv4Prefix,
+        announce: bool,
+        cause: Option<EventId>,
+    ) -> Option<EventId> {
+        let at = self.queue.now();
+        let kind = if announce {
+            TraceKind::Advertise { prefix, to: to as u32 }
+        } else {
+            TraceKind::Withdraw { prefix, to: to as u32 }
+        };
+        let id = self.sink.record_at(at, node as u32, cause, kind);
+        if announce {
+            let from_island = self.island_of(node);
+            let to_island = self.island_of(to);
+            if from_island != to_island {
+                self.sink.record_at(
+                    at,
+                    node as u32,
+                    id,
+                    TraceKind::IslandCrossing { prefix, to: to as u32, from_island, to_island },
+                );
+            }
+        }
+        id
     }
 
     /// The wire form of one outgoing IA, from the node's encode cache
@@ -637,8 +1082,10 @@ impl Sim {
         neighbor: NeighborId,
         prefix: Ipv4Prefix,
         ia: Option<Arc<Ia>>,
+        cause: Option<EventId>,
     ) {
         let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
+        let announce = ia.is_some();
         let bytes = match ia {
             Some(ia) => self.cached_wire(node, &ia).1,
             None => {
@@ -646,7 +1093,21 @@ impl Sim {
                 DbgpUpdate::encode_frame(std::slice::from_ref(&prefix), &[])
             }
         };
-        self.deliver_on_link(node, to, bytes);
+        let trace = if self.sink.enabled() {
+            let element = self.record_element(node, to, prefix, announce, cause);
+            let frame = self.sink.record_at(
+                self.queue.now(),
+                node as u32,
+                element,
+                TraceKind::Transmit { to: to as u32, bytes: bytes.len() as u32 },
+            );
+            frame.map(|frame| {
+                Box::new(DeliverTrace { frame, causes: element.into_iter().collect() })
+            })
+        } else {
+            None
+        };
+        self.deliver_on_link(node, to, bytes, trace);
     }
 
     fn flush(&mut self, node: NodeId, neighbor: NeighborId) {
@@ -656,12 +1117,28 @@ impl Sim {
             return;
         }
         let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
+        let traced = self.sink.enabled();
         let mut withdrawn = Vec::new();
         let mut ias = Vec::with_capacity(pending.len());
-        for (prefix, ia) in pending {
+        // Per-element trace metadata in frame order: withdraws first,
+        // then IAs — matching `DbgpUpdate` encode/decode order so the
+        // receiver can zip `causes` against decoded elements.
+        let mut wd_meta = Vec::new();
+        let mut ia_meta = Vec::new();
+        for (prefix, (ia, cause)) in pending {
             match ia {
-                Some(ia) => ias.push(ia),
-                None => withdrawn.push(prefix),
+                Some(ia) => {
+                    if traced {
+                        ia_meta.push((prefix, cause));
+                    }
+                    ias.push(ia);
+                }
+                None => {
+                    if traced {
+                        wd_meta.push((prefix, cause));
+                    }
+                    withdrawn.push(prefix);
+                }
             }
         }
         // Announce frames for a single IA are cached whole; batched
@@ -676,7 +1153,32 @@ impl Sim {
             }
             DbgpUpdate::encode_frame(&withdrawn, &bodies)
         };
-        self.deliver_on_link(node, to, bytes);
+        self.metrics
+            .registry
+            .observe(self.metrics.flush_batch, (withdrawn.len() + ias.len()) as u64);
+        let trace = if traced {
+            let mut causes = Vec::with_capacity(wd_meta.len() + ia_meta.len());
+            for (prefix, cause) in wd_meta {
+                if let Some(id) = self.record_element(node, to, prefix, false, cause) {
+                    causes.push(id);
+                }
+            }
+            for (prefix, cause) in ia_meta {
+                if let Some(id) = self.record_element(node, to, prefix, true, cause) {
+                    causes.push(id);
+                }
+            }
+            let frame = self.sink.record_at(
+                self.queue.now(),
+                node as u32,
+                causes.first().copied(),
+                TraceKind::Transmit { to: to as u32, bytes: bytes.len() as u32 },
+            );
+            frame.map(|frame| Box::new(DeliverTrace { frame, causes }))
+        } else {
+            None
+        };
+        self.deliver_on_link(node, to, bytes, trace);
     }
 
     /// Schedule a control-plane delivery across the `node -> to` link,
@@ -690,7 +1192,13 @@ impl Sim {
     /// cache and other in-flight deliveries); only a corrupting model
     /// copies it, so the flipped byte never leaks into anyone else's
     /// view (copy-on-corrupt).
-    fn deliver_on_link(&mut self, node: NodeId, to: NodeId, mut bytes: Bytes) {
+    fn deliver_on_link(
+        &mut self,
+        node: NodeId,
+        to: NodeId,
+        mut bytes: Bytes,
+        trace: Option<Box<DeliverTrace>>,
+    ) {
         let (mut delay, model, up) = match self.links.get(&link_key(node, to)) {
             Some(l) => (l.delay, l.model, l.up),
             // Adjacency without an explicit link record (not constructed
@@ -701,6 +1209,12 @@ impl Sim {
             // The adjacency map normally prevents this; a message racing
             // an administrative down is simply lost on the floor.
             self.stats.dropped_messages += 1;
+            self.sink.record_at(
+                self.queue.now(),
+                node as u32,
+                trace.as_ref().map(|t| t.frame),
+                TraceKind::MessageDropped { to: to as u32 },
+            );
             return;
         }
         if !model.is_reliable() {
@@ -710,6 +1224,12 @@ impl Sim {
             let jitter = if model.jitter > 0 { self.rng.below(model.jitter + 1) } else { 0 };
             if lost {
                 self.stats.dropped_messages += 1;
+                self.sink.record_at(
+                    self.queue.now(),
+                    node as u32,
+                    trace.as_ref().map(|t| t.frame),
+                    TraceKind::MessageDropped { to: to as u32 },
+                );
                 return;
             }
             if corrupt && !bytes.is_empty() {
@@ -724,12 +1244,14 @@ impl Sim {
             if duplicate {
                 self.stats.duplicated_messages += 1;
                 // Refcount bump: the duplicate shares the original's
-                // buffer.
-                self.queue
-                    .schedule(delay + 1, Event::Deliver { to, from: node, bytes: bytes.clone() });
+                // buffer (and the same causal frame).
+                self.queue.schedule(
+                    delay + 1,
+                    Event::Deliver { to, from: node, bytes: bytes.clone(), trace: trace.clone() },
+                );
             }
         }
-        self.queue.schedule(delay, Event::Deliver { to, from: node, bytes });
+        self.queue.schedule(delay, Event::Deliver { to, from: node, bytes, trace });
     }
 
     fn serve_oob(&mut self, to_addr: Ipv4Addr, from: NodeId, payload: Vec<u8>) {

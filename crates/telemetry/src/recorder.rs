@@ -1,0 +1,255 @@
+//! Ring-buffered in-memory trace recorder.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+
+use serde_json::Value;
+
+use crate::event::{EventId, TraceEvent, TraceKind};
+use crate::sink::TelemetrySink;
+
+/// Schema identifier written into serialized traces.
+pub const TRACE_SCHEMA: &str = "dbgp-trace/v1";
+
+struct Inner {
+    events: VecDeque<TraceEvent>,
+    /// Ring capacity; 0 means unbounded.
+    capacity: usize,
+    next_id: u64,
+    /// How many events have been evicted from the front of the ring.
+    evicted: u64,
+    now: u64,
+    ambient_parent: Option<EventId>,
+    /// node index -> AS number, registered by the host for rendering.
+    node_asn: BTreeMap<u32, u32>,
+}
+
+/// Records [`TraceEvent`]s into a bounded ring (oldest evicted first) or
+/// an unbounded log. Single-threaded, interior-mutable, so the simulator
+/// and every speaker can share one recorder through `Rc`.
+pub struct TraceRecorder {
+    inner: RefCell<Inner>,
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("TraceRecorder")
+            .field("events", &inner.events.len())
+            .field("capacity", &inner.capacity)
+            .field("next_id", &inner.next_id)
+            .field("evicted", &inner.evicted)
+            .finish()
+    }
+}
+
+impl TraceRecorder {
+    /// Recorder with a bounded ring; once `capacity` events are held the
+    /// oldest are evicted (and counted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceRecorder {
+            inner: RefCell::new(Inner {
+                events: VecDeque::new(),
+                capacity,
+                next_id: 0,
+                evicted: 0,
+                now: 0,
+                ambient_parent: None,
+                node_asn: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Recorder that never evicts. Use for scenario-sized traces that will
+    /// be queried or serialized afterwards.
+    pub fn unbounded() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Register the AS number a node index maps to (used by queries and
+    /// written into the trace meta block).
+    pub fn set_node_asn(&self, node: u32, asn: u32) {
+        self.inner.borrow_mut().node_asn.insert(node, asn);
+    }
+
+    /// Total events ever recorded (monotonic; unaffected by eviction).
+    /// Doubles as the id that the *next* event will receive, so it can be
+    /// used as a watermark for [`TraceRecorder::for_each_since`].
+    pub fn next_id(&self) -> u64 {
+        self.inner.borrow().next_id
+    }
+
+    /// How many events the ring has evicted.
+    pub fn evicted(&self) -> u64 {
+        self.inner.borrow().evicted
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every retained event with `id >= watermark`, in id order.
+    pub fn for_each_since<F: FnMut(&TraceEvent)>(&self, watermark: u64, mut f: F) {
+        let inner = self.inner.borrow();
+        // Events are stored in id order; skip the prefix below the watermark.
+        let skip = watermark.saturating_sub(inner.evicted) as usize;
+        for ev in inner.events.iter().skip(skip.min(inner.events.len())) {
+            if ev.id.0 >= watermark {
+                f(ev);
+            }
+        }
+    }
+
+    /// Clone out every retained event, in id order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Clone out the registered node -> AS map.
+    pub fn node_asn(&self) -> BTreeMap<u32, u32> {
+        self.inner.borrow().node_asn.clone()
+    }
+
+    /// Serialize the retained events as a `dbgp-trace/v1` document.
+    pub fn to_json(&self, scenario: &str) -> Value {
+        let inner = self.inner.borrow();
+        let nodes: Vec<Value> = inner
+            .node_asn
+            .iter()
+            .map(|(node, asn)| {
+                Value::Object(vec![
+                    ("node".into(), Value::UInt(u64::from(*node))),
+                    ("asn".into(), Value::UInt(u64::from(*asn))),
+                ])
+            })
+            .collect();
+        let events: Vec<Value> = inner.events.iter().map(|e| e.to_json()).collect();
+        Value::Object(vec![
+            ("schema".into(), Value::String(TRACE_SCHEMA.into())),
+            ("scenario".into(), Value::String(scenario.into())),
+            ("evicted".into(), Value::UInt(inner.evicted)),
+            ("nodes".into(), Value::Array(nodes)),
+            ("events".into(), Value::Array(events)),
+        ])
+    }
+}
+
+impl TelemetrySink for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(
+        &self,
+        at: Option<u64>,
+        node: u32,
+        parent: Option<EventId>,
+        kind: TraceKind,
+    ) -> Option<EventId> {
+        let mut inner = self.inner.borrow_mut();
+        let id = EventId(inner.next_id);
+        inner.next_id += 1;
+        let at = at.unwrap_or(inner.now);
+        inner.events.push_back(TraceEvent { id, at, node, parent, kind });
+        if inner.capacity != 0 && inner.events.len() > inner.capacity {
+            inner.events.pop_front();
+            inner.evicted += 1;
+        }
+        Some(id)
+    }
+
+    fn set_now(&self, at: u64) {
+        self.inner.borrow_mut().now = at;
+    }
+
+    fn set_ambient_parent(&self, parent: Option<EventId>) {
+        self.inner.borrow_mut().ambient_parent = parent;
+    }
+
+    fn ambient_parent(&self) -> Option<EventId> {
+        self.inner.borrow().ambient_parent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgp_wire::Ipv4Prefix;
+
+    fn pfx() -> Ipv4Prefix {
+        "10.0.0.0/8".parse().unwrap()
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_parents_precede_children() {
+        let rec = TraceRecorder::unbounded();
+        rec.set_now(5);
+        let a = rec.record(None, 0, None, TraceKind::Originate { prefix: pfx() }).unwrap();
+        let b =
+            rec.record(None, 0, Some(a), TraceKind::Advertise { prefix: pfx(), to: 1 }).unwrap();
+        assert!(a < b);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].at, 5);
+        assert_eq!(evs[1].parent, Some(a));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_watermark_scan_respects_eviction() {
+        let rec = TraceRecorder::with_capacity(2);
+        for i in 0..5u32 {
+            rec.record(Some(u64::from(i)), i, None, TraceKind::DecodeError { from: 0 });
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.evicted(), 3);
+        let mut seen = Vec::new();
+        rec.for_each_since(0, |e| seen.push(e.id.0));
+        assert_eq!(seen, vec![3, 4]);
+        seen.clear();
+        rec.for_each_since(4, |e| seen.push(e.id.0));
+        assert_eq!(seen, vec![4]);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let rec = TraceRecorder::unbounded();
+        rec.set_node_asn(0, 10);
+        rec.record(
+            Some(7),
+            0,
+            None,
+            TraceKind::Decision {
+                prefix: pfx(),
+                selected: true,
+                neighbor_as: Some(11),
+                path: "11 10".into(),
+                hops: 2,
+                candidates: 3,
+                why: crate::SelectionReason::ShortestPath,
+            },
+        );
+        rec.record(
+            Some(8),
+            1,
+            Some(EventId(0)),
+            TraceKind::SessionFsm {
+                peer: 0,
+                from: "idle".into(),
+                to: "established".into(),
+                trigger: "manual-start".into(),
+            },
+        );
+        let doc = rec.to_json("unit");
+        let events = doc.get("events").unwrap().as_array().unwrap();
+        for (raw, orig) in events.iter().zip(rec.events()) {
+            let parsed = TraceEvent::from_json(raw).unwrap();
+            assert_eq!(parsed, orig);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Loc-RIB snapshots and diffs, for explaining convergence: which best
+//! paths changed between two points in time, and to what.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dbgp_wire::Ipv4Prefix;
+use serde_json::Value;
+
+/// One installed best path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Rendered path vector of the installed advertisement.
+    pub path: String,
+    /// AS-hop count.
+    pub hops: u32,
+    /// AS number of the neighbor the path was learned from (`None` for
+    /// local origination).
+    pub via_as: Option<u32>,
+}
+
+impl fmt::Display for RibEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.via_as {
+            Some(asn) => write!(f, "[{}] ({} hops, via AS {})", self.path, self.hops, asn),
+            None => write!(f, "[{}] ({} hops, local)", self.path, self.hops),
+        }
+    }
+}
+
+/// All installed best paths at one instant, keyed by (node, prefix).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RibSnapshot {
+    /// Simulation time the snapshot was taken.
+    pub at: u64,
+    /// Best path per (node index, prefix).
+    pub entries: BTreeMap<(u32, Ipv4Prefix), RibEntry>,
+}
+
+/// One difference between two [`RibSnapshot`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RibChange {
+    /// A best path appeared where there was none.
+    Installed {
+        /// Node the change happened at.
+        node: u32,
+        /// Affected prefix.
+        prefix: Ipv4Prefix,
+        /// The new entry.
+        after: RibEntry,
+    },
+    /// A best path was replaced by a different one.
+    Changed {
+        /// Node the change happened at.
+        node: u32,
+        /// Affected prefix.
+        prefix: Ipv4Prefix,
+        /// Entry before the change.
+        before: RibEntry,
+        /// Entry after the change.
+        after: RibEntry,
+    },
+    /// A best path disappeared.
+    Removed {
+        /// Node the change happened at.
+        node: u32,
+        /// Affected prefix.
+        prefix: Ipv4Prefix,
+        /// The entry that was removed.
+        before: RibEntry,
+    },
+}
+
+impl fmt::Display for RibChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RibChange::Installed { node, prefix, after } => {
+                write!(f, "node {node} {prefix}: installed {after}")
+            }
+            RibChange::Changed { node, prefix, before, after } => {
+                write!(f, "node {node} {prefix}: {before} -> {after}")
+            }
+            RibChange::Removed { node, prefix, before } => {
+                write!(f, "node {node} {prefix}: removed {before}")
+            }
+        }
+    }
+}
+
+impl RibSnapshot {
+    /// Differences from `self` (before) to `after`, in (node, prefix)
+    /// order.
+    pub fn diff(&self, after: &RibSnapshot) -> Vec<RibChange> {
+        let mut out = Vec::new();
+        for (key, b) in &self.entries {
+            match after.entries.get(key) {
+                None => {
+                    out.push(RibChange::Removed { node: key.0, prefix: key.1, before: b.clone() })
+                }
+                Some(a) if a != b => out.push(RibChange::Changed {
+                    node: key.0,
+                    prefix: key.1,
+                    before: b.clone(),
+                    after: a.clone(),
+                }),
+                Some(_) => {}
+            }
+        }
+        for (key, a) in &after.entries {
+            if !self.entries.contains_key(key) {
+                out.push(RibChange::Installed { node: key.0, prefix: key.1, after: a.clone() });
+            }
+        }
+        out.sort_by_key(|c| match c {
+            RibChange::Installed { node, prefix, .. }
+            | RibChange::Changed { node, prefix, .. }
+            | RibChange::Removed { node, prefix, .. } => (*node, *prefix),
+        });
+        out
+    }
+
+    /// JSON form: `{"at": .., "entries": [{"node", "prefix", "path", "hops", "via_as"}]}`.
+    pub fn to_json(&self) -> Value {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|((node, prefix), e)| {
+                Value::Object(vec![
+                    ("node".into(), Value::UInt(u64::from(*node))),
+                    ("prefix".into(), Value::String(prefix.to_string())),
+                    ("path".into(), Value::String(e.path.clone())),
+                    ("hops".into(), Value::UInt(u64::from(e.hops))),
+                    (
+                        "via_as".into(),
+                        match e.via_as {
+                            Some(asn) => Value::UInt(u64::from(asn)),
+                            None => Value::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("at".into(), Value::UInt(self.at)),
+            ("entries".into(), Value::Array(entries)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(path: &str, hops: u32, via: Option<u32>) -> RibEntry {
+        RibEntry { path: path.into(), hops, via_as: via }
+    }
+
+    #[test]
+    fn diff_reports_install_change_remove_in_order() {
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let q: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        let mut before = RibSnapshot::default();
+        before.entries.insert((0, p), entry("2 1", 2, Some(2)));
+        before.entries.insert((1, p), entry("1", 1, Some(1)));
+        let mut after = RibSnapshot { at: 10, ..Default::default() };
+        after.entries.insert((0, p), entry("3 1", 2, Some(3)));
+        after.entries.insert((0, q), entry("1", 1, Some(1)));
+        let changes = before.diff(&after);
+        assert_eq!(changes.len(), 3);
+        assert!(matches!(changes[0], RibChange::Changed { node: 0, .. }));
+        assert!(matches!(changes[1], RibChange::Installed { node: 0, .. }));
+        assert!(matches!(changes[2], RibChange::Removed { node: 1, .. }));
+    }
+}

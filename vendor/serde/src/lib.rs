@@ -94,6 +94,24 @@ pub mod value {
                 _ => None,
             }
         }
+
+        /// Mutable member lookup on objects; `None` elsewhere.
+        pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+            match self {
+                Value::Object(fields) => {
+                    fields.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        /// The value's fields, mutably, if it is an object.
+        pub fn as_object_mut(&mut self) -> Option<&mut Vec<(String, Value)>> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
     }
 }
 
