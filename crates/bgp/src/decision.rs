@@ -53,9 +53,29 @@ impl<'a> Candidate<'a> {
     }
 }
 
+/// Knobs for the decision process. The defaults reproduce RFC 4271
+/// exactly; every existing call site uses them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionOptions {
+    /// Compare MED across different neighbouring ASes too (the
+    /// `bgp always-compare-med` operator knob). Off by default, as in
+    /// RFC 4271: MED is only meaningful between routes from the same
+    /// neighbouring AS.
+    pub always_compare_med: bool,
+}
+
 /// Compare two candidates and report the decisive tie-break step.
 /// `Ordering::Greater` means `a` is preferred.
 pub fn compare_explain(a: &Candidate<'_>, b: &Candidate<'_>) -> (Ordering, SelectionReason) {
+    compare_explain_with(a, b, DecisionOptions::default())
+}
+
+/// [`compare_explain`] with explicit [`DecisionOptions`].
+pub fn compare_explain_with(
+    a: &Candidate<'_>,
+    b: &Candidate<'_>,
+    opts: DecisionOptions,
+) -> (Ordering, SelectionReason) {
     // Locally originated routes beat everything.
     let a_local = matches!(a.source, RouteSource::Local);
     let b_local = matches!(b.source, RouteSource::Local);
@@ -79,8 +99,9 @@ pub fn compare_explain(a: &Candidate<'_>, b: &Candidate<'_>) -> (Ordering, Selec
     if origin != Ordering::Equal {
         return (origin, SelectionReason::Origin);
     }
-    // 4. Lowest MED, same neighbouring AS only.
-    if a.peer_as == b.peer_as {
+    // 4. Lowest MED — same neighbouring AS only, unless the operator
+    // asked for always-compare-med.
+    if opts.always_compare_med || a.peer_as == b.peer_as {
         let med = b.route.med.unwrap_or(0).cmp(&a.route.med.unwrap_or(0));
         if med != Ordering::Equal {
             return (med, SelectionReason::Med);
@@ -109,14 +130,24 @@ pub fn compare(a: &Candidate<'_>, b: &Candidate<'_>) -> Ordering {
     compare_explain(a, b).0
 }
 
+/// [`compare`] with explicit [`DecisionOptions`].
+pub fn compare_with(a: &Candidate<'_>, b: &Candidate<'_>, opts: DecisionOptions) -> Ordering {
+    compare_explain_with(a, b, opts).0
+}
+
 /// Pick the index of the best candidate, or `None` if the slice is empty.
 pub fn best(candidates: &[Candidate<'_>]) -> Option<usize> {
+    best_with(candidates, DecisionOptions::default())
+}
+
+/// [`best`] with explicit [`DecisionOptions`].
+pub fn best_with(candidates: &[Candidate<'_>], opts: DecisionOptions) -> Option<usize> {
     if candidates.is_empty() {
         return None;
     }
     let mut best = 0;
     for i in 1..candidates.len() {
-        if compare(&candidates[i], &candidates[best]) == Ordering::Greater {
+        if compare_with(&candidates[i], &candidates[best], opts) == Ordering::Greater {
             best = i;
         }
     }

@@ -1,0 +1,106 @@
+//! The two paper topologies the schedule explorer model-checks, built
+//! directly as reference networks (mirroring `dbgp-chaos`'s scenario
+//! constructions of the same figures).
+
+use crate::reference::{RefConfig, RefIsland, RefModule, RefNet};
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix, IslandId, ProtocolId};
+
+/// The prefix used by both paper topologies.
+pub fn paper_prefix() -> Ipv4Prefix {
+    "128.6.0.0/16".parse().expect("static prefix")
+}
+
+/// Node handles for [`figure8_wiser`].
+pub struct Figure8 {
+    /// The reference network.
+    pub net: RefNet,
+    /// Origin (Wiser island A, cheap exit).
+    pub d: usize,
+    /// Island-A member on the expensive exit.
+    pub a2: usize,
+    /// Island-A member on the cheap exit.
+    pub a3: usize,
+    /// Gulf AS on the short (expensive) route.
+    pub g1: usize,
+    /// First gulf AS on the long (cheap) route.
+    pub g2a: usize,
+    /// Second gulf AS on the long (cheap) route.
+    pub g2b: usize,
+    /// Destination-side Wiser island B member.
+    pub s: usize,
+}
+
+fn wiser(island: u32, portal_octet: u8, internal_cost: u64) -> RefModule {
+    RefModule::Wiser {
+        island: IslandId(island),
+        portal: Ipv4Addr::new(163, 42, 5, portal_octet),
+        internal_cost,
+        chosen_source: Default::default(),
+    }
+}
+
+/// Figure 8 of the paper: two Wiser islands separated by a gulf. The
+/// short AS path crosses an expensive Wiser exit (cost 500); the long
+/// one a cheap exit (cost 10+5). With CF-R1 pass-through intact, `s`
+/// must pick the longer-but-cheaper route via `g2b`.
+pub fn figure8_wiser() -> Figure8 {
+    let island_a = RefIsland { id: IslandId(900), abstraction: false };
+    let island_b = RefIsland { id: IslandId(901), abstraction: false };
+    let mut net = RefNet::new();
+    let d = net.add_node(RefConfig::island_member(10, island_a, ProtocolId::WISER));
+    let a2 = net.add_node(RefConfig::island_member(11, island_a, ProtocolId::WISER));
+    let a3 = net.add_node(RefConfig::island_member(12, island_a, ProtocolId::WISER));
+    let g1 = net.add_node(RefConfig::gulf(4000));
+    let g2a = net.add_node(RefConfig::gulf(4001));
+    let g2b = net.add_node(RefConfig::gulf(4002));
+    let s = net.add_node(RefConfig::island_member(20, island_b, ProtocolId::WISER));
+    net.speaker_mut(d).register_module(wiser(900, 0, 5));
+    net.speaker_mut(a2).register_module(wiser(900, 0, 500));
+    net.speaker_mut(a3).register_module(wiser(900, 0, 10));
+    net.speaker_mut(s).register_module(wiser(901, 1, 5));
+    net.link(d, a2, true);
+    net.link(d, a3, true);
+    net.link(a2, g1, false);
+    net.link(a3, g2a, false);
+    net.link(g2a, g2b, false);
+    net.link(g1, s, false);
+    net.link(g2b, s, false);
+    Figure8 { net, d, a2, a3, g1, g2a, g2b, s }
+}
+
+/// Node handles for [`rbgp_diamond`].
+pub struct Diamond {
+    /// The reference network.
+    pub net: RefNet,
+    /// Origin.
+    pub d: usize,
+    /// The short-path AS.
+    pub short: usize,
+    /// First AS on the long path.
+    pub long_a: usize,
+    /// Second AS on the long path.
+    pub long_b: usize,
+    /// Destination-side AS running R-BGP.
+    pub s: usize,
+}
+
+/// The R-BGP diamond: origin `d`, a direct path via `short`, and a
+/// two-hop alternative via `long_a`/`long_b`. `s` runs R-BGP, picks
+/// the short path, and stages the disjoint long path as failover.
+pub fn rbgp_diamond() -> Diamond {
+    let mut net = RefNet::new();
+    let d = net.add_node(RefConfig::gulf(1));
+    let short = net.add_node(RefConfig::gulf(2));
+    let long_a = net.add_node(RefConfig::gulf(3));
+    let long_b = net.add_node(RefConfig::gulf(4));
+    let mut s_cfg = RefConfig::gulf(5);
+    s_cfg.active = ProtocolId::RBGP;
+    let s = net.add_node(s_cfg);
+    net.speaker_mut(s).register_module(RefModule::Rbgp { failover: Default::default() });
+    net.link(d, short, false);
+    net.link(d, long_a, false);
+    net.link(short, s, false);
+    net.link(long_a, long_b, false);
+    net.link(long_b, s, false);
+    Diamond { net, d, short, long_a, long_b, s }
+}

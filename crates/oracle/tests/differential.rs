@@ -1,0 +1,114 @@
+//! Harness self-tests: the differential oracle must catch deliberately
+//! broken decision semantics, agree with itself on faithful runs, treat
+//! mutual livelock as agreement, shrink failures, and round-trip
+//! scenarios through JSON fixtures.
+
+use dbgp_oracle::differential::{
+    generate_scenario, run_differential, run_differential_mutated, shrink,
+};
+use dbgp_oracle::reference::Mutation;
+use dbgp_oracle::scenario::{
+    scenario_from_json, scenario_to_json, Fault, IslandSpec, NodeSpec, Scenario,
+};
+use proptest::test_runner::TestRng;
+
+fn gulf(asn: u32) -> NodeSpec {
+    NodeSpec { asn, island: None }
+}
+
+/// A 5-node diamond where the production decision process picks the
+/// 2-hop path at the sink while a length-inverted reference picks the
+/// 3-hop path.
+fn diamond() -> Scenario {
+    Scenario {
+        nodes: vec![gulf(10), gulf(20), gulf(30), gulf(40), gulf(50)],
+        links: vec![(0, 1, true), (1, 4, true), (0, 2, true), (2, 3, true), (3, 4, true)],
+        originations: vec![(0, "128.6.0.0/16".parse().unwrap())],
+        faults: vec![],
+    }
+}
+
+/// Equal-length paths where the neighbor-AS rung and the neighbor-ID
+/// rung disagree: the sink's session to node 2 is established before
+/// its session to node 1, but node 1 has the lower AS.
+fn tiebreak_square() -> Scenario {
+    Scenario {
+        nodes: vec![gulf(10), gulf(20), gulf(30), gulf(40)],
+        links: vec![(0, 1, true), (0, 2, true), (2, 3, true), (1, 3, true)],
+        originations: vec![(0, "128.6.0.0/16".parse().unwrap())],
+        faults: vec![],
+    }
+}
+
+#[test]
+fn faithful_reference_matches_on_crafted_scenarios() {
+    run_differential(&diamond()).expect("diamond");
+    run_differential(&tiebreak_square()).expect("tiebreak square");
+}
+
+#[test]
+fn inverted_path_length_rung_is_caught() {
+    let err = run_differential_mutated(&diamond(), Mutation::PreferLongerPaths)
+        .expect_err("length-inverted reference must diverge");
+    assert_eq!(err.phase, 0);
+}
+
+#[test]
+fn dropped_neighbor_as_rung_is_caught() {
+    let err = run_differential_mutated(&tiebreak_square(), Mutation::IgnoreNeighborAs)
+        .expect_err("neighbor-AS-blind reference must diverge");
+    assert_eq!(err.phase, 0);
+}
+
+/// The shrunken fixture class the generator discovered: an EQBGP island
+/// with a cycle through a legacy (descriptor-stripping) link oscillates
+/// forever, because selection scores an absent bandwidth descriptor as
+/// zero while export floors it at the local ingress capacity. Both the
+/// production engine and the reference livelock on the same schedule —
+/// the harness counts that as agreement rather than a divergence.
+#[test]
+fn mutual_livelock_is_agreement_not_divergence() {
+    let eqbgp = IslandSpec { id: 900, abstraction: false, protocol: 6 };
+    let scenario = Scenario {
+        nodes: vec![
+            NodeSpec { asn: 10, island: Some(eqbgp) },
+            NodeSpec { asn: 17, island: Some(eqbgp) },
+            NodeSpec { asn: 24, island: Some(eqbgp) },
+        ],
+        links: vec![(0, 1, true), (0, 2, false), (1, 2, true)],
+        originations: vec![(0, "128.6.0.0/16".parse().unwrap())],
+        faults: vec![],
+    };
+    run_differential(&scenario).expect("mutual livelock is agreement");
+}
+
+#[test]
+fn shrinker_strips_irrelevant_structure() {
+    // The diamond plus an appendage node and a fault that touches only
+    // the appendage. Neither contributes to the divergence, so the
+    // shrinker must remove both.
+    let mut fat = diamond();
+    fat.nodes.push(gulf(60));
+    fat.links.push((0, 5, true));
+    fat.faults.push(Fault::LinkDown(0, 5));
+    let still_fails =
+        |s: &Scenario| run_differential_mutated(s, Mutation::PreferLongerPaths).is_err();
+    assert!(still_fails(&fat), "fat scenario must fail before shrinking");
+    let slim = shrink(fat, still_fails);
+    assert!(still_fails(&slim), "shrunken scenario must still fail");
+    assert!(slim.faults.is_empty(), "irrelevant fault survived shrinking: {slim:?}");
+    assert!(slim.nodes.len() <= 5, "appendage node survived shrinking: {slim:?}");
+}
+
+#[test]
+fn scenarios_round_trip_through_json() {
+    for case in 0..32 {
+        let mut rng = TestRng::for_case("oracle-json-roundtrip", case);
+        let scenario = generate_scenario(&mut rng);
+        let text = serde_json::to_string_pretty(&scenario_to_json(&scenario))
+            .expect("fixture JSON serializes");
+        let value = serde_json::from_str(&text).expect("fixture JSON parses");
+        let back = scenario_from_json(&value).expect("fixture JSON decodes");
+        assert_eq!(back, scenario, "case {case} did not round-trip");
+    }
+}

@@ -1,0 +1,45 @@
+//! Replay committed divergence fixtures.
+//!
+//! When the differential harness finds a divergence it shrinks the
+//! scenario and dumps it as JSON. Once the underlying disagreement is
+//! resolved, the fixture moves into `fixtures/` and this test replays
+//! it on every run, so the scenario class can never silently regress.
+//!
+//! Current corpus:
+//!
+//! * `eqbgp-legacy-livelock.json` — a 3-node EQBGP island with a cycle
+//!   through one legacy link. Selection scores an absent bandwidth
+//!   descriptor as 0 while export floors it at the local ingress
+//!   capacity, so the two non-origin members trade best routes forever.
+//!   The harness originally flagged production's non-quiescence as a
+//!   divergence; it now recognizes that both engines livelock on the
+//!   same schedule and counts that as agreement.
+
+use dbgp_oracle::differential::run_differential;
+use dbgp_oracle::scenario::scenario_from_json;
+
+#[test]
+fn committed_fixtures_replay_without_divergence() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixtures directory")
+        .map(|e| e.expect("fixture entry").path())
+        .collect();
+    entries.sort();
+    let mut replayed = 0;
+    for path in entries {
+        if path.extension().map(|e| e != "json").unwrap_or(true) {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).expect("fixture file");
+        let value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{name}: fixture is not valid JSON: {e}"));
+        let scenario = scenario_from_json(&value)
+            .unwrap_or_else(|| panic!("{name}: fixture does not decode to a scenario"));
+        run_differential(&scenario)
+            .unwrap_or_else(|d| panic!("{name}: fixture diverged again: {d:?}"));
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "fixture corpus is empty");
+}

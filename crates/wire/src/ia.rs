@@ -465,7 +465,10 @@ impl Ia {
                     }
                     next_hop = Ipv4Addr(body.get_u32());
                 }
-                tag::MED => med = Some(get_uvarint(&mut body)? as u32),
+                tag::MED => {
+                    let v = get_uvarint(&mut body)?;
+                    med = Some(u32::try_from(v).map_err(|_| WireError::Overflow("med"))?);
+                }
                 tag::PATH_ELEM => {
                     if body.remaining() < 1 {
                         return Err(WireError::MalformedIa("empty path element"));
@@ -496,7 +499,9 @@ impl Ia {
                 }
                 tag::PATH_DESC => {
                     let nproto = get_uvarint(&mut body)? as usize;
-                    if nproto == 0 || nproto > body.remaining() + 1 {
+                    // Each protocol ID is a varint (>= 1 byte) and the key
+                    // and value-length fields still have to follow.
+                    if nproto == 0 || nproto.saturating_add(2) > body.remaining() {
                         return Err(WireError::MalformedIa("bad descriptor protocol count"));
                     }
                     let mut protocols = Vec::with_capacity(nproto);
