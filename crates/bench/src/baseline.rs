@@ -2,26 +2,39 @@
 //! baseline.
 //!
 //! The baseline is load-bearing: the telemetry overhead budget (<3%
-//! events/sec on waxman-1000) and the zero-copy speedup table are both
-//! measured against it, so CI refuses a baseline document that silently
-//! lost a field or changed a type. `sim_bench --quick` (and
-//! `--validate-only`) calls [`validate_sim_bench_schema`] and exits
-//! nonzero listing every problem found.
+//! events/sec on waxman-1000), the zero-copy speedup table and the
+//! parallel-engine speedups are all measured against it, so CI refuses
+//! a baseline document that silently lost a field or changed a type.
+//! `sim_bench --quick` (and `--validate-only`) calls
+//! [`validate_sim_bench_schema`] and exits nonzero listing every
+//! problem found.
+//!
+//! Schema v2 (this revision) records both engine tiers per scenario:
+//! serial and parallel wall time / events-per-sec, the worker thread
+//! count, and the measured parallel speedup, plus the recording host's
+//! CPU count at the document level (a speedup number is meaningless
+//! without it). v1 documents — single `wall_seconds`/`events_per_sec`,
+//! no thread accounting — are rejected by tag *and* by field list, so a
+//! stale generator can't slip an old-shape document past CI.
 
 use serde_json::Value;
 
 /// Schema identifier every `BENCH_sim.json` document must carry.
-pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v1";
+pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v2";
 
 /// Fields every per-scenario record must carry, with their types
-/// checked: `quiesced` is a bool, `events_per_sec`/`wall_seconds` are
-/// floats, everything else an unsigned integer.
-pub const REQUIRED_METRICS: [&str; 12] = [
+/// checked: `quiesced` is a bool; the wall-time, events-per-sec and
+/// speedup fields are floats; everything else an unsigned integer.
+pub const REQUIRED_METRICS: [&str; 16] = [
     "nodes",
     "edges",
     "events",
-    "events_per_sec",
-    "wall_seconds",
+    "threads",
+    "wall_seconds_serial",
+    "events_per_sec_serial",
+    "wall_seconds_parallel",
+    "events_per_sec_parallel",
+    "parallel_speedup",
     "messages",
     "bytes_delivered",
     "updates_encoded",
@@ -31,15 +44,50 @@ pub const REQUIRED_METRICS: [&str; 12] = [
     "quiesced",
 ];
 
+/// Fields the Tier A sweep block must carry (scenario-level
+/// parallelism: a multi-seed run timed serial vs pooled).
+pub const REQUIRED_TIER_A: [&str; 6] = [
+    "seeds",
+    "threads",
+    "total_events",
+    "wall_seconds_serial",
+    "wall_seconds_parallel",
+    "parallel_speedup",
+];
+
+fn field_ok(record: &Value, field: &str) -> bool {
+    match field {
+        "quiesced" => record.get(field).and_then(Value::as_bool).is_some(),
+        "wall_seconds_serial"
+        | "wall_seconds_parallel"
+        | "events_per_sec_serial"
+        | "events_per_sec_parallel"
+        | "parallel_speedup" => record.get(field).and_then(Value::as_f64).is_some(),
+        _ => record.get(field).and_then(Value::as_u64).is_some(),
+    }
+}
+
 /// Validate a committed baseline document's shape; returns a list of
 /// problems, one human-readable line each (empty = valid).
 pub fn validate_sim_bench_schema(doc: &Value) -> Vec<String> {
     let mut problems = Vec::new();
-    if doc.get("schema").and_then(Value::as_str) != Some(SIM_BENCH_SCHEMA) {
-        problems.push(format!("schema field must be \"{SIM_BENCH_SCHEMA}\""));
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(tag) if tag == SIM_BENCH_SCHEMA => {}
+        Some(tag) if tag.starts_with("dbgp-sim-bench/") => {
+            problems.push(format!(
+                "schema \"{tag}\" is outdated: this validator requires \"{SIM_BENCH_SCHEMA}\" \
+                 (regenerate with a full `sim_bench` run)"
+            ));
+        }
+        _ => problems.push(format!("schema field must be \"{SIM_BENCH_SCHEMA}\"")),
     }
     if doc.get("seed").and_then(Value::as_u64).is_none() {
         problems.push("seed must be an unsigned integer".into());
+    }
+    for field in ["threads", "host_cpus"] {
+        if doc.get(field).and_then(Value::as_u64).is_none() {
+            problems.push(format!("{field} must be an unsigned integer"));
+        }
     }
     for block in ["baseline", "current"] {
         let Some(scenarios) = doc.get(block).and_then(Value::as_object) else {
@@ -51,14 +99,7 @@ pub fn validate_sim_bench_schema(doc: &Value) -> Vec<String> {
         }
         for (name, record) in scenarios {
             for field in REQUIRED_METRICS {
-                let ok = match field {
-                    "quiesced" => record.get(field).and_then(Value::as_bool).is_some(),
-                    "events_per_sec" | "wall_seconds" => {
-                        record.get(field).and_then(Value::as_f64).is_some()
-                    }
-                    _ => record.get(field).and_then(Value::as_u64).is_some(),
-                };
-                if !ok {
+                if !field_ok(record, field) {
                     problems.push(format!("{block}.{name}.{field} missing or mistyped"));
                 }
             }
@@ -66,6 +107,22 @@ pub fn validate_sim_bench_schema(doc: &Value) -> Vec<String> {
     }
     if doc.get("speedup").and_then(Value::as_object).is_none() {
         problems.push("missing object block \"speedup\"".into());
+    }
+    match doc.get("tier_a") {
+        Some(tier_a) if tier_a.as_object().is_some() => {
+            for field in REQUIRED_TIER_A {
+                let ok = match field {
+                    "wall_seconds_serial" | "wall_seconds_parallel" | "parallel_speedup" => {
+                        tier_a.get(field).and_then(Value::as_f64).is_some()
+                    }
+                    _ => tier_a.get(field).and_then(Value::as_u64).is_some(),
+                };
+                if !ok {
+                    problems.push(format!("tier_a.{field} missing or mistyped"));
+                }
+            }
+        }
+        _ => problems.push("missing object block \"tier_a\"".into()),
     }
     problems
 }
@@ -78,7 +135,10 @@ mod tests {
     fn record() -> Value {
         json!({
             "nodes": 50u64, "edges": 97u64, "events": 1000u64,
-            "events_per_sec": 1.5f64, "wall_seconds": 0.5f64,
+            "threads": 4u64,
+            "wall_seconds_serial": 0.5f64, "events_per_sec_serial": 2000.0f64,
+            "wall_seconds_parallel": 0.25f64, "events_per_sec_parallel": 4000.0f64,
+            "parallel_speedup": 2.0f64,
             "messages": 10u64, "bytes_delivered": 100u64,
             "updates_encoded": 5u64, "encode_cache_hits": 3u64,
             "bytes_allocated": 4096u64, "best_changes": 7u64,
@@ -86,13 +146,24 @@ mod tests {
         })
     }
 
+    fn tier_a() -> Value {
+        json!({
+            "seeds": 8u64, "threads": 4u64, "total_events": 12345u64,
+            "wall_seconds_serial": 1.0f64, "wall_seconds_parallel": 0.5f64,
+            "parallel_speedup": 2.0f64,
+        })
+    }
+
     fn valid_doc() -> Value {
         json!({
             "schema": SIM_BENCH_SCHEMA,
             "seed": 42u64,
+            "threads": 4u64,
+            "host_cpus": 4u64,
             "baseline": { "waxman50_churn": record() },
             "current": { "waxman50_churn": record() },
             "speedup": {},
+            "tier_a": tier_a(),
         })
     }
 
@@ -148,6 +219,13 @@ mod tests {
             validate_sim_bench_schema(&doc),
             vec!["baseline.waxman50_churn.quiesced missing or mistyped"]
         );
+
+        let mut doc = valid_doc();
+        set(&mut doc, "baseline", "parallel_speedup", Value::String("2x".into()));
+        assert_eq!(
+            validate_sim_bench_schema(&doc),
+            vec!["baseline.waxman50_churn.parallel_speedup missing or mistyped"]
+        );
     }
 
     #[test]
@@ -163,6 +241,41 @@ mod tests {
         let problems = validate_sim_bench_schema(&doc);
         assert!(problems.iter().any(|p| p.contains("schema field")));
         assert!(problems.iter().any(|p| p.contains("seed")));
+        assert!(problems.iter().any(|p| p.contains("tier_a")));
+    }
+
+    /// The v1→v2 negative test: a document in the *old* shape — v1 tag,
+    /// single `wall_seconds`/`events_per_sec` per record, no thread or
+    /// host accounting — must be rejected both by its tag and by its
+    /// field list.
+    #[test]
+    fn a_v1_document_is_rejected() {
+        let v1_record = json!({
+            "nodes": 50u64, "edges": 97u64, "events": 1000u64,
+            "events_per_sec": 2000.0f64, "wall_seconds": 0.5f64,
+            "messages": 10u64, "bytes_delivered": 100u64,
+            "updates_encoded": 5u64, "encode_cache_hits": 3u64,
+            "bytes_allocated": 4096u64, "best_changes": 7u64,
+            "quiesced": true,
+        });
+        let doc = json!({
+            "schema": "dbgp-sim-bench/v1",
+            "seed": 42u64,
+            "baseline": { "waxman50_churn": v1_record.clone() },
+            "current": { "waxman50_churn": v1_record },
+            "speedup": {},
+        });
+        let problems = validate_sim_bench_schema(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("outdated") && p.contains("dbgp-sim-bench/v1")),
+            "v1 tag must be called out as outdated: {problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("current.waxman50_churn.wall_seconds_serial")),
+            "v1 records must fail the v2 field list: {problems:?}"
+        );
+        assert!(problems.iter().any(|p| p.contains("host_cpus")));
+        assert!(problems.iter().any(|p| p.contains("tier_a")));
     }
 
     #[test]
@@ -170,9 +283,12 @@ mod tests {
         let doc = json!({
             "schema": SIM_BENCH_SCHEMA,
             "seed": 42u64,
+            "threads": 1u64,
+            "host_cpus": 1u64,
             "baseline": { "other": record() },
             "current": { "waxman50_churn": record() },
             "speedup": {},
+            "tier_a": tier_a(),
         });
         assert!(validate_sim_bench_schema(&doc)
             .contains(&"baseline lacks the waxman50_churn scenario".to_string()));

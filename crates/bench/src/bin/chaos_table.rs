@@ -3,9 +3,15 @@
 //! deployment topology and a 50-AS Waxman graph, with routing
 //! invariants checked at quiescence.
 //!
-//! Usage: `chaos_table [seed]` — default seed 42. Everything printed
-//! and written is a function of the seed alone: the same seed produces
-//! a byte-identical `results/chaos.json`.
+//! Usage: `chaos_table [seed] [--threads N]` — default seed 42,
+//! default threads from `DBGP_THREADS` (else available parallelism).
+//! Everything printed and written is a function of the seed alone: the
+//! same seed produces a byte-identical `results/chaos.json` at any
+//! thread count. Each scenario is a sealed deterministic unit, so the
+//! four rows fan out across the worker pool (Tier A) and are reduced
+//! back in row order; inside each scenario the attached trace recorder
+//! keeps the simulator on its serial engine, which is exactly what the
+//! causal convergence tracker needs.
 
 use dbgp_chaos::scenario::{figure8_wiser, scenario_prefix, sim_from_graph};
 use dbgp_chaos::{FaultPlan, InvariantReport, Invariants, ScenarioReport, ScenarioRunner};
@@ -175,8 +181,24 @@ fn row_json(row: &Row) -> Value {
 }
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(42);
-    println!("churn scenarios, seed {seed} (all quantities simulated => deterministic)\n");
+    let mut seed: u64 = 42;
+    let mut threads = dbgp_par::configured_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .expect("--threads requires a positive integer");
+        } else if let Ok(s) = arg.parse() {
+            seed = s;
+        }
+    }
+    println!(
+        "churn scenarios, seed {seed}, {threads} thread(s) \
+         (all quantities simulated => deterministic)\n"
+    );
     println!(
         "{:<22} {:<22} {:>6} {:>10} {:>9} {:>8} {:>7} {:>11} {:<10}",
         "scenario",
@@ -190,8 +212,18 @@ fn main() {
         "invariants"
     );
     println!("{:-<115}", "");
-    let rows =
-        vec![fig8_wiser_flap(), fig8_gulf_restart(), waxman_flap(seed), waxman_loss_burst(seed)];
+    // Tier A: each scenario builds, runs and reports on its own worker;
+    // the ordered reduce puts rows back in table order regardless of
+    // which finished first.
+    type RowFn = Box<dyn Fn() -> Row + Send + Sync>;
+    let tasks: Vec<RowFn> = vec![
+        Box::new(fig8_wiser_flap),
+        Box::new(fig8_gulf_restart),
+        Box::new(move || waxman_flap(seed)),
+        Box::new(move || waxman_loss_burst(seed)),
+    ];
+    let pool = dbgp_par::Pool::new(threads);
+    let rows = dbgp_par::par_map(&pool, &tasks, |_, task| task());
     let mut all_clean = true;
     for row in &rows {
         let stats = row.report.final_stats;

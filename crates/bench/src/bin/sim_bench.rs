@@ -1,9 +1,17 @@
 //! Control-plane throughput baseline: events/sec, UPDATEs encoded, and
-//! bytes allocated for the waxman-50 churn and waxman-1000 convergence
-//! scenarios, tracked in a committed `BENCH_sim.json`.
+//! bytes allocated for the waxman-50 churn, waxman-1000 convergence and
+//! waxman-5000 scale scenarios, tracked in a committed `BENCH_sim.json`.
+//!
+//! Every scenario is timed twice: once on the serial engine
+//! (`--threads 1`) and once on the lookahead-windowed parallel engine
+//! at the requested thread count. The two runs must agree on every
+//! simulated quantity (events, messages, bytes, churn) — that identity
+//! is asserted here on every invocation, so a determinism regression in
+//! the windowed engine fails the benchmark before it can record a
+//! number. Only wall time (and thus events/sec and speedup) may differ.
 //!
 //! Usage:
-//!   sim_bench                 run both scenarios, write `BENCH_sim.json`
+//!   sim_bench                 run all scenarios, write `BENCH_sim.json`
 //!                             (preserving the recorded baseline block,
 //!                             or seeding it from this run if absent)
 //!   sim_bench --quick         run only waxman-50 churn, write
@@ -14,11 +22,17 @@
 //!   sim_bench --validate-only skip the scenarios entirely and just
 //!                             validate the baseline document's schema
 //!   --bench-path <path>       validate <path> instead of BENCH_sim.json
+//!   --threads <N>             worker threads for the parallel runs
+//!                             (default `DBGP_THREADS`, else available
+//!                             parallelism); `--threads 1` keeps every
+//!                             run on the serial engine
 //!
 //! A missing or mistyped required field in the baseline document is a
 //! hard failure: the exit code is nonzero and every problem is listed.
 //! Simulated quantities (events, messages, bytes, churn) are pure
-//! functions of the seed; wall-time and events/sec vary with the host.
+//! functions of the seed; wall-time, events/sec and parallel speedup
+//! vary with the host (the recording host's CPU count is written into
+//! the document as `host_cpus`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,7 +40,7 @@ use std::time::Instant;
 
 use dbgp_bench::{validate_sim_bench_schema, SIM_BENCH_SCHEMA};
 use dbgp_chaos::scenario::sim_from_graph;
-use dbgp_chaos::{FaultPlan, ScenarioRunner};
+use dbgp_chaos::{sweep_seeds, FaultPlan, ScenarioRunner};
 use dbgp_sim::Sim;
 use dbgp_topology::waxman::{self, WaxmanParams};
 use dbgp_topology::AsGraph;
@@ -35,7 +49,10 @@ use serde_json::{json, Value};
 
 /// Byte-counting shim over the system allocator: `alloc`/grow sizes
 /// accumulate into [`ALLOCATED`] so scenarios can report allocation
-/// pressure, not just peak RSS.
+/// pressure, not just peak RSS. The counter is a relaxed atomic, so it
+/// stays coherent when the worker pool allocates from several threads
+/// at once; per-scenario deltas are only meaningful for serial runs
+/// (which is what the tracked `bytes_allocated` records).
 struct CountingAlloc;
 
 static ALLOCATED: AtomicU64 = AtomicU64::new(0);
@@ -66,8 +83,19 @@ const SCHEMA: &str = SIM_BENCH_SCHEMA;
 const BENCH_PATH: &str = "BENCH_sim.json";
 const QUICK_PATH: &str = "results/BENCH_sim.quick.json";
 
-struct ScenarioResult {
-    name: &'static str,
+/// Allocation regression gate for the serial waxman-1000 run. The
+/// zero-copy pipeline recorded 138 839 840 bytes; the telemetry
+/// metrics registry later grew that by ~3% to the value below
+/// (measured immediately before the windowed engine landed). The
+/// windowed engine itself must add nothing to the serial path — the
+/// full benchmark asserts the serial run's `bytes_allocated` stays
+/// within [`ALLOC_SLACK_PERCENT`] of this budget.
+const WAXMAN1000_ALLOC_BASELINE: u64 = 142_982_800;
+const ALLOC_SLACK_PERCENT: u64 = 2;
+
+/// One timed run of a scenario (one engine, one thread count).
+#[derive(Clone)]
+struct RunMeasurement {
     nodes: usize,
     edges: usize,
     events: u64,
@@ -77,7 +105,15 @@ struct ScenarioResult {
     quiesced: bool,
 }
 
-impl ScenarioResult {
+/// A scenario's serial + parallel measurement pair.
+struct ScenarioResult {
+    name: &'static str,
+    threads: usize,
+    serial: RunMeasurement,
+    parallel: RunMeasurement,
+}
+
+impl RunMeasurement {
     fn events_per_sec(&self) -> f64 {
         if self.wall_seconds > 0.0 {
             self.events as f64 / self.wall_seconds
@@ -85,21 +121,36 @@ impl ScenarioResult {
             0.0
         }
     }
+}
+
+impl ScenarioResult {
+    fn parallel_speedup(&self) -> f64 {
+        if self.parallel.wall_seconds > 0.0 {
+            self.serial.wall_seconds / self.parallel.wall_seconds
+        } else {
+            0.0
+        }
+    }
 
     fn to_json(&self) -> Value {
+        let s = &self.serial;
         json!({
-            "nodes": self.nodes as u64,
-            "edges": self.edges as u64,
-            "events": self.events,
-            "events_per_sec": round2(self.events_per_sec()),
-            "wall_seconds": round6(self.wall_seconds),
-            "messages": self.stats.messages,
-            "bytes_delivered": self.stats.bytes,
-            "updates_encoded": self.stats.updates_encoded,
-            "encode_cache_hits": self.stats.encode_cache_hits,
-            "bytes_allocated": self.bytes_allocated,
-            "best_changes": self.stats.best_changes,
-            "quiesced": self.quiesced,
+            "nodes": s.nodes as u64,
+            "edges": s.edges as u64,
+            "events": s.events,
+            "threads": self.threads as u64,
+            "wall_seconds_serial": round6(s.wall_seconds),
+            "events_per_sec_serial": round2(s.events_per_sec()),
+            "wall_seconds_parallel": round6(self.parallel.wall_seconds),
+            "events_per_sec_parallel": round2(self.parallel.events_per_sec()),
+            "parallel_speedup": round2(self.parallel_speedup()),
+            "messages": s.stats.messages,
+            "bytes_delivered": s.stats.bytes,
+            "updates_encoded": s.stats.updates_encoded,
+            "encode_cache_hits": s.stats.encode_cache_hits,
+            "bytes_allocated": s.bytes_allocated,
+            "best_changes": s.stats.best_changes,
+            "quiesced": s.quiesced,
         })
     }
 }
@@ -123,15 +174,15 @@ fn origin_prefix(node: usize) -> Ipv4Prefix {
 /// simulated quantities are identical across repeats, so best-of-N only
 /// de-noises the wall-clock (and thus events/sec) on a shared host.
 fn measure_best_of(
-    name: &'static str,
     graph: &AsGraph,
     origins: usize,
     repeats: usize,
+    threads: usize,
     mut run: impl FnMut(&mut Sim) -> bool,
-) -> ScenarioResult {
-    let mut best: Option<ScenarioResult> = None;
+) -> RunMeasurement {
+    let mut best: Option<RunMeasurement> = None;
     for _ in 0..repeats.max(1) {
-        let result = measure(name, graph, origins, &mut run);
+        let result = measure(graph, origins, threads, &mut run);
         if best.as_ref().is_none_or(|b| result.wall_seconds < b.wall_seconds) {
             best = Some(result);
         }
@@ -143,12 +194,13 @@ fn measure_best_of(
 /// prefix) through converge + churn under the timer and the allocation
 /// counter.
 fn measure(
-    name: &'static str,
     graph: &AsGraph,
     origins: usize,
+    threads: usize,
     mut run: impl FnMut(&mut Sim) -> bool,
-) -> ScenarioResult {
+) -> RunMeasurement {
     let mut sim = sim_from_graph(graph, 10);
+    sim.set_threads(threads);
     sim.set_seed(SEED);
     for node in 0..origins {
         sim.originate(node, origin_prefix(node));
@@ -158,8 +210,7 @@ fn measure(
     let quiesced = run(&mut sim);
     let wall_seconds = start.elapsed().as_secs_f64();
     let bytes_allocated = ALLOCATED.load(Ordering::Relaxed) - alloc_before;
-    ScenarioResult {
-        name,
+    RunMeasurement {
         nodes: sim.node_count(),
         edges: graph.edge_count(),
         events: sim.events_processed(),
@@ -170,13 +221,73 @@ fn measure(
     }
 }
 
+/// Time a scenario on the serial engine and on the windowed engine at
+/// `threads` workers, and assert the two runs are observationally
+/// identical (the Tier B determinism contract). At `threads == 1` the
+/// parallel leg is the serial leg.
+///
+/// The parallel leg runs *first*: whichever leg goes first pays the
+/// page-cache and allocator warm-up for the scenario's working set, so
+/// putting the serial leg second biases the recorded speedup downward
+/// — a reported speedup is never a warm-up artifact.
+fn scenario(
+    name: &'static str,
+    graph: &AsGraph,
+    origins: usize,
+    repeats: usize,
+    threads: usize,
+    mut run: impl FnMut(&mut Sim) -> bool,
+) -> ScenarioResult {
+    let parallel =
+        (threads > 1).then(|| measure_best_of(graph, origins, repeats, threads, &mut run));
+    let serial = measure_best_of(graph, origins, repeats, 1, &mut run);
+    let parallel = match parallel {
+        Some(p) => {
+            assert_runs_identical(name, threads, &serial, &p);
+            p
+        }
+        None => serial.clone(),
+    };
+    ScenarioResult { name, threads, serial, parallel }
+}
+
+/// The determinism gate: every simulated quantity must match between
+/// the serial and parallel runs. Wall time and allocation pressure are
+/// host-dependent and exempt.
+fn assert_runs_identical(
+    name: &str,
+    threads: usize,
+    serial: &RunMeasurement,
+    par: &RunMeasurement,
+) {
+    let digest = |r: &RunMeasurement| {
+        (
+            r.events,
+            r.stats.messages,
+            r.stats.bytes,
+            r.stats.updates_encoded,
+            r.stats.encode_cache_hits,
+            r.stats.best_changes,
+            r.stats.dropped_messages,
+            r.stats.duplicated_messages,
+            r.quiesced,
+        )
+    };
+    assert_eq!(
+        digest(serial),
+        digest(par),
+        "{name}: serial vs {threads}-thread runs diverged \
+         (events, messages, bytes, encodes, cache hits, churn, drops, dups, quiesced)"
+    );
+}
+
 /// Waxman-50 under a deterministic flap storm plus restarts — the
 /// acceptance scenario: re-advertisement churn is exactly what the
 /// encode cache and shared buffers accelerate.
-fn waxman50_churn() -> ScenarioResult {
+fn waxman50_churn(threads: usize) -> ScenarioResult {
     let graph = dbgp_topology::fixtures::waxman_50(SEED);
     // All 50 nodes originate: 50 prefixes of routing state per RIB.
-    measure_best_of("waxman50_churn", &graph, 50, 3, |sim| {
+    scenario("waxman50_churn", &graph, 50, 3, threads, |sim| {
         sim.run(200_000_000);
         let edges: Vec<(usize, usize, bool)> = sim.links().collect();
         let mut plan = FaultPlan::new();
@@ -199,9 +310,9 @@ fn waxman50_churn() -> ScenarioResult {
 /// Waxman-1000 convergence plus a light flap — the ROADMAP scale
 /// target. Twenty origins keep the multi-prefix load realistic without
 /// making the full run take minutes.
-fn waxman1000() -> ScenarioResult {
+fn waxman1000(threads: usize) -> ScenarioResult {
     let graph = waxman::generate(WaxmanParams::default(), SEED);
-    measure_best_of("waxman1000", &graph, 20, 2, |sim| {
+    scenario("waxman1000", &graph, 20, 2, threads, |sim| {
         sim.run(4_000_000_000);
         let converged = sim.pending_events() == 0;
         let edges: Vec<(usize, usize, bool)> = sim.links().collect();
@@ -216,8 +327,94 @@ fn waxman1000() -> ScenarioResult {
     })
 }
 
+/// Waxman-5000 — the scale tier this PR adds. Convergence flooding at
+/// 5000 ASes plus a pair of flaps and a restart; twenty origins, one
+/// repeat (the run dominates the budget at this size).
+fn waxman5000(threads: usize) -> ScenarioResult {
+    let graph = dbgp_topology::fixtures::waxman_5000(SEED);
+    scenario("waxman5000", &graph, 20, 1, threads, |sim| {
+        sim.run(10_000_000_000);
+        let converged = sim.pending_events() == 0;
+        let edges: Vec<(usize, usize, bool)> = sim.links().collect();
+        let (a1, b1, _) = edges[edges.len() / 3];
+        let (a2, b2, _) = edges[2 * edges.len() / 3];
+        let plan = FaultPlan::new()
+            .link_flap(a1, b1, 10_100_000_000, 10_150_000_000)
+            .link_flap(a2, b2, 10_120_000_000, 10_180_000_000)
+            .node_restart(3, 10_200_000_000);
+        let report = ScenarioRunner::new(16_000_000_000).run(sim, &plan);
+        converged && report.quiesced
+    })
+}
+
+/// Tier A timing: a multi-seed convergence sweep over waxman-50
+/// topologies, fanned out on the scenario-level worker pool. Serial and
+/// parallel sweeps must agree event-for-event (in seed order).
+fn tier_a_sweep(threads: usize) -> Value {
+    let seeds: Vec<u64> = (0..8).collect();
+    let converge = |seed: u64| {
+        let graph = dbgp_topology::fixtures::waxman_50(seed);
+        let mut sim = sim_from_graph(&graph, 10);
+        sim.set_seed(seed);
+        for node in 0..10 {
+            sim.originate(node, origin_prefix(node));
+        }
+        sim.run(200_000_000);
+        sim.events_processed()
+    };
+    // Parallel sweep first, serial second — same warm-up bias as
+    // [`scenario`]: the recorded speedup is a floor, not an artifact.
+    let pooled = (threads > 1).then(|| {
+        let start = Instant::now();
+        let swept = sweep_seeds(&seeds, threads, converge);
+        (swept, start.elapsed().as_secs_f64())
+    });
+    let start = Instant::now();
+    let serial = sweep_seeds(&seeds, 1, converge);
+    let wall_serial = start.elapsed().as_secs_f64();
+    let (swept, wall_parallel) = pooled.unwrap_or_else(|| (serial.clone(), wall_serial));
+    assert_eq!(serial, swept, "tier A sweep diverged between 1 and {threads} threads");
+    let total_events: u64 = serial.iter().sum();
+    json!({
+        "seeds": seeds.len() as u64,
+        "threads": threads as u64,
+        "total_events": total_events,
+        "wall_seconds_serial": round6(wall_serial),
+        "wall_seconds_parallel": round6(wall_parallel),
+        "parallel_speedup": round2(if wall_parallel > 0.0 { wall_serial / wall_parallel } else { 0.0 }),
+    })
+}
+
 fn scenarios_json(results: &[ScenarioResult]) -> Value {
     Value::Object(results.iter().map(|r| (r.name.to_string(), r.to_json())).collect())
+}
+
+/// Upgrade a `dbgp-sim-bench/v1` scenario record (single `wall_seconds`
+/// / `events_per_sec`, no thread fields — always measured serially) to
+/// the v2 shape, so a baseline recorded before the parallel engine
+/// stays comparable.
+fn upgrade_v1_record(record: &Value) -> Value {
+    let mut out: Vec<(String, Value)> = Vec::new();
+    if let Some(fields) = record.as_object() {
+        for (k, v) in fields {
+            match k.as_str() {
+                "wall_seconds" => {
+                    out.push(("wall_seconds_serial".into(), v.clone()));
+                    out.push(("wall_seconds_parallel".into(), v.clone()));
+                }
+                "events_per_sec" => {
+                    out.push(("events_per_sec_serial".into(), v.clone()));
+                    out.push(("events_per_sec_parallel".into(), v.clone()));
+                }
+                _ => out.push((k.clone(), v.clone())),
+            }
+        }
+    }
+    if record.get("threads").is_none() {
+        out.push(("threads".into(), Value::UInt(1)));
+        out.push(("parallel_speedup".into(), Value::Float(1.0)));
+    }
+    Value::Object(out)
 }
 
 /// Validate the baseline document at `path`; exits the process with a
@@ -243,33 +440,53 @@ fn enforce_schema(path: &str) {
 
 fn print_table(results: &[ScenarioResult]) {
     println!(
-        "{:<18} {:>6} {:>6} {:>10} {:>12} {:>9} {:>10} {:>10} {:>12} {:>8}",
+        "{:<16} {:>6} {:>6} {:>9} {:>12} {:>12} {:>8} {:>9} {:>10} {:>12} {:>8}",
         "scenario",
         "nodes",
         "edges",
         "events",
-        "events/s",
+        "ev/s serial",
+        "ev/s par",
+        "speedup",
         "messages",
-        "encoded",
         "cachehit",
         "alloc MiB",
         "wall s"
     );
-    println!("{:-<110}", "");
+    println!("{:-<120}", "");
     for r in results {
+        let s = &r.serial;
         println!(
-            "{:<18} {:>6} {:>6} {:>10} {:>12.0} {:>9} {:>10} {:>10} {:>12.1} {:>8.3}",
+            "{:<16} {:>6} {:>6} {:>9} {:>12.0} {:>12.0} {:>8.2} {:>9} {:>10} {:>12.1} {:>8.3}",
             r.name,
-            r.nodes,
-            r.edges,
-            r.events,
-            r.events_per_sec(),
-            r.stats.messages,
-            r.stats.updates_encoded,
-            r.stats.encode_cache_hits,
-            r.bytes_allocated as f64 / (1024.0 * 1024.0),
-            r.wall_seconds,
+            s.nodes,
+            s.edges,
+            s.events,
+            s.events_per_sec(),
+            r.parallel.events_per_sec(),
+            r.parallel_speedup(),
+            s.stats.messages,
+            s.stats.encode_cache_hits,
+            s.bytes_allocated as f64 / (1024.0 * 1024.0),
+            s.wall_seconds,
         );
+    }
+}
+
+/// The PR 2 allocation regression gate (serial waxman-1000 run).
+fn enforce_alloc_budget(results: &[ScenarioResult]) {
+    let Some(r) = results.iter().find(|r| r.name == "waxman1000") else {
+        return;
+    };
+    let budget = WAXMAN1000_ALLOC_BASELINE + WAXMAN1000_ALLOC_BASELINE * ALLOC_SLACK_PERCENT / 100;
+    if r.serial.bytes_allocated > budget {
+        eprintln!(
+            "error: waxman1000 serial run allocated {} bytes, past the tracked \
+             budget of {WAXMAN1000_ALLOC_BASELINE} (+{ALLOC_SLACK_PERCENT}% slack); \
+             the windowed engine must not regress the allocation profile",
+            r.serial.bytes_allocated
+        );
+        std::process::exit(1);
     }
 }
 
@@ -287,20 +504,36 @@ fn main() {
             })
         })
         .unwrap_or_else(|| BENCH_PATH.to_string());
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            args.get(i + 1).and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(|| {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(dbgp_par::configured_threads);
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     if validate_only {
         enforce_schema(&bench_path);
         return;
     }
 
-    let mut results = vec![waxman50_churn()];
+    println!("threads {threads}, host cpus {host_cpus}\n");
+    let mut results = vec![waxman50_churn(threads)];
     if !quick {
-        results.push(waxman1000());
+        results.push(waxman1000(threads));
+        results.push(waxman5000(threads));
     }
     print_table(&results);
-    if results.iter().any(|r| !r.quiesced) {
+    if results.iter().any(|r| !r.serial.quiesced) {
         eprintln!("error: a scenario failed to quiesce; refusing to record metrics");
         std::process::exit(1);
+    }
+    if !quick {
+        enforce_alloc_budget(&results);
     }
 
     let existing =
@@ -312,6 +545,8 @@ fn main() {
             "schema": SCHEMA,
             "mode": "quick",
             "seed": SEED,
+            "threads": threads as u64,
+            "host_cpus": host_cpus as u64,
             "current": current,
         });
         std::fs::create_dir_all("results").ok();
@@ -321,20 +556,30 @@ fn main() {
         return;
     }
 
+    let tier_a = tier_a_sweep(threads);
+
     // Full mode: keep the recorded baseline (the pre-optimization
     // numbers this PR is measured against); seed it from this run only
-    // when no baseline exists yet.
+    // when no baseline exists yet. A v1-era baseline is upgraded to the
+    // v2 record shape in place.
     let current = scenarios_json(&results);
     let baseline = existing
         .as_ref()
-        .and_then(|doc| doc.get("baseline").cloned())
+        .and_then(|doc: &Value| doc.get("baseline").and_then(Value::as_object))
+        .map(|scenarios| {
+            Value::Object(
+                scenarios.iter().map(|(k, v)| (k.clone(), upgrade_v1_record(v))).collect(),
+            )
+        })
         .unwrap_or_else(|| current.clone());
     let mut speedup: Vec<(String, Value)> = Vec::new();
     if let Some(fields) = baseline.as_object() {
         for (name, base_record) in fields {
-            let base = base_record.get("events_per_sec").and_then(Value::as_f64);
-            let now =
-                current.get(name).and_then(|r| r.get("events_per_sec")).and_then(Value::as_f64);
+            let base = base_record.get("events_per_sec_serial").and_then(Value::as_f64);
+            let now = current
+                .get(name)
+                .and_then(|r| r.get("events_per_sec_serial"))
+                .and_then(Value::as_f64);
             if let (Some(base), Some(now)) = (base, now) {
                 if base > 0.0 {
                     speedup
@@ -346,9 +591,12 @@ fn main() {
     let doc = json!({
         "schema": SCHEMA,
         "seed": SEED,
+        "threads": threads as u64,
+        "host_cpus": host_cpus as u64,
         "baseline": baseline,
         "current": current,
         "speedup": Value::Object(speedup),
+        "tier_a": tier_a,
     });
     std::fs::write(BENCH_PATH, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
     println!("\n(wrote {BENCH_PATH})");

@@ -7,7 +7,8 @@
 //! a [`ConvergenceTracker`] measuring per-prefix churn and convergence
 //! times, and an [`invariants`] checker that walks forwarding state at
 //! quiescence looking for loops, black holes, path-vector violations
-//! and pass-through damage.
+//! and pass-through damage. Multi-seed sweeps fan out across the
+//! [`sweep`] worker pool with seed-ordered results.
 
 #![warn(missing_docs)]
 
@@ -15,9 +16,11 @@ pub mod invariants;
 pub mod plan;
 pub mod runner;
 pub mod scenario;
+pub mod sweep;
 pub mod tracker;
 
 pub use invariants::{InvariantReport, Invariants};
 pub use plan::{Fault, FaultPlan, TimedFault};
 pub use runner::{FaultRecord, ScenarioReport, ScenarioRunner};
+pub use sweep::sweep_seeds;
 pub use tracker::{ConvergenceTracker, ConvergenceWindow};

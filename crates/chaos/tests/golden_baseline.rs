@@ -13,6 +13,28 @@ use serde_json::Value;
 
 const BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/chaos.json");
 
+/// SHA-256 of the committed `results/chaos.json`, pinned when the
+/// lookahead-windowed parallel engine landed. `chaos_table` must
+/// reproduce this artifact byte-for-byte at *any* `--threads` count —
+/// scenario rows fan out on the worker pool (Tier A) and each row's
+/// simulation replays deterministically — so a changed hash means a
+/// nondeterminism bug (or an intentional scenario change, in which
+/// case regenerate and re-pin alongside the diff that explains it).
+const BASELINE_SHA256: &str = "43f13a19aaa90aa577c40dff166de9fbdcd46b6078de27b8d335405fb667d08e";
+
+#[test]
+fn committed_chaos_artifact_hash_is_pinned() {
+    let raw = std::fs::read(BASELINE).expect("committed results/chaos.json");
+    let digest = dbgp_crypto::Sha256::digest(&raw);
+    let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(
+        hex, BASELINE_SHA256,
+        "results/chaos.json drifted from the pinned artifact; \
+         rerun `chaos_table` at --threads 1 and 2 — if both agree on the \
+         new bytes the change is intentional and the pin moves with it"
+    );
+}
+
 fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
     v.as_object()
         .unwrap_or_else(|| panic!("not an object while looking for {key:?}"))

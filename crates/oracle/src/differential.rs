@@ -399,23 +399,54 @@ pub fn dump_fixture(test_name: &str, case: u64, scenario: &Scenario) -> String {
 /// Run `cases` generated scenarios; on divergence, shrink to a minimal
 /// failing scenario, dump it as a fixture, and panic with the replay
 /// path. `test_name` seeds the deterministic RNG.
+///
+/// Thread count comes from `DBGP_THREADS` (default: available
+/// parallelism) — see [`check_scenarios_threaded`].
 pub fn check_scenarios(test_name: &str, cases: u64) {
-    for case in 0..cases {
-        let mut rng = TestRng::for_case(test_name, case);
-        let scenario = generate_scenario(&mut rng);
-        if let Err(divergence) = run_differential(&scenario) {
-            let minimal = shrink(scenario, |s| run_differential(s).is_err());
-            let error = run_differential(&minimal)
-                .err()
-                .map(|d| d.detail)
-                .unwrap_or_else(|| divergence.detail.clone());
-            let path = dump_fixture(test_name, case, &minimal);
-            panic!(
-                "differential divergence (case {case}, phase {}):\n{error}\n\
-                 minimal scenario dumped to {path} — replay with \
-                 `scenario_from_json` + `run_differential`",
-                divergence.phase
-            );
-        }
+    check_scenarios_threaded(test_name, cases, dbgp_par::configured_threads());
+}
+
+/// [`check_scenarios`] with an explicit thread count (`1` = the classic
+/// serial sweep).
+///
+/// Each case is a sealed deterministic unit: its RNG is derived from
+/// `(test_name, case)` alone, and each differential run builds its own
+/// production simulator and reference network. Cases therefore fan out
+/// across the pool freely; results come back in case order, and on
+/// failure the *lowest-index* diverging case is shrunk and reported —
+/// exactly the case a serial sweep would have stopped at, so failure
+/// output is thread-count-independent.
+pub fn check_scenarios_threaded(test_name: &str, cases: u64, threads: usize) {
+    let scenarios: Vec<(u64, Scenario)> = (0..cases)
+        .map(|case| {
+            let mut rng = TestRng::for_case(test_name, case);
+            (case, generate_scenario(&mut rng))
+        })
+        .collect();
+    let pool = dbgp_par::Pool::new(threads);
+    let failures = dbgp_par::par_map(&pool, &scenarios, |_, (case, scenario)| {
+        run_differential(scenario).err().map(|d| (*case, d))
+    });
+    // Shrinking re-runs the scenario dozens of times under a mutating
+    // closure; it stays serial (only the first divergence is reported,
+    // and shrink order affects which minimum is found).
+    if let Some((case, divergence)) = failures.into_iter().flatten().next() {
+        let scenario = scenarios
+            .into_iter()
+            .find(|&(c, _)| c == case)
+            .map(|(_, s)| s)
+            .expect("failing case came from this scenario list");
+        let minimal = shrink(scenario, |s| run_differential(s).is_err());
+        let error = run_differential(&minimal)
+            .err()
+            .map(|d| d.detail)
+            .unwrap_or_else(|| divergence.detail.clone());
+        let path = dump_fixture(test_name, case, &minimal);
+        panic!(
+            "differential divergence (case {case}, phase {}):\n{error}\n\
+             minimal scenario dumped to {path} — replay with \
+             `scenario_from_json` + `run_differential`",
+            divergence.phase
+        );
     }
 }

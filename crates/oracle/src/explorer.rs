@@ -48,44 +48,67 @@ pub struct ExplorerReport {
 /// Explore delivery schedules of `base` and run `check` at every
 /// quiescent end state. Returns the coverage report, or the first
 /// invariant violation (with the delivery schedule that produced it).
+///
+/// The exhaustive DFS prefix shares state down the tree and stays
+/// serial; the seeded-random batch is embarrassingly parallel (each
+/// schedule clones `base` and derives its own RNG from its seed) and
+/// fans out across `DBGP_THREADS` workers. Results fold in seed order,
+/// so the report — and on violation, *which* schedule is reported — is
+/// identical to the serial sweep.
 pub fn explore(
     base: &RefNet,
     cfg: &ExplorerConfig,
-    check: &dyn Fn(&RefNet) -> Result<(), String>,
+    check: &(dyn Fn(&RefNet) -> Result<(), String> + Sync),
 ) -> Result<ExplorerReport, String> {
     let mut report = ExplorerReport::default();
     let mut trail = Vec::new();
     dfs(base, cfg, check, 0, &mut trail, &mut report)?;
-    for seed in 0..cfg.random_schedules {
-        let mut net = base.clone();
-        let mut rng = TestRng::for_case("oracle-explorer-random", seed);
-        let mut delivered = 0u64;
-        let mut trail = Vec::new();
-        while net.pending() > 0 {
-            if delivered >= cfg.max_deliveries {
-                return Err(format!(
-                    "stability violation: random schedule {seed} did not quiesce \
-                     within {} deliveries (schedule prefix {trail:?})",
-                    cfg.max_deliveries
-                ));
-            }
-            let links = net.deliverable();
-            let (from, to) = links[rng.below(links.len() as u64) as usize];
-            net.deliver_from(from, to);
-            trail.push((from, to));
-            delivered += 1;
-        }
-        check(&net).map_err(|e| format!("random schedule {seed} ({trail:?}): {e}"))?;
+    let seeds: Vec<u64> = (0..cfg.random_schedules).collect();
+    let pool = dbgp_par::Pool::new(dbgp_par::configured_threads());
+    let outcomes =
+        dbgp_par::par_map(&pool, &seeds, |_, &seed| random_schedule(base, cfg, check, seed));
+    for outcome in outcomes {
+        let delivered = outcome?;
         report.schedules += 1;
         report.longest_schedule = report.longest_schedule.max(delivered);
     }
     Ok(report)
 }
 
+/// Run one seeded-random full schedule to quiescence and check it.
+/// Returns the delivery count, or the invariant/stability violation.
+fn random_schedule(
+    base: &RefNet,
+    cfg: &ExplorerConfig,
+    check: &(dyn Fn(&RefNet) -> Result<(), String> + Sync),
+    seed: u64,
+) -> Result<u64, String> {
+    let mut net = base.clone();
+    let mut rng = TestRng::for_case("oracle-explorer-random", seed);
+    let mut delivered = 0u64;
+    let mut trail = Vec::new();
+    while net.pending() > 0 {
+        if delivered >= cfg.max_deliveries {
+            return Err(format!(
+                "stability violation: random schedule {seed} did not quiesce \
+                 within {} deliveries (schedule prefix {trail:?})",
+                cfg.max_deliveries
+            ));
+        }
+        let links = net.deliverable();
+        let (from, to) = links[rng.below(links.len() as u64) as usize];
+        net.deliver_from(from, to);
+        trail.push((from, to));
+        delivered += 1;
+    }
+    check(&net).map_err(|e| format!("random schedule {seed} ({trail:?}): {e}"))?;
+    Ok(delivered)
+}
+
 fn dfs(
     net: &RefNet,
     cfg: &ExplorerConfig,
-    check: &dyn Fn(&RefNet) -> Result<(), String>,
+    check: &(dyn Fn(&RefNet) -> Result<(), String> + Sync),
     depth: usize,
     trail: &mut Vec<(usize, usize)>,
     report: &mut ExplorerReport,

@@ -102,6 +102,38 @@ impl<E: Eq> EventQueue<E> {
         self.heap.peek().map(|Reverse(scheduled)| scheduled.at)
     }
 
+    /// Drain every event with `at <= horizon` into `out` (in pop order),
+    /// advancing the clock exactly as repeated [`EventQueue::pop`] calls
+    /// would. The windowed parallel engine uses this to pull one safe
+    /// lookahead window at a time while reusing the caller's buffer —
+    /// neither the heap's backing storage nor `out`'s capacity is
+    /// released, so the drain/refill cycle does not churn the allocator.
+    pub fn drain_upto(&mut self, horizon: SimTime, out: &mut Vec<(SimTime, E)>) {
+        while let Some(at) = self.peek_time() {
+            if at > horizon {
+                break;
+            }
+            out.push(self.pop().expect("peek_time saw an event"));
+        }
+    }
+
+    /// Rewind (or advance) the clock to `at`. Only the windowed engine
+    /// uses this: after draining a whole window it replays commit effects
+    /// per event, and each commit must observe the clock that a serial
+    /// pop of that event would have set. The final commit restores the
+    /// clock to the drain's end time, so externally the clock never runs
+    /// backwards across windows.
+    pub(crate) fn set_now(&mut self, at: SimTime) {
+        self.now = at;
+    }
+
+    /// Heap capacity currently reserved (events the queue can hold
+    /// before reallocating). Exposed so capacity-retention across window
+    /// drains is testable.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Events waiting.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -211,6 +243,45 @@ mod tests {
         q.reserve(128);
         assert_eq!(q.pop(), Some((5, "only")));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_upto_matches_pop_loop_and_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "a");
+        q.schedule(10, "b");
+        q.schedule(20, "c");
+        q.schedule(25, "d");
+        let mut window = Vec::new();
+        q.drain_upto(20, &mut window);
+        assert_eq!(window, vec![(10, "a"), (10, "b"), (20, "c")]);
+        assert_eq!(q.now(), 20);
+        assert_eq!(q.processed(), 3);
+        assert_eq!(q.pop(), Some((25, "d")));
+    }
+
+    /// Satellite: the pre-sized heap must keep its `with_capacity`
+    /// storage across repeated drain/refill window cycles — the Tier B
+    /// loop drains every window into a reused buffer and must not pay
+    /// heap reallocation churn for it.
+    #[test]
+    fn capacity_is_retained_across_window_drain_refill_cycles() {
+        let mut q = EventQueue::with_capacity(256);
+        let cap = q.capacity();
+        assert!(cap >= 256);
+        let mut window: Vec<(SimTime, u32)> = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..100u32 {
+                q.schedule((i % 7) as SimTime, i);
+            }
+            let horizon = q.now() + 7;
+            q.drain_upto(horizon, &mut window);
+            assert!(q.capacity() >= cap, "heap shrank on round {round}");
+            window.clear();
+            assert!(window.capacity() >= 100, "window buffer shrank on round {round}");
+        }
+        while q.pop().is_some() {}
+        assert!(q.capacity() >= cap, "heap shrank after full drain");
     }
 
     #[test]

@@ -121,6 +121,62 @@ struct Node {
     counters: NodeCounters,
 }
 
+/// A raw pointer to one [`Node`], handed to exactly one pool worker per
+/// window by the Tier B engine.
+///
+/// # Safety
+///
+/// `Node` is not automatically `Send` because `DbgpSpeaker` holds a
+/// [`SinkHandle`] (an `Option<Rc<dyn TelemetrySink>>`). The parallel
+/// engine only runs when `Sim::parallel_safe` has verified that every
+/// handle is the `None` variant — a handle that *contains no `Rc` at
+/// all* — so no reference count can be touched off-thread. Everything
+/// else a `Node` owns is ordinary owned data (`DecisionModule: Send` is
+/// a trait bound), and the window protocol guarantees each pointer is
+/// dereferenced by at most one thread at a time.
+struct NodeSlot(*mut Node);
+
+// SAFETY: see the type-level comment; upheld by `Sim::process_window`.
+unsafe impl Send for NodeSlot {}
+
+/// Result of the node-local half of a `Deliver`, produced on a pool
+/// worker and committed serially in pop order.
+enum ParOutcome {
+    /// The bytes did not decode (corruption or injected garbage).
+    DecodeError,
+    /// The sender is no longer an adjacency of the receiver.
+    Orphaned,
+    /// Speaker outputs, in the exact order the serial engine's batch
+    /// path would have produced them.
+    Processed(Vec<DbgpOutput>),
+}
+
+/// Node-local half of a `Deliver`: decode the frame and run the
+/// receiving speaker. Reads and writes nothing outside `node`, which is
+/// what makes the parallel phase race-free; the counter updates and the
+/// output order are byte-for-byte those of the serial engine's untraced
+/// batch path.
+fn process_deliver(node: &mut Node, from: NodeId, bytes: &Bytes) -> ParOutcome {
+    node.counters.messages_in += 1;
+    let mut buf = bytes.clone();
+    let Ok(update) = DbgpUpdate::decode(&mut buf) else {
+        return ParOutcome::DecodeError;
+    };
+    let Some(&from_id) = node.ids_by_node.get(&from) else {
+        return ParOutcome::Orphaned;
+    };
+    node.counters.withdraws_in += update.withdrawn.len() as u64;
+    node.counters.updates_in += update.ias.len() as u64;
+    let mut outputs = Vec::new();
+    for prefix in update.withdrawn {
+        outputs.extend(node.speaker.receive_withdraw(from_id, prefix));
+    }
+    for ia in update.ias {
+        outputs.extend(node.speaker.receive_ia(from_id, ia));
+    }
+    ParOutcome::Processed(outputs)
+}
+
 /// Per-node control-plane counters with explicit restart semantics
 /// (`reset-on-restart`): a node restart zeroes them and bumps
 /// `generation`, so a reader can tell "1000 messages since boot" from
@@ -315,6 +371,21 @@ pub struct Sim {
     recorder: Option<Rc<TraceRecorder>>,
     /// Metrics registry mirrored from [`SimStats`] at snapshot time.
     metrics: SimMetrics,
+    /// Worker pool for windowed (Tier B) parallel event processing;
+    /// `None` means the classic serial engine.
+    pool: Option<std::sync::Arc<dbgp_par::Pool>>,
+    /// Minimum one-way delay across every link ever created (`u64::MAX`
+    /// until the first link). Lower-bounds the PDES lookahead: no
+    /// control-plane message can arrive sooner than this after the event
+    /// that sent it.
+    min_link_delay: SimTime,
+    /// Whether any out-of-band request was ever injected. Once true, the
+    /// lookahead must also respect `oob_delay` (requests and responses
+    /// are scheduled that far ahead).
+    oob_used: bool,
+    /// Reusable window buffer for the Tier B drain/commit loop; kept on
+    /// the struct so its capacity survives across windows.
+    window: Vec<(SimTime, Event)>,
 }
 
 impl Default for Sim {
@@ -339,7 +410,35 @@ impl Sim {
             sink: SinkHandle::none(),
             recorder: None,
             metrics: SimMetrics::new(),
+            pool: None,
+            min_link_delay: u64::MAX,
+            oob_used: false,
+            window: Vec::new(),
         }
+    }
+
+    /// Use `threads` threads of compute for event processing. `1` (the
+    /// default) keeps the classic serial engine; more builds a worker
+    /// pool and switches [`Sim::run`] to the lookahead-windowed parallel
+    /// engine, which produces bit-identical results (see DESIGN.md §10).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = if threads <= 1 {
+            None
+        } else {
+            Some(std::sync::Arc::new(dbgp_par::Pool::new(threads)))
+        };
+    }
+
+    /// Share an existing worker pool instead of building one (drivers
+    /// running many simulations reuse one pool across all of them). A
+    /// 1-thread pool selects the serial engine.
+    pub fn set_thread_pool(&mut self, pool: std::sync::Arc<dbgp_par::Pool>) {
+        self.pool = if pool.threads() <= 1 { None } else { Some(pool) };
+    }
+
+    /// Threads of compute the engine will apply (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
     }
 
     /// Attach a recording sink: every control-plane action from here on
@@ -568,6 +667,10 @@ impl Sim {
             link_key(a, b),
             LinkState { delay, same_island, speaks_dbgp, model: LinkModel::reliable(), up: true },
         );
+        // Lookahead bound: once a link this fast exists, windows may
+        // never span more than its delay. (Failing the link does not
+        // relax the bound — a conservative lookahead is always safe.)
+        self.min_link_delay = self.min_link_delay.min(delay);
         for (me, peer) in [(a, b), (b, a)] {
             self.establish(me, peer, same_island, speaks_dbgp, "link-up", None);
         }
@@ -743,6 +846,7 @@ impl Sim {
 
     /// Send an out-of-band payload from a node to a service address.
     pub fn oob_send(&mut self, from: NodeId, to_addr: Ipv4Addr, payload: Vec<u8>) {
+        self.oob_used = true;
         self.queue.schedule(self.oob_delay, Event::OobRequest { to_addr, from, payload });
     }
 
@@ -771,12 +875,41 @@ impl Sim {
     /// call picks up exactly where this one stopped. Returns the
     /// statistics snapshot.
     pub fn run(&mut self, max_time: SimTime) -> SimStats {
+        match self.pool.clone() {
+            Some(pool) if self.parallel_safe() => self.run_windowed(&pool, max_time),
+            _ => self.run_serial(max_time),
+        }
+    }
+
+    /// Whether the windowed parallel engine may run: telemetry handles
+    /// hold an `Rc` and are not thread-safe, so any attached recorder or
+    /// per-speaker sink forces the serial engine. (Telemetry also changes
+    /// the processing granularity, so the serial engine is the only one
+    /// that can honor per-element trace causality anyway.)
+    fn parallel_safe(&self) -> bool {
+        self.recorder.is_none()
+            && !self.sink.is_attached()
+            && self.nodes.iter().all(|n| !n.speaker.telemetry_attached())
+    }
+
+    /// The classic serial event loop.
+    fn run_serial(&mut self, max_time: SimTime) -> SimStats {
         while let Some(next_at) = self.queue.peek_time() {
             if next_at > max_time {
                 break;
             }
             let (at, event) = self.queue.pop().expect("peeked event must pop");
-            self.stats.last_event_at = at;
+            self.handle_event(at, event);
+        }
+        self.stats
+    }
+
+    /// Process one event exactly as the serial loop always has. The
+    /// caller has already advanced the queue clock to `at` (by popping,
+    /// or via [`EventQueue::set_now`] during a window replay).
+    fn handle_event(&mut self, at: SimTime, event: Event) {
+        self.stats.last_event_at = at;
+        {
             match event {
                 Event::Deliver { to, from, bytes, trace } => {
                     self.stats.messages += 1;
@@ -806,11 +939,11 @@ impl Sim {
                                 TraceKind::DecodeError { from: from as u32 },
                             );
                         }
-                        continue;
+                        return;
                     };
                     let Some(&from_id) = self.nodes[to].ids_by_node.get(&from) else {
                         self.stats.orphaned_deliveries += 1;
-                        continue;
+                        return;
                     };
                     self.nodes[to].counters.withdraws_in += update.withdrawn.len() as u64;
                     self.nodes[to].counters.updates_in += update.ias.len() as u64;
@@ -883,7 +1016,198 @@ impl Sim {
                 }
             }
         }
+    }
+
+    // ----- windowed parallel engine (Tier B) -----------------------------
+
+    /// The conservative PDES lookahead: the minimum delay any event
+    /// processed now can put between itself and an event it generates.
+    /// Every event in the half-open window `[t0, t0 + lookahead)` is
+    /// therefore causally independent of every *generated* event — all
+    /// generated events land at or beyond the window's end, so the whole
+    /// window can be drained up front. Three kinds of events are ever
+    /// generated during a run:
+    ///
+    /// - `Deliver`, scheduled at least `min_link_delay` ahead (jitter
+    ///   only adds delay; a duplicate is scheduled one unit later still);
+    /// - `Flush`, scheduled `mrai` ahead (never generated when `mrai` is
+    ///   0 — coalescing is off and sends go out inline);
+    /// - `OobResponse`, scheduled `oob_delay` ahead (only once an
+    ///   out-of-band request exists, tracked by `oob_used`).
+    fn lookahead(&self) -> SimTime {
+        let mut l = self.min_link_delay;
+        if self.mrai > 0 {
+            l = l.min(self.mrai);
+        }
+        if self.oob_used {
+            l = l.min(self.oob_delay);
+        }
+        l
+    }
+
+    /// The windowed engine: drain one safe lookahead window at a time,
+    /// run the node-local half of every `Deliver` on the pool (sharded
+    /// by destination node), then commit all global effects serially in
+    /// the original pop order. Produces bit-identical stats, metrics,
+    /// RIBs, churn records and event streams to [`Sim::run_serial`] —
+    /// the safety argument is spelled out in DESIGN.md §10.
+    fn run_windowed(&mut self, pool: &dbgp_par::Pool, max_time: SimTime) -> SimStats {
+        while let Some(t0) = self.queue.peek_time() {
+            if t0 > max_time {
+                break;
+            }
+            // Events at exactly `t0 + lookahead - 1` still precede every
+            // event generated inside the window, hence the inclusive
+            // horizon at lookahead - 1. A zero lookahead (a delay-0 link
+            // exists) degrades to single-timestamp windows, which are
+            // still safe: generated events carry later sequence numbers
+            // than everything drained before they existed.
+            let horizon = t0.saturating_add(self.lookahead().saturating_sub(1)).min(max_time);
+            let mut window = std::mem::take(&mut self.window);
+            self.queue.drain_upto(horizon, &mut window);
+            self.process_window(pool, &mut window);
+            window.clear();
+            self.window = window;
+        }
         self.stats
+    }
+
+    /// Process one drained window. Windows that cannot profit from (or
+    /// are not eligible for) the parallel phase replay serially through
+    /// [`Sim::handle_event`], which is trivially identical to the serial
+    /// engine.
+    fn process_window(&mut self, pool: &dbgp_par::Pool, window: &mut Vec<(SimTime, Event)>) {
+        /// Below this many deliveries the pool's wakeup cost dwarfs the
+        /// speaker work; replay serially. Purely a performance knob —
+        /// both paths produce identical results.
+        const MIN_PARALLEL_DELIVERS: usize = 8;
+
+        let mut by_node: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        let mut delivers = 0usize;
+        let mut plain = true;
+        for (i, (_, event)) in window.iter().enumerate() {
+            match event {
+                Event::Deliver { to, .. } => {
+                    delivers += 1;
+                    by_node.entry(*to).or_default().push(i);
+                }
+                Event::Flush { .. } => {}
+                // Out-of-band service handlers mutate speaker modules
+                // that same-window deliveries may read (e.g. Wiser
+                // costs), so such windows keep strict serial order.
+                Event::OobRequest { .. } | Event::OobResponse { .. } => plain = false,
+            }
+        }
+        if !plain || delivers < MIN_PARALLEL_DELIVERS || by_node.len() < 2 {
+            for (at, event) in window.drain(..) {
+                self.queue.set_now(at);
+                self.handle_event(at, event);
+            }
+            return;
+        }
+
+        // --- parallel phase: node-local speaker work, sharded by node.
+        //
+        // Shards are balanced greedily by delivery count; the assignment
+        // cannot affect results because every outcome is scattered back
+        // by event index before the serial commit below.
+        let threads = pool.threads();
+        let node_list: Vec<(NodeId, Vec<usize>)> =
+            std::mem::take(&mut by_node).into_iter().collect();
+        let mut order: Vec<usize> = (0..node_list.len()).collect();
+        order.sort_by_key(|&k| std::cmp::Reverse(node_list[k].1.len()));
+        let base = self.nodes.as_mut_ptr();
+        let mut shard_jobs: Vec<Vec<(NodeSlot, &[usize])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        let mut shard_load = vec![0usize; threads];
+        for k in order {
+            let (nid, idxs) = &node_list[k];
+            let s = shard_load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, load)| *load)
+                .map(|(s, _)| s)
+                .expect("threads >= 1");
+            shard_load[s] += idxs.len();
+            // SAFETY (pointer creation): `nid` indexes into `self.nodes`
+            // (it came from a Deliver event's destination, validated at
+            // link setup); each node id appears in exactly one shard.
+            shard_jobs[s].push((NodeSlot(unsafe { base.add(*nid) }), idxs.as_slice()));
+        }
+        let mut shard_out: Vec<Vec<(usize, ParOutcome)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        {
+            let window_ref: &[(SimTime, Event)] = window;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = shard_jobs
+                .into_iter()
+                .zip(shard_out.iter_mut())
+                .filter(|(shard, _)| !shard.is_empty())
+                .map(|(shard, out)| {
+                    Box::new(move || {
+                        for (slot, idxs) in shard {
+                            // SAFETY (dereference): the shards partition
+                            // node ids, so this `&mut Node` aliases no
+                            // other thread's; `&mut self` keeps the rest
+                            // of the program out of `self.nodes` until
+                            // the batch barrier in `run_batch` returns.
+                            // `Node` contains no thread-unsafe state
+                            // here: `parallel_safe` proved every
+                            // `SinkHandle` is the Rc-free `none()`
+                            // variant, and `DecisionModule: Send` bounds
+                            // the boxed modules.
+                            let node = unsafe { &mut *slot.0 };
+                            for &i in idxs {
+                                let (_, event) = &window_ref[i];
+                                let Event::Deliver { from, bytes, .. } = event else {
+                                    unreachable!("by_node only indexes Deliver events")
+                                };
+                                out.push((i, process_deliver(node, *from, bytes)));
+                            }
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }
+        let mut outcomes: Vec<Option<ParOutcome>> = Vec::with_capacity(window.len());
+        outcomes.resize_with(window.len(), || None);
+        for out in shard_out {
+            for (i, outcome) in out {
+                outcomes[i] = Some(outcome);
+            }
+        }
+
+        // --- commit phase: all global effects, serially, in pop order.
+        //
+        // Every mutation of shared state — engine stats, metrics, FIBs,
+        // churn records, outbound coalescing, encodes, RNG draws in
+        // `deliver_on_link`, and event scheduling (hence sequence-number
+        // assignment) — happens here, in exactly the order the serial
+        // engine would have performed it, under the clock value the
+        // serial engine would have observed.
+        for (i, (at, event)) in window.iter().enumerate() {
+            self.queue.set_now(*at);
+            self.stats.last_event_at = *at;
+            match event {
+                Event::Deliver { to, bytes, .. } => {
+                    self.stats.messages += 1;
+                    self.stats.bytes += bytes.len() as u64;
+                    self.metrics.registry.observe(self.metrics.message_bytes, bytes.len() as u64);
+                    match outcomes[i].take().expect("every Deliver got an outcome") {
+                        ParOutcome::DecodeError => self.stats.decode_errors += 1,
+                        ParOutcome::Orphaned => self.stats.orphaned_deliveries += 1,
+                        ParOutcome::Processed(outputs) => {
+                            self.apply_local(*to, &outputs);
+                            self.dispatch(*to, outputs, None);
+                        }
+                    }
+                }
+                Event::Flush { node, neighbor } => self.flush(*node, *neighbor),
+                Event::OobRequest { .. } | Event::OobResponse { .. } => {
+                    unreachable!("windows containing out-of-band events replay serially")
+                }
+            }
+        }
     }
 
     // ----- internals ----------------------------------------------------

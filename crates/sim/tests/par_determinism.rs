@@ -1,0 +1,154 @@
+//! The Tier B contract: the lookahead-windowed parallel engine is
+//! observationally identical to the serial engine — bit-identical
+//! statistics, metrics snapshots, per-node counters, Loc-RIBs, FIBs and
+//! churn records, at every intermediate checkpoint of a churning run.
+//!
+//! The scenario mirrors the `waxman50_churn` benchmark: gulf speakers
+//! on a 50-AS Waxman graph with heterogeneous link delays and seeded
+//! link perturbation models, driven through a flap storm and node
+//! restarts. Checkpointing after every driver step pins the entire
+//! event stream, not just the final state: any divergence in event
+//! ordering shows up as a diverging stat or RIB at the next checkpoint.
+
+use dbgp_core::{render_path, DbgpConfig};
+use dbgp_sim::{LinkModel, Sim};
+use dbgp_topology::fixtures::waxman_50;
+use dbgp_wire::Ipv4Prefix;
+use proptest::proptest;
+use proptest::test_runner::ProptestConfig;
+
+fn origin_prefix(node: usize) -> Ipv4Prefix {
+    format!("10.{}.{}.0/24", (node >> 8) & 0xff, node & 0xff).parse().unwrap()
+}
+
+/// Build the churn scenario simulation (not yet converged).
+fn build(seed: u64, threads: usize) -> (Sim, Vec<(usize, usize)>) {
+    let graph = waxman_50(seed);
+    let mut sim = Sim::new();
+    sim.set_threads(threads);
+    sim.set_seed(seed ^ 0xD1CE);
+    sim.reserve_events(2 * graph.edge_count());
+    for node in 0..graph.len() {
+        sim.add_node(DbgpConfig::gulf(node as u32 + 1));
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for a in 0..graph.len() {
+        for adj in graph.neighbors(a) {
+            if a < adj.neighbor {
+                edges.push((a, adj.neighbor));
+            }
+        }
+    }
+    edges.sort_unstable();
+    for &(a, b) in &edges {
+        // Heterogeneous delays exercise non-trivial lookahead windows.
+        sim.link(a, b, 5 + ((a + b) % 7) as u64, false);
+        // Every third link gets a perturbation model so the RNG draw
+        // order in the commit phase is load-bearing.
+        match (a + b) % 3 {
+            0 => sim.set_link_model(a, b, LinkModel::reliable().jitter(((a + b) % 5) as u64)),
+            1 => sim.set_link_model(a, b, LinkModel::reliable().duplicate_ppm(90_000)),
+            _ => {}
+        }
+    }
+    for node in 0..graph.len() {
+        sim.originate(node, origin_prefix(node));
+    }
+    (sim, edges)
+}
+
+/// Everything observable about a simulation, rendered to one comparable
+/// string.
+fn fingerprint(sim: &mut Sim) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("stats={:?}\n", sim.stats()));
+    out.push_str(&format!(
+        "now={} processed={} pending={}\n",
+        sim.now(),
+        sim.events_processed(),
+        sim.pending_events()
+    ));
+    out.push_str(&format!("metrics={}\n", serde_json::to_string(&sim.metrics_snapshot()).unwrap()));
+    for node in 0..sim.node_count() {
+        out.push_str(&format!("counters[{node}]={:?}\n", sim.node_counters(node)));
+        out.push_str(&format!("fib[{node}]={:?}\n", sim.fib(node)));
+        for (prefix, chosen) in sim.speaker(node).routes() {
+            out.push_str(&format!(
+                "rib[{node}][{prefix}]: via={:?} path={}\n",
+                chosen.neighbor,
+                render_path(&chosen.ia)
+            ));
+        }
+    }
+    out.push_str(&format!("churn={:?}\n", sim.churn()));
+    out
+}
+
+/// Drive the churn scenario, collecting a fingerprint after every run
+/// segment. The driver sequence (originate, flaps, restarts) is a pure
+/// function of the seed, so two instances at different thread counts
+/// see identical inputs.
+fn drive(seed: u64, threads: usize) -> Vec<String> {
+    let (mut sim, edges) = build(seed, threads);
+    assert_eq!(sim.threads(), threads);
+    let mut checkpoints = Vec::new();
+    sim.run(20_000);
+    checkpoints.push(fingerprint(&mut sim));
+    for round in 0..6u64 {
+        let (a, b) = edges[(seed as usize + round as usize * 11) % edges.len()];
+        sim.fail_link(a, b);
+        sim.run(sim.now() + 400);
+        sim.restore_link(a, b);
+        sim.run(sim.now() + 1200);
+        checkpoints.push(fingerprint(&mut sim));
+    }
+    for &node in &[3usize, 17, 41] {
+        sim.restart_node(node % sim.node_count());
+        sim.run(sim.now() + 3000);
+        checkpoints.push(fingerprint(&mut sim));
+    }
+    sim.run(60_000);
+    checkpoints.push(fingerprint(&mut sim));
+    checkpoints
+}
+
+fn assert_identical(seed: u64, threads: usize) {
+    let serial = drive(seed, 1);
+    let parallel = drive(seed, threads);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        assert_eq!(s, p, "seed {seed}: serial vs {threads}-thread runs diverged at checkpoint {i}");
+    }
+}
+
+#[test]
+fn two_threads_bit_identical_on_waxman_50_churn() {
+    assert_identical(42, 2);
+}
+
+#[test]
+fn four_threads_bit_identical_on_waxman_50_churn() {
+    assert_identical(42, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Across seeds: serial vs 2- and 4-thread runs never diverge.
+    #[test]
+    fn windowed_engine_matches_serial_across_seeds(seed in 0u64..1000) {
+        assert_identical(seed, 2);
+        assert_identical(seed, 4);
+    }
+}
+
+/// Telemetry forces the serial engine (the handles are not
+/// thread-safe); `run` must fall back rather than race or panic.
+#[test]
+fn telemetry_forces_serial_fallback() {
+    use dbgp_telemetry::TraceRecorder;
+    let (mut sim, _) = build(1, 4);
+    sim.enable_telemetry(std::rc::Rc::new(TraceRecorder::unbounded()));
+    let stats = sim.run(20_000);
+    assert!(stats.messages > 0);
+}

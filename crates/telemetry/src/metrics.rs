@@ -1,7 +1,16 @@
 //! Metrics registry: counters, gauges, and log2-bucketed histograms with
 //! a stable JSON snapshot schema (`dbgp-metrics/v1`).
+//!
+//! Counters and gauges are atomics, so hot paths running on worker
+//! threads (the simulator's windowed parallel engine, benchmark
+//! harnesses) can bump them through `&self` without racing or tearing.
+//! Histograms keep plain storage and `&mut self` observation: every
+//! histogram in the workspace is observed from single-threaded commit
+//! phases, and an atomic 65-bucket update would tax the serial hot path
+//! for no consumer.
 
 use serde_json::Value;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Schema identifier written into metric snapshots.
 pub const METRICS_SCHEMA: &str = "dbgp-metrics/v1";
@@ -41,12 +50,12 @@ pub struct HistogramId(usize);
 struct Counter {
     name: &'static str,
     semantics: Semantics,
-    value: u64,
+    value: AtomicU64,
 }
 
 struct Gauge {
     name: &'static str,
-    value: i64,
+    value: AtomicI64,
 }
 
 /// Power-of-two bucketed histogram: bucket 0 holds zeros, bucket `k`
@@ -100,14 +109,14 @@ impl MetricsRegistry {
     /// registration order.
     pub fn counter(&mut self, name: &'static str, semantics: Semantics) -> CounterId {
         assert!(self.counters.iter().all(|c| c.name != name), "duplicate counter `{name}`");
-        self.counters.push(Counter { name, semantics, value: 0 });
+        self.counters.push(Counter { name, semantics, value: AtomicU64::new(0) });
         CounterId(self.counters.len() - 1)
     }
 
     /// Register a gauge.
     pub fn gauge(&mut self, name: &'static str) -> GaugeId {
         assert!(self.gauges.iter().all(|g| g.name != name), "duplicate gauge `{name}`");
-        self.gauges.push(Gauge { name, value: 0 });
+        self.gauges.push(Gauge { name, value: AtomicI64::new(0) });
         GaugeId(self.gauges.len() - 1)
     }
 
@@ -126,28 +135,36 @@ impl MetricsRegistry {
         HistogramId(self.histograms.len() - 1)
     }
 
-    /// Add `delta` to a counter.
+    /// Add `delta` to a counter. `&self`: counters are atomic, so
+    /// concurrent workers may bump them without exclusive access.
+    /// `Relaxed` suffices — counters carry no cross-thread ordering
+    /// obligations, and readers observe them after a join barrier.
     #[inline]
-    pub fn inc(&mut self, id: CounterId, delta: u64) {
-        self.counters[id.0].value += delta;
+    pub fn inc(&self, id: CounterId, delta: u64) {
+        self.counters[id.0].value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Overwrite a counter (used to mirror externally maintained totals
     /// into the registry at snapshot time).
     #[inline]
-    pub fn set_counter(&mut self, id: CounterId, value: u64) {
-        self.counters[id.0].value = value;
+    pub fn set_counter(&self, id: CounterId, value: u64) {
+        self.counters[id.0].value.store(value, Ordering::Relaxed);
     }
 
     /// Read a counter.
     pub fn counter_value(&self, id: CounterId) -> u64 {
-        self.counters[id.0].value
+        self.counters[id.0].value.load(Ordering::Relaxed)
     }
 
     /// Set a gauge.
     #[inline]
-    pub fn set_gauge(&mut self, id: GaugeId, value: i64) {
-        self.gauges[id.0].value = value;
+    pub fn set_gauge(&self, id: GaugeId, value: i64) {
+        self.gauges[id.0].value.store(value, Ordering::Relaxed);
+    }
+
+    /// Read a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0].value.load(Ordering::Relaxed)
     }
 
     /// Record an observation into a histogram.
@@ -172,7 +189,7 @@ impl MetricsRegistry {
         self.generation += 1;
         for c in &mut self.counters {
             if c.semantics == Semantics::ResetOnRestart {
-                c.value = 0;
+                c.value.store(0, Ordering::Relaxed);
             }
         }
         for h in &mut self.histograms {
@@ -196,7 +213,7 @@ impl MetricsRegistry {
                 Value::Object(vec![
                     ("name".into(), Value::String(c.name.into())),
                     ("semantics".into(), Value::String(c.semantics.as_str().into())),
-                    ("value".into(), Value::UInt(c.value)),
+                    ("value".into(), Value::UInt(c.value.load(Ordering::Relaxed))),
                 ])
             })
             .collect();
@@ -206,7 +223,7 @@ impl MetricsRegistry {
             .map(|g| {
                 Value::Object(vec![
                     ("name".into(), Value::String(g.name.into())),
-                    ("value".into(), Value::Int(g.value)),
+                    ("value".into(), Value::Int(g.value.load(Ordering::Relaxed))),
                 ])
             })
             .collect();
@@ -264,6 +281,29 @@ mod tests {
         assert_eq!(log2_bucket(1023), 10);
         assert_eq!(log2_bucket(1024), 11);
         assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    /// Counters and gauges are updated through `&self` atomics, so
+    /// concurrent workers (the simulator's parallel engine, benchmark
+    /// harnesses) can share a registry without losing increments.
+    #[test]
+    fn counters_and_gauges_are_thread_safe() {
+        let mut reg = MetricsRegistry::new();
+        let hits = reg.counter("hits", Semantics::Accumulate);
+        let level = reg.gauge("level");
+        std::thread::scope(|s| {
+            let reg = &reg;
+            for t in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        reg.inc(hits, 1);
+                    }
+                    reg.set_gauge(level, t);
+                });
+            }
+        });
+        assert_eq!(reg.counter_value(hits), 40_000);
+        assert!((0..4).contains(&reg.gauge_value(level)));
     }
 
     #[test]

@@ -10,6 +10,14 @@ pub fn waxman_50(seed: u64) -> AsGraph {
     generate(WaxmanParams { n: 50, ..WaxmanParams::default() }, seed)
 }
 
+/// A 5000-AS Waxman topology with the same §6.3 parameters — the
+/// benchmark tier for the parallel engine, five times the paper's
+/// evaluation scale. Generation takes a moment (distance sampling is
+/// O(n·m) with rejection), so benchmarks build it once and reuse it.
+pub fn waxman_5000(seed: u64) -> AsGraph {
+    generate(WaxmanParams { n: 5000, ..WaxmanParams::default() }, seed)
+}
+
 /// The R-BGP failover diamond: destination 0, a short transit 1, a long
 /// transit chain 2-3, and source 4.
 ///
