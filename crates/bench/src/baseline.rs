@@ -9,18 +9,22 @@
 //! [`validate_sim_bench_schema`] and exits nonzero listing every
 //! problem found.
 //!
-//! Schema v2 (this revision) records both engine tiers per scenario:
-//! serial and parallel wall time / events-per-sec, the worker thread
-//! count, and the measured parallel speedup, plus the recording host's
-//! CPU count at the document level (a speedup number is meaningless
-//! without it). v1 documents — single `wall_seconds`/`events_per_sec`,
-//! no thread accounting — are rejected by tag *and* by field list, so a
-//! stale generator can't slip an old-shape document past CI.
+//! Schema v3 (this revision) adds the routing-table-scale block: a
+//! required top-level `fulltable` object whose `fulltable_100k` record
+//! carries routes/sec ingested, per-prefix amortized decode time,
+//! wire bytes/route, resident RIB bytes/route, and the update-burst
+//! replay numbers. v2 recorded both engine tiers per scenario (serial
+//! and parallel wall time / events-per-sec, worker thread count,
+//! measured speedup, recording host's CPU count); all of that is
+//! retained. Older documents — the v1 single-`wall_seconds` shape and
+//! the v2 shape without the fulltable block — are rejected by tag
+//! *and* by field list, so a stale generator can't slip an old-shape
+//! document past CI.
 
 use serde_json::Value;
 
 /// Schema identifier every `BENCH_sim.json` document must carry.
-pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v2";
+pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v3";
 
 /// Fields every per-scenario record must carry, with their types
 /// checked: `quiesced` is a bool; the wall-time, events-per-sec and
@@ -41,6 +45,23 @@ pub const REQUIRED_METRICS: [&str; 16] = [
     "encode_cache_hits",
     "bytes_allocated",
     "best_changes",
+    "quiesced",
+];
+
+/// Fields every record in the `fulltable` block must carry. The float
+/// set holds the derived rates; `quiesced` is the burst-replay
+/// convergence bit; everything else is an unsigned count.
+pub const REQUIRED_FULLTABLE: [&str; 11] = [
+    "routes",
+    "updates",
+    "wire_bytes",
+    "bytes_per_route",
+    "ingest_seconds",
+    "routes_per_sec_ingest",
+    "decode_ns_per_route",
+    "rib_bytes_per_route",
+    "burst_events",
+    "burst_events_per_sec",
     "quiesced",
 ];
 
@@ -108,6 +129,33 @@ pub fn validate_sim_bench_schema(doc: &Value) -> Vec<String> {
     if doc.get("speedup").and_then(Value::as_object).is_none() {
         problems.push("missing object block \"speedup\"".into());
     }
+    match doc.get("fulltable").and_then(Value::as_object) {
+        Some(records) => {
+            if !records.iter().any(|(name, _)| name == "fulltable_100k") {
+                problems.push("fulltable lacks the fulltable_100k scenario".into());
+            }
+            for (name, record) in records {
+                for field in REQUIRED_FULLTABLE {
+                    let ok = match field {
+                        "quiesced" => record.get(field).and_then(Value::as_bool).is_some(),
+                        "bytes_per_route"
+                        | "ingest_seconds"
+                        | "routes_per_sec_ingest"
+                        | "decode_ns_per_route"
+                        | "rib_bytes_per_route"
+                        | "burst_events_per_sec" => {
+                            record.get(field).and_then(Value::as_f64).is_some()
+                        }
+                        _ => record.get(field).and_then(Value::as_u64).is_some(),
+                    };
+                    if !ok {
+                        problems.push(format!("fulltable.{name}.{field} missing or mistyped"));
+                    }
+                }
+            }
+        }
+        None => problems.push("missing object block \"fulltable\"".into()),
+    }
     match doc.get("tier_a") {
         Some(tier_a) if tier_a.as_object().is_some() => {
             for field in REQUIRED_TIER_A {
@@ -154,6 +202,17 @@ mod tests {
         })
     }
 
+    fn fulltable_record() -> Value {
+        json!({
+            "routes": 100_000u64, "updates": 12_000u64, "wire_bytes": 1_500_000u64,
+            "bytes_per_route": 15.0f64, "ingest_seconds": 0.4f64,
+            "routes_per_sec_ingest": 250_000.0f64, "decode_ns_per_route": 120.0f64,
+            "rib_bytes_per_route": 96.0f64,
+            "burst_events": 40_000u64, "burst_events_per_sec": 90_000.0f64,
+            "quiesced": true,
+        })
+    }
+
     fn valid_doc() -> Value {
         json!({
             "schema": SIM_BENCH_SCHEMA,
@@ -163,6 +222,7 @@ mod tests {
             "baseline": { "waxman50_churn": record() },
             "current": { "waxman50_churn": record() },
             "speedup": {},
+            "fulltable": { "fulltable_100k": fulltable_record() },
             "tier_a": tier_a(),
         })
     }
@@ -276,6 +336,58 @@ mod tests {
         );
         assert!(problems.iter().any(|p| p.contains("host_cpus")));
         assert!(problems.iter().any(|p| p.contains("tier_a")));
+    }
+
+    /// The v2→v3 negative test: a document in the v2 shape — v2 tag,
+    /// full per-scenario thread accounting, but no `fulltable` block —
+    /// must be rejected both by its tag and by the missing block, so a
+    /// pre-fulltable generator can't pass the v3 validator.
+    #[test]
+    fn a_v2_document_is_rejected() {
+        let mut doc = valid_doc();
+        if let Some(o) = doc.as_object_mut() {
+            o.retain(|(k, _)| k != "fulltable");
+            for slot in o.iter_mut() {
+                if slot.0 == "schema" {
+                    slot.1 = Value::String("dbgp-sim-bench/v2".into());
+                }
+            }
+        }
+        let problems = validate_sim_bench_schema(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("outdated") && p.contains("dbgp-sim-bench/v2")),
+            "v2 tag must be called out as outdated: {problems:?}"
+        );
+        assert!(
+            problems.contains(&"missing object block \"fulltable\"".to_string()),
+            "the v2 shape lacks the fulltable block: {problems:?}"
+        );
+    }
+
+    #[test]
+    fn every_fulltable_field_is_load_bearing() {
+        for field in REQUIRED_FULLTABLE {
+            let mut doc = valid_doc();
+            let rec = doc
+                .get_mut("fulltable")
+                .and_then(|b| b.get_mut("fulltable_100k"))
+                .and_then(Value::as_object_mut)
+                .unwrap();
+            rec.retain(|(k, _)| k != field);
+            let problems = validate_sim_bench_schema(&doc);
+            assert_eq!(
+                problems,
+                vec![format!("fulltable.fulltable_100k.{field} missing or mistyped")],
+                "dropping {field} must be caught"
+            );
+        }
+        // The anchor record itself is required.
+        let mut doc = valid_doc();
+        if let Some(block) = doc.get_mut("fulltable").and_then(Value::as_object_mut) {
+            block.retain(|(k, _)| k != "fulltable_100k");
+        }
+        assert!(validate_sim_bench_schema(&doc)
+            .contains(&"fulltable lacks the fulltable_100k scenario".to_string()));
     }
 
     #[test]

@@ -88,7 +88,7 @@ fn abstraction_ablation() {
         sim.link(g2, r2, 10, false);
         sim.originate(o, p("128.6.0.0/16"));
         sim.run(10_000_000);
-        let candidates = sim.speaker(r2).iadb().candidates(&p("128.6.0.0/16"));
+        let candidates: Vec<_> = sim.speaker(r2).iadb().candidates(&p("128.6.0.0/16")).collect();
         let distinct_tails: std::collections::BTreeSet<String> = candidates
             .iter()
             .map(|(_, ia)| {

@@ -38,7 +38,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use dbgp_bench::{validate_sim_bench_schema, SIM_BENCH_SCHEMA};
+use dbgp_bench::{run_full_table, validate_sim_bench_schema, FullTableResult, SIM_BENCH_SCHEMA};
 use dbgp_chaos::scenario::sim_from_graph;
 use dbgp_chaos::{sweep_seeds, FaultPlan, ScenarioRunner};
 use dbgp_sim::Sim;
@@ -92,6 +92,22 @@ const QUICK_PATH: &str = "results/BENCH_sim.quick.json";
 /// within [`ALLOC_SLACK_PERCENT`] of this budget.
 const WAXMAN1000_ALLOC_BASELINE: u64 = 142_982_800;
 const ALLOC_SLACK_PERCENT: u64 = 2;
+
+/// Routes in the full-table scenario, and the reduced-scale slice the
+/// update-burst replay drives through the Waxman-50 topology.
+const FULLTABLE_ROUTES: usize = 100_000;
+const FULLTABLE_BURST_ROUTES: usize = 2_000;
+const FULLTABLE_BURST_EVENTS: usize = 400;
+
+/// The fulltable_100k regression gates, enforced on every run
+/// (including `--quick`, which is the CI bench-smoke entry point):
+/// per-prefix amortized decode must stay under 1µs, and ingest
+/// throughput must not collapse. The throughput floor is deliberately
+/// loose — an order of magnitude under a cold-cache debug-adjacent
+/// host still clears it; it exists to catch accidental O(n²) ingest,
+/// not to time CI machines.
+const FULLTABLE_MAX_DECODE_NS: f64 = 1_000.0;
+const FULLTABLE_MIN_ROUTES_PER_SEC: f64 = 20_000.0;
 
 /// One timed run of a scenario (one engine, one thread count).
 #[derive(Clone)]
@@ -389,6 +405,63 @@ fn scenarios_json(results: &[ScenarioResult]) -> Value {
     Value::Object(results.iter().map(|r| (r.name.to_string(), r.to_json())).collect())
 }
 
+fn fulltable_json(r: &FullTableResult) -> Value {
+    json!({
+        "routes": r.routes,
+        "updates": r.updates,
+        "wire_bytes": r.wire_bytes,
+        "bytes_per_route": round2(r.bytes_per_route),
+        "ingest_seconds": round6(r.ingest_seconds),
+        "routes_per_sec_ingest": round2(r.routes_per_sec_ingest),
+        "decode_ns_per_route": round2(r.decode_ns_per_route),
+        "rib_bytes_per_route": round2(r.rib_bytes_per_route),
+        "burst_events": r.burst_events,
+        "burst_events_per_sec": round2(r.burst_events_per_sec),
+        "quiesced": r.quiesced,
+    })
+}
+
+/// Run the full-table scenario and enforce its regression gates; exits
+/// nonzero when the decode budget or the throughput floor is blown.
+fn fulltable_100k() -> FullTableResult {
+    let result =
+        run_full_table(FULLTABLE_ROUTES, FULLTABLE_BURST_ROUTES, FULLTABLE_BURST_EVENTS, SEED);
+    println!(
+        "\nfulltable_100k: {} routes in {} UPDATEs, {:.0} routes/s ingest, \
+         {:.0} ns/route decode, {:.1} wire B/route, {:.1} RIB B/route, \
+         {} burst events at {:.0}/s",
+        result.routes,
+        result.updates,
+        result.routes_per_sec_ingest,
+        result.decode_ns_per_route,
+        result.bytes_per_route,
+        result.rib_bytes_per_route,
+        result.burst_events,
+        result.burst_events_per_sec,
+    );
+    if !result.quiesced {
+        eprintln!("error: fulltable_100k burst replay failed to quiesce");
+        std::process::exit(1);
+    }
+    if result.decode_ns_per_route >= FULLTABLE_MAX_DECODE_NS {
+        eprintln!(
+            "error: fulltable_100k amortized decode {:.0} ns/route blows the \
+             {FULLTABLE_MAX_DECODE_NS} ns budget",
+            result.decode_ns_per_route
+        );
+        std::process::exit(1);
+    }
+    if result.routes_per_sec_ingest < FULLTABLE_MIN_ROUTES_PER_SEC {
+        eprintln!(
+            "error: fulltable_100k ingested {:.0} routes/s, under the \
+             {FULLTABLE_MIN_ROUTES_PER_SEC} floor — ingest has regressed",
+            result.routes_per_sec_ingest
+        );
+        std::process::exit(1);
+    }
+    result
+}
+
 /// Upgrade a `dbgp-sim-bench/v1` scenario record (single `wall_seconds`
 /// / `events_per_sec`, no thread fields — always measured serially) to
 /// the v2 shape, so a baseline recorded before the parallel engine
@@ -540,6 +613,10 @@ fn main() {
         std::fs::read_to_string(BENCH_PATH).ok().and_then(|s| serde_json::from_str(&s).ok());
 
     if quick {
+        // --quick is the CI bench-smoke entry point; the full-table
+        // scenario runs at full scale there too so the decode budget,
+        // ingest floor, and quiesce gates are enforced on every PR.
+        let ft = fulltable_100k();
         let current = scenarios_json(&results);
         let doc = json!({
             "schema": SCHEMA,
@@ -548,6 +625,7 @@ fn main() {
             "threads": threads as u64,
             "host_cpus": host_cpus as u64,
             "current": current,
+            "fulltable": { "fulltable_100k": fulltable_json(&ft) },
         });
         std::fs::create_dir_all("results").ok();
         std::fs::write(QUICK_PATH, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
@@ -557,6 +635,7 @@ fn main() {
     }
 
     let tier_a = tier_a_sweep(threads);
+    let ft = fulltable_100k();
 
     // Full mode: keep the recorded baseline (the pre-optimization
     // numbers this PR is measured against); seed it from this run only
@@ -597,6 +676,7 @@ fn main() {
         "current": current,
         "speedup": Value::Object(speedup),
         "tier_a": tier_a,
+        "fulltable": { "fulltable_100k": fulltable_json(&ft) },
     });
     std::fs::write(BENCH_PATH, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
     println!("\n(wrote {BENCH_PATH})");

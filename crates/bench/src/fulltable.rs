@@ -1,0 +1,193 @@
+//! Full-table ingestion and update-burst replay: the routing-table
+//! scale benchmark behind the `fulltable_100k` scenario.
+//!
+//! Three measured phases:
+//!
+//! 1. **Decode** — every multi-NLRI UPDATE frame is decoded standalone;
+//!    the per-prefix amortized decode time is the headline number (the
+//!    <1µs/route target), since one shared attribute block amortizes
+//!    over every prefix the frame announces.
+//! 2. **Ingest** — the same frames stream through a fully-established
+//!    classic speaker session: decode, Adj-RIB-In insert (one interned
+//!    `Arc<Route>` per frame, shared across its NLRI), decision
+//!    process, Loc-RIB install. Routes/sec over the whole table.
+//! 3. **Burst replay** — a reduced-scale slice of the table is
+//!    originated across a Waxman topology, converged, and then hit
+//!    with withdraw/re-originate churn; events/sec through the
+//!    discrete-event engine is the topology-level number.
+//!
+//! Everything is seeded: same seed, same table, same burst, same
+//! simulated quantities.
+
+use dbgp_bgp::{NeighborConfig, PeerId, Speaker, TransportEvent};
+use dbgp_chaos::scenario::sim_from_graph;
+use dbgp_wire::message::{BgpMessage, OpenMsg};
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix};
+use dbgp_workload::WorkloadGen;
+use std::time::Instant;
+
+/// Outcome of one full-table run; every rate is derived from the
+/// route/event counts and the phase wall times.
+#[derive(Debug, Clone)]
+pub struct FullTableResult {
+    /// Routes in the generated table.
+    pub routes: u64,
+    /// Multi-NLRI UPDATE frames the table packed into.
+    pub updates: u64,
+    /// Total wire bytes across all frames.
+    pub wire_bytes: u64,
+    /// Wire bytes per route (attribute sharing amortized).
+    pub bytes_per_route: f64,
+    /// Wall seconds for the end-to-end ingest phase.
+    pub ingest_seconds: f64,
+    /// Routes ingested per second (decode + RIB + decision).
+    pub routes_per_sec_ingest: f64,
+    /// Amortized decode-only nanoseconds per route.
+    pub decode_ns_per_route: f64,
+    /// Resident RIB bytes per route after ingest (Adj-RIB-In trie +
+    /// Loc-RIB trie, arena nodes plus value slots).
+    pub rib_bytes_per_route: f64,
+    /// Update-burst events replayed through the topology.
+    pub burst_events: u64,
+    /// Burst events per second through the discrete-event engine.
+    pub burst_events_per_sec: f64,
+    /// Whether the burst replay quiesced inside its horizon.
+    pub quiesced: bool,
+}
+
+/// Pre-encode the full table (outside any timed region).
+pub fn full_table_frames(routes: usize, seed: u64) -> Vec<bytes::Bytes> {
+    let mut gen = WorkloadGen::new(seed);
+    gen.full_table(routes).into_iter().map(|u| BgpMessage::Update(u).encode(true)).collect()
+}
+
+/// A classic speaker with one established upstream session, ready to
+/// receive table frames.
+fn established_speaker() -> (Speaker, PeerId) {
+    let mut speaker = Speaker::new(4_200_000, Ipv4Addr::new(10, 0, 0, 1));
+    let upstream = PeerId(0);
+    speaker.add_peer(
+        upstream,
+        NeighborConfig::new(
+            4_200_000,
+            Ipv4Addr::new(10, 0, 0, 1),
+            4_200_001,
+            Ipv4Addr::new(10, 0, 0, 2),
+        ),
+    );
+    speaker.start(0);
+    speaker.transport_event(0, upstream, TransportEvent::Connected);
+    let open =
+        BgpMessage::Open(OpenMsg::new(4_200_001, 90, Ipv4Addr::new(10, 0, 9, 9))).encode(true);
+    speaker.receive(1, upstream, &open);
+    speaker.receive(2, upstream, &BgpMessage::Keepalive.encode(true));
+    assert!(speaker.is_established(upstream), "session must establish before ingest");
+    (speaker, upstream)
+}
+
+/// Run the full-table benchmark: `routes` routes through the decode and
+/// ingest phases, and a `burst_routes`-route slice through
+/// convergence + `burst_events` churn events on a Waxman-50 topology.
+pub fn run_full_table(
+    routes: usize,
+    burst_routes: usize,
+    burst_events: usize,
+    seed: u64,
+) -> FullTableResult {
+    let frames = full_table_frames(routes, seed);
+    let wire_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+
+    // Phase 1: decode-only, standalone per frame.
+    let start = Instant::now();
+    for frame in &frames {
+        let mut buf = bytes::BytesMut::from(&frame[..]);
+        let decoded = BgpMessage::decode(&mut buf, true).expect("table frame decodes");
+        std::hint::black_box(decoded);
+    }
+    let decode_ns_per_route = start.elapsed().as_nanos() as f64 / routes as f64;
+
+    // Phase 2: end-to-end ingest through an established session.
+    let (mut speaker, upstream) = established_speaker();
+    let start = Instant::now();
+    let mut now = 10u64;
+    for frame in &frames {
+        now += 1;
+        std::hint::black_box(speaker.receive(now, upstream, frame));
+    }
+    let ingest_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(speaker.loc_rib().len(), routes, "every route installed");
+    let rib_bytes = speaker.adj_rib_in().memory_bytes() + speaker.loc_rib().memory_bytes();
+
+    // Phase 3: update-burst replay through a Waxman topology. A table
+    // slice spreads round-robin over ten origin ASes; after
+    // convergence each burst event withdraws or re-originates one of
+    // those routes, exercising trie-backed FIB churn end to end.
+    let graph = dbgp_topology::fixtures::waxman_50(seed);
+    let mut sim = sim_from_graph(&graph, 10);
+    sim.set_seed(seed);
+    let mut gen = WorkloadGen::new(seed.wrapping_add(1));
+    let origins = 10usize;
+    let table: Vec<(usize, Ipv4Prefix)> =
+        (0..burst_routes).map(|i| (i % origins, gen.prefix())).collect();
+    for &(node, prefix) in &table {
+        sim.originate(node, prefix);
+    }
+    sim.run(2_000_000_000);
+    let converged = sim.pending_events() == 0;
+    let events_before = sim.events_processed();
+    let start = Instant::now();
+    let mut at = 2_000_000_000u64;
+    for event in 0..burst_events {
+        let (node, prefix) = table[(event * 7919) % table.len()];
+        at += 1_000_000;
+        // Alternate withdraw / re-originate so the burst churns both
+        // directions through every FIB on the path.
+        if event % 2 == 0 {
+            sim.withdraw(node, prefix);
+        } else {
+            sim.originate(node, prefix);
+        }
+        sim.run(at);
+    }
+    sim.run(6_000_000_000);
+    let quiesced = converged && sim.pending_events() == 0;
+    let burst_seconds = start.elapsed().as_secs_f64();
+    let burst_engine_events = sim.events_processed() - events_before;
+
+    FullTableResult {
+        routes: routes as u64,
+        updates: frames.len() as u64,
+        wire_bytes,
+        bytes_per_route: wire_bytes as f64 / routes as f64,
+        ingest_seconds,
+        routes_per_sec_ingest: routes as f64 / ingest_seconds.max(1e-9),
+        decode_ns_per_route,
+        rib_bytes_per_route: rib_bytes as f64 / routes as f64,
+        burst_events: burst_engine_events,
+        burst_events_per_sec: burst_engine_events as f64 / burst_seconds.max(1e-9),
+        quiesced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table_ingests_completely() {
+        let result = run_full_table(2_000, 200, 50, 7);
+        assert_eq!(result.routes, 2_000);
+        assert!(result.updates < 2_000, "multi-NLRI packing shrinks the frame count");
+        assert!(result.routes_per_sec_ingest > 0.0);
+        assert!(result.bytes_per_route > 0.0 && result.bytes_per_route < 64.0);
+        assert!(result.rib_bytes_per_route > 0.0);
+        assert!(result.quiesced, "burst replay must quiesce");
+        assert!(result.burst_events > 0);
+    }
+
+    #[test]
+    fn table_frames_are_deterministic_per_seed() {
+        assert_eq!(full_table_frames(500, 3), full_table_frames(500, 3));
+        assert_ne!(full_table_frames(500, 3), full_table_frames(500, 4));
+    }
+}

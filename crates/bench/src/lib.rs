@@ -1,9 +1,14 @@
 //! Shared harness code for the benchmark binaries and Criterion benches:
-//! the §5 stress test, implemented once and reported two ways, plus the
+//! the §5 stress test, implemented once and reported two ways, the
+//! full-table ingestion benchmark behind `fulltable_100k`, plus the
 //! `BENCH_sim.json` baseline schema validator `sim_bench` enforces.
 
 pub mod baseline;
+pub mod fulltable;
 pub mod stress;
 
-pub use baseline::{validate_sim_bench_schema, REQUIRED_METRICS, SIM_BENCH_SCHEMA};
+pub use baseline::{
+    validate_sim_bench_schema, REQUIRED_FULLTABLE, REQUIRED_METRICS, SIM_BENCH_SCHEMA,
+};
+pub use fulltable::{full_table_frames, run_full_table, FullTableResult};
 pub use stress::{run_classic_bgp, run_dbgp, StressResult};

@@ -20,6 +20,7 @@ use crate::session::{
     Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary,
 };
 use bytes::{Bytes, BytesMut};
+use dbgp_rib::PrefixTrie;
 use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
 use dbgp_wire::message::{BgpMessage, NotificationMsg, UpdateMsg};
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix, WireError};
@@ -70,7 +71,7 @@ pub struct Speaker {
     adj_in: AdjRibIn,
     loc_rib: LocRib,
     adj_out: AdjRibOut,
-    originated: BTreeMap<Ipv4Prefix, Arc<Route>>,
+    originated: PrefixTrie<Arc<Route>>,
     sink: SinkHandle,
     node_label: u32,
 }
@@ -85,7 +86,7 @@ impl Speaker {
             adj_in: AdjRibIn::new(),
             loc_rib: LocRib::new(),
             adj_out: AdjRibOut::new(),
-            originated: BTreeMap::new(),
+            originated: PrefixTrie::new(),
             sink: SinkHandle::none(),
             node_label: 0,
         }
@@ -265,11 +266,10 @@ impl Speaker {
                 Action::Up(summary) => {
                     self.peers.get_mut(&id).unwrap().summary = Some(summary);
                     out.push(Output::PeerUp(id, summary));
-                    // Initial table transfer: advertise our whole view.
-                    let prefixes: Vec<Ipv4Prefix> = self.loc_rib.iter().map(|(p, _)| *p).collect();
-                    for prefix in prefixes {
-                        self.propagate_to(now, id, prefix, out);
-                    }
+                    // Initial table transfer: advertise our whole view,
+                    // batching prefixes that export the same attribute
+                    // block into shared multi-NLRI UPDATEs.
+                    self.initial_table_dump(id, out);
                 }
                 Action::Down(reason) => {
                     let peer = self.peers.get_mut(&id).unwrap();
@@ -315,6 +315,13 @@ impl Speaker {
         // our own AS is invisible to the decision process.
         let looped = route.as_path.contains(self.asn);
         let peer_as = self.peers[&id].cfg.peer_as;
+        // One attribute block per UPDATE: every NLRI the import policy
+        // leaves untouched shares this interned route.
+        let route = Arc::new(route);
+        let transparent = {
+            let import = &self.peers[&id].cfg.import;
+            import.clauses.is_empty() && import.default_permit
+        };
         for prefix in &update.nlri {
             if looped {
                 if self.adj_in.remove(id, prefix).is_some() {
@@ -322,12 +329,18 @@ impl Speaker {
                 }
                 continue;
             }
-            let mut candidate = route.clone();
-            let import = &self.peers[&id].cfg.import;
-            if import.apply(prefix, &mut candidate, peer_as) {
-                self.adj_in.insert(id, *prefix, candidate);
-            } else if self.adj_in.remove(id, prefix).is_none() {
-                continue; // rejected and never stored: nothing changes
+            if transparent {
+                self.adj_in.insert(id, *prefix, Arc::clone(&route));
+            } else {
+                let mut candidate = (*route).clone();
+                let import = &self.peers[&id].cfg.import;
+                if import.apply(prefix, &mut candidate, peer_as) {
+                    let interned =
+                        if candidate == *route { Arc::clone(&route) } else { Arc::new(candidate) };
+                    self.adj_in.insert(id, *prefix, interned);
+                } else if self.adj_in.remove(id, prefix).is_none() {
+                    continue; // rejected and never stored: nothing changes
+                }
             }
             self.redecide(now, *prefix, out);
         }
@@ -400,17 +413,17 @@ impl Speaker {
         explain: bool,
     ) -> (Option<LocRibEntry>, SelectionReason, u32) {
         let local = self.originated.get(prefix);
-        let learned = self.adj_in.candidates(prefix);
         // The decision process borrows plain `&Route` views; `arcs` keeps
         // the interned handles in lockstep so the winner is retained by
-        // refcount bump, not deep clone.
-        let mut arcs: Vec<&Arc<Route>> = Vec::with_capacity(learned.len() + 1);
-        let mut candidates: Vec<Candidate<'_>> = Vec::with_capacity(learned.len() + 1);
+        // refcount bump, not deep clone. `candidates` is a lazy iterator,
+        // so sizing by peer count avoids both a collect and regrowth.
+        let mut arcs: Vec<&Arc<Route>> = Vec::with_capacity(self.peers.len() + 1);
+        let mut candidates: Vec<Candidate<'_>> = Vec::with_capacity(self.peers.len() + 1);
         if let Some(route) = local {
             arcs.push(route);
             candidates.push(Candidate::local(route));
         }
-        for (peer_id, route) in learned {
+        for (peer_id, route) in self.adj_in.candidates(prefix) {
             let peer = &self.peers[&peer_id];
             arcs.push(route);
             candidates.push(Candidate {
@@ -464,6 +477,39 @@ impl Speaker {
                     let bytes = BgpMessage::Update(update).encode(peer.session.four_octet());
                     out.push(Output::SendBytes(id, bytes));
                 }
+            }
+        }
+    }
+
+    /// Initial table transfer toward a freshly-established peer: walk
+    /// the Loc-RIB in prefix order, group prefixes whose exported
+    /// routes are identical, and emit one multi-NLRI UPDATE run per
+    /// group ([`UpdateMsg::pack_announcements`] splits each run at the
+    /// 4096-byte frame limit). Groups keep first-seen (ascending
+    /// prefix) order, so the wire bytes are deterministic.
+    fn initial_table_dump(&mut self, id: PeerId, out: &mut Vec<Output>) {
+        let prefixes: Vec<Ipv4Prefix> = self.loc_rib.iter().map(|(p, _)| *p).collect();
+        let mut groups: Vec<(Arc<Route>, Vec<Ipv4Prefix>)> = Vec::new();
+        for prefix in prefixes {
+            let Some(route) = self.export_route(id, &prefix) else { continue };
+            if !self.adj_out.advertise(id, prefix, Arc::clone(&route)) {
+                continue;
+            }
+            // Linear probe over existing groups; distinct attribute
+            // blocks in one table number in the dozens, not thousands,
+            // and ptr_eq short-circuits the interned common case.
+            match groups.iter_mut().find(|(g, _)| Arc::ptr_eq(g, &route) || **g == *route) {
+                Some((_, members)) => members.push(prefix),
+                None => groups.push((route, vec![prefix])),
+            }
+        }
+        let peer = &self.peers[&id];
+        let four_octet = peer.session.four_octet();
+        let ibgp = peer.cfg.is_ibgp();
+        for (route, members) in groups {
+            for update in UpdateMsg::pack_announcements(&members, route.to_attrs(ibgp), four_octet)
+            {
+                out.push(Output::SendBytes(id, BgpMessage::Update(update).encode(four_octet)));
             }
         }
     }

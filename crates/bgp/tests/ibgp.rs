@@ -161,7 +161,8 @@ fn ibgp_routes_are_not_reflected() {
     // to R3 (no route reflection): R3's copy must have come directly
     // from R1. We verify by checking R3 has exactly one Adj-RIB-In
     // entry for the prefix.
-    let candidates = fabric.speakers[2].adj_rib_in().candidates(&p("198.51.100.0/24"));
+    let candidates: Vec<_> =
+        fabric.speakers[2].adj_rib_in().candidates(&p("198.51.100.0/24")).collect();
     assert_eq!(candidates.len(), 1, "exactly one iBGP source: {candidates:?}");
 }
 

@@ -7,19 +7,22 @@
 //! verbatim — the pass-through feature.
 
 use crate::neighbor::NeighborId;
+use dbgp_rib::PrefixTrie;
 use dbgp_wire::{Ia, Ipv4Prefix};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Store of received IAs. Entries are interned behind `Arc` so the
 /// decision process, the chosen-route table and the factory can hold
-/// references without deep-cloning path/island descriptors. Keyed by
-/// `BTreeMap` so candidate enumeration is already in neighbor order —
-/// the decision process runs once per received IA, and a sort there
-/// would be pure hot-path overhead.
+/// references without deep-cloning path/island descriptors. The outer
+/// map is a `BTreeMap` so candidate enumeration is already in neighbor
+/// order — the decision process runs once per received IA, and a sort
+/// there would be pure hot-path overhead — and each per-neighbor table
+/// is a `PrefixTrie`, so exact lookups cost prefix depth, not log of
+/// the table size.
 #[derive(Debug, Clone, Default)]
 pub struct IaDb {
-    entries: BTreeMap<NeighborId, BTreeMap<Ipv4Prefix, Arc<Ia>>>,
+    entries: BTreeMap<NeighborId, PrefixTrie<Arc<Ia>>>,
 }
 
 impl IaDb {
@@ -36,30 +39,35 @@ impl IaDb {
 
     /// Remove the IA a neighbor advertised for a prefix.
     pub fn remove(&mut self, neighbor: NeighborId, prefix: &Ipv4Prefix) -> Option<Arc<Ia>> {
-        self.entries.get_mut(&neighbor).and_then(|m| m.remove(prefix))
+        self.entries.get_mut(&neighbor).and_then(|t| t.remove(prefix))
     }
 
     /// Drop everything from a neighbor (session reset); returns affected
     /// prefixes.
     pub fn drop_neighbor(&mut self, neighbor: NeighborId) -> Vec<Ipv4Prefix> {
-        self.entries.remove(&neighbor).map(|m| m.into_keys().collect()).unwrap_or_default()
+        self.entries.remove(&neighbor).map(|t| t.keys().copied().collect()).unwrap_or_default()
     }
 
     /// The IA `neighbor` advertised for `prefix`.
     pub fn get(&self, neighbor: NeighborId, prefix: &Ipv4Prefix) -> Option<&Ia> {
-        self.entries.get(&neighbor).and_then(|m| m.get(prefix)).map(Arc::as_ref)
+        self.entries.get(&neighbor).and_then(|t| t.get(prefix)).map(Arc::as_ref)
     }
 
     /// All (neighbor, IA) pairs for a prefix, in neighbor order (the
-    /// map iterates sorted, so no extra sort is needed).
-    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<(NeighborId, &Arc<Ia>)> {
-        self.entries.iter().filter_map(|(n, m)| m.get(prefix).map(|ia| (*n, ia))).collect()
+    /// outer map iterates sorted, so no extra sort is needed).
+    /// Allocation-free: this runs once per received IA.
+    pub fn candidates(
+        &self,
+        prefix: &Ipv4Prefix,
+    ) -> impl Iterator<Item = (NeighborId, &Arc<Ia>)> + '_ {
+        let prefix = *prefix;
+        self.entries.iter().filter_map(move |(n, t)| t.get(&prefix).map(|ia| (*n, ia)))
     }
 
-    /// Every distinct prefix known.
+    /// Every distinct prefix known, ascending and deduplicated.
     pub fn prefixes(&self) -> Vec<Ipv4Prefix> {
         let mut out: Vec<Ipv4Prefix> =
-            self.entries.values().flat_map(|m| m.keys().copied()).collect();
+            self.entries.values().flat_map(|t| t.keys().copied()).collect();
         out.sort();
         out.dedup();
         out
@@ -67,7 +75,7 @@ impl IaDb {
 
     /// Total stored IA count.
     pub fn len(&self) -> usize {
-        self.entries.values().map(BTreeMap::len).sum()
+        self.entries.values().map(PrefixTrie::len).sum()
     }
 
     /// True when nothing is stored.
@@ -78,7 +86,13 @@ impl IaDb {
     /// Total wire bytes of all stored IAs — the "state kept at a tier-1"
     /// quantity of the §6.2 overhead analysis.
     pub fn total_wire_bytes(&self) -> usize {
-        self.entries.values().flat_map(|m| m.values()).map(|ia| ia.wire_size()).sum()
+        self.entries.values().flat_map(|t| t.values()).map(|ia| ia.wire_size()).sum()
+    }
+
+    /// Arena bytes held by the per-neighbor tries (IA bodies are
+    /// accounted by [`total_wire_bytes`](Self::total_wire_bytes)).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.values().map(PrefixTrie::memory_bytes).sum()
     }
 }
 
@@ -115,8 +129,8 @@ mod tests {
         db.insert(NeighborId(3), ia("10.0.0.0/8", 3));
         db.insert(NeighborId(1), ia("10.0.0.0/8", 1));
         db.insert(NeighborId(2), ia("192.168.0.0/16", 2));
-        let cands = db.candidates(&p("10.0.0.0/8"));
-        assert_eq!(cands.iter().map(|(n, _)| n.0).collect::<Vec<_>>(), vec![1, 3]);
+        let cands: Vec<u32> = db.candidates(&p("10.0.0.0/8")).map(|(n, _)| n.0).collect();
+        assert_eq!(cands, vec![1, 3]);
     }
 
     #[test]

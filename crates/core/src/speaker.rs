@@ -27,6 +27,7 @@ use crate::filters::{self, FilterConfig, IslandConfig, RejectReason};
 use crate::iadb::IaDb;
 use crate::module::{BgpDecision, CandidateIa, DecisionModule, ImportContext};
 use crate::neighbor::{DbgpNeighbor, NeighborId};
+use dbgp_rib::PrefixTrie;
 use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
 use std::collections::BTreeMap;
@@ -112,9 +113,9 @@ pub struct DbgpSpeaker {
     neighbors: BTreeMap<NeighborId, DbgpNeighbor>,
     modules: BTreeMap<ProtocolId, Box<dyn DecisionModule>>,
     iadb: IaDb,
-    loc: BTreeMap<Ipv4Prefix, Chosen>,
-    originated: BTreeMap<Ipv4Prefix, Arc<Ia>>,
-    adj_out: BTreeMap<(NeighborId, Ipv4Prefix), Arc<Ia>>,
+    loc: PrefixTrie<Chosen>,
+    originated: PrefixTrie<Arc<Ia>>,
+    adj_out: BTreeMap<NeighborId, PrefixTrie<Arc<Ia>>>,
     /// Built-outgoing-IA cache, used only when every resident module's
     /// export is uniform: one entry per (prefix, neighbor-in-island,
     /// speaks-dbgp) class, valid while `chosen` is still the installed
@@ -154,8 +155,8 @@ impl DbgpSpeaker {
             neighbors: BTreeMap::new(),
             modules: BTreeMap::new(),
             iadb: IaDb::new(),
-            loc: BTreeMap::new(),
-            originated: BTreeMap::new(),
+            loc: PrefixTrie::new(),
+            originated: PrefixTrie::new(),
             adj_out: BTreeMap::new(),
             out_cache: BTreeMap::new(),
             processed: 0,
@@ -221,7 +222,7 @@ impl DbgpSpeaker {
     /// Remove a neighbor (session loss): flush its IAs and re-decide.
     pub fn neighbor_down(&mut self, id: NeighborId) -> Vec<DbgpOutput> {
         self.neighbors.remove(&id);
-        self.adj_out.retain(|(n, _), _| *n != id);
+        self.adj_out.remove(&id);
         let mut out = Vec::new();
         for prefix in self.iadb.drop_neighbor(id) {
             self.redecide(prefix, &mut out);
@@ -457,7 +458,6 @@ impl DbgpSpeaker {
         let candidates: Vec<(CandidateIa<'_>, &Arc<Ia>)> = self
             .iadb
             .candidates(&prefix)
-            .into_iter()
             .filter_map(|(n, ia)| {
                 let asn = neighbors.get(&n)?.asn;
                 Some((CandidateIa { neighbor: n, neighbor_as: asn, ia: ia.as_ref() }, ia))
@@ -553,7 +553,9 @@ impl DbgpSpeaker {
                         self.out_cache.remove(&(prefix, in_island, speaks));
                     }
                 }
-                if self.adj_out.remove(&(id, prefix)).is_some() {
+                let withdrawn =
+                    self.adj_out.get_mut(&id).is_some_and(|t| t.remove(&prefix).is_some());
+                if withdrawn {
                     out.push(DbgpOutput::SendWithdraw(id, prefix));
                 }
             }
@@ -570,11 +572,11 @@ impl DbgpSpeaker {
         ia: Arc<Ia>,
         out: &mut Vec<DbgpOutput>,
     ) {
-        let key = (id, prefix);
+        let slot = self.adj_out.entry(id).or_default();
         let unchanged =
-            self.adj_out.get(&key).is_some_and(|prev| Arc::ptr_eq(prev, &ia) || **prev == *ia);
+            slot.get(&prefix).is_some_and(|prev| Arc::ptr_eq(prev, &ia) || **prev == *ia);
         if !unchanged {
-            self.adj_out.insert(key, Arc::clone(&ia));
+            slot.insert(prefix, Arc::clone(&ia));
             out.push(DbgpOutput::SendIa(id, ia));
         }
     }

@@ -187,8 +187,19 @@ fn compare_states(
 
 // ----- scenario generation ---------------------------------------------
 
-/// Prefix pool for originations.
-const PREFIXES: &[&str] = &["128.6.0.0/16", "44.0.0.0/8", "203.0.113.0/24"];
+/// Prefix pool for originations. Deliberately nested: the default
+/// route covers everything, `128.6.0.0/16` covers its /20 slice, and
+/// `44.0.0.0/8` covers `44.128.0.0/10` — so generated scenarios
+/// routinely store covering chains (and a valued trie root) in the
+/// production prefix trie, state the old disjoint pool never produced.
+const PREFIXES: &[&str] = &[
+    "128.6.0.0/16",
+    "44.0.0.0/8",
+    "203.0.113.0/24",
+    "128.6.128.0/20",
+    "44.128.0.0/10",
+    "0.0.0.0/0",
+];
 
 /// Generate a random scenario: 3–8 ASes, a connected topology with a
 /// few redundant edges, up to two islands (contiguous node ranges) from
@@ -251,12 +262,17 @@ pub fn generate_scenario(rng: &mut TestRng) -> Scenario {
         }
     }
 
+    // 1–3 distinct prefixes drawn at random from the nested pool, so a
+    // fair share of scenarios originate overlapping prefixes (or the
+    // default route) and the per-prefix state comparison runs against
+    // covering chains in the trie-backed stores.
     let mut originations = Vec::new();
-    let origin_count = 1 + rng.below(2) as usize;
-    for (i, raw) in PREFIXES.iter().enumerate().take(origin_count) {
+    let mut pool: Vec<&str> = PREFIXES.to_vec();
+    let origin_count = 1 + rng.below(3) as usize;
+    for _ in 0..origin_count {
         let node = rng.below(n as u64) as usize;
+        let raw = pool.remove(rng.below(pool.len() as u64) as usize);
         originations.push((node, raw.parse().expect("static prefix")));
-        let _ = i;
     }
 
     // Faults, tracked against link state so restores target down links.

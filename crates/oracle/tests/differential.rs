@@ -46,6 +46,26 @@ fn faithful_reference_matches_on_crafted_scenarios() {
     run_differential(&tiebreak_square()).expect("tiebreak square");
 }
 
+/// Covering chains through the trie-backed stores: a default route, a
+/// /16, and a more-specific /20 inside it, originated at different
+/// nodes, then churned by a flap of the more-specific's uplink. The
+/// reference keeps flat `BTreeMap`s, so per-prefix agreement here is
+/// exactly the trie-vs-naive differential the storage swap needs.
+#[test]
+fn overlapping_prefixes_and_default_route_agree() {
+    let scenario = Scenario {
+        nodes: vec![gulf(10), gulf(20), gulf(30), gulf(40), gulf(50)],
+        links: vec![(0, 1, true), (1, 4, true), (0, 2, true), (2, 3, true), (3, 4, true)],
+        originations: vec![
+            (0, "0.0.0.0/0".parse().unwrap()),
+            (4, "128.6.0.0/16".parse().unwrap()),
+            (2, "128.6.128.0/20".parse().unwrap()),
+        ],
+        faults: vec![Fault::LinkDown(2, 3), Fault::LinkRestore(2, 3), Fault::Restart(4)],
+    };
+    run_differential(&scenario).expect("nested-prefix scenario");
+}
+
 #[test]
 fn inverted_path_length_rung_is_caught() {
     let err = run_differential_mutated(&diamond(), Mutation::PreferLongerPaths)

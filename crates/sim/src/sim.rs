@@ -24,6 +24,7 @@ use dbgp_core::{
     render_path, DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId,
 };
 use dbgp_protocols::{MiroPortal, MiroRequest};
+use dbgp_rib::PrefixTrie;
 use dbgp_telemetry::{
     CounterId, EventId, GaugeId, HistogramId, MetricsRegistry, RibEntry, RibSnapshot, Semantics,
     SinkHandle, TraceKind, TraceRecorder,
@@ -98,7 +99,7 @@ struct Node {
     /// Peer node -> our neighbor ID for it.
     ids_by_node: HashMap<NodeId, NeighborId>,
     /// Forwarding table maintained from `BestChanged` outputs.
-    fib: BTreeMap<Ipv4Prefix, Option<NodeId>>,
+    fib: PrefixTrie<Option<NodeId>>,
     /// This node's own address (used as IA next-hop and for tunnels).
     addr: Ipv4Addr,
     /// Out-of-band responses received, for inspection by drivers.
@@ -493,7 +494,7 @@ impl Sim {
             speaker,
             neighbor_nodes: BTreeMap::new(),
             ids_by_node: HashMap::new(),
-            fib: BTreeMap::new(),
+            fib: PrefixTrie::new(),
             addr,
             oob_inbox: Vec::new(),
             next_neighbor_id: 0,
@@ -857,7 +858,7 @@ impl Sim {
 
     /// The node's forwarding table (prefix -> next-hop node; `None` =
     /// delivered locally).
-    pub fn fib(&self, node: NodeId) -> &BTreeMap<Ipv4Prefix, Option<NodeId>> {
+    pub fn fib(&self, node: NodeId) -> &PrefixTrie<Option<NodeId>> {
         &self.nodes[node].fib
     }
 
@@ -1653,8 +1654,8 @@ impl Sim {
             .enumerate()
             .flat_map(|(id, n)| {
                 n.fib
-                    .iter()
-                    .filter(move |(p, next)| next.is_none() && p.contains(addr))
+                    .covering(Ipv4Prefix::new(addr, 32).expect("/32 is valid"))
+                    .filter(|(_, next)| next.is_none())
                     .map(move |(p, _)| (p.len(), id))
             })
             .max_by_key(|(len, _)| *len)
@@ -1663,11 +1664,6 @@ impl Sim {
 
     /// Data-plane next hop at `node` for `addr` (longest match).
     pub(crate) fn next_hop(&self, node: NodeId, addr: Ipv4Addr) -> Option<Option<NodeId>> {
-        self.nodes[node]
-            .fib
-            .iter()
-            .filter(|(p, _)| p.contains(addr))
-            .max_by_key(|(p, _)| p.len())
-            .map(|(_, next)| *next)
+        self.nodes[node].fib.longest_match(addr).map(|(_, next)| *next)
     }
 }

@@ -313,7 +313,7 @@ fn figure8_pathlets_source_sees_all_five() {
 
     // Force S's pathlet module to ingest both gulf-crossing IAs: they are
     // in its IA DB; selection ingests candidates.
-    let iadb_count = sim.speaker(s).iadb().candidates(&dest).len();
+    let iadb_count = sim.speaker(s).iadb().candidates(&dest).count();
     assert_eq!(iadb_count, 2, "S heard the route via both gulf paths");
     // Drive selection once more via the module to materialize learning.
     {

@@ -236,6 +236,73 @@ impl UpdateMsg {
         self.attributes.iter().find(|a| a.code() == code)
     }
 
+    /// Wire size of one prefix in NLRI/withdrawn encoding: the length
+    /// octet plus only the octets needed to cover the mask.
+    pub fn prefix_wire_len(prefix: &Ipv4Prefix) -> usize {
+        1 + (prefix.len() as usize).div_ceil(8)
+    }
+
+    /// Split an announcement of `nlri` under one shared attribute block
+    /// into as few UPDATEs as fit in [`MAX_MESSAGE_LEN`] (RFC 4271
+    /// §4.3 allows any number of NLRI per message; the 4096-byte frame
+    /// is the only bound). Every returned message clones the same
+    /// attribute `Vec`, so the per-prefix attribute cost on the wire is
+    /// amortized across the whole batch.
+    ///
+    /// Returns an empty `Vec` for empty `nlri`.
+    pub fn pack_announcements(
+        nlri: &[Ipv4Prefix],
+        attributes: Vec<PathAttribute>,
+        four_octet: bool,
+    ) -> Vec<UpdateMsg> {
+        if nlri.is_empty() {
+            return Vec::new();
+        }
+        let mut attrs_buf = BytesMut::new();
+        attrs::encode_attribute_list(&attributes, &mut attrs_buf, four_octet);
+        // Header (19) + withdrawn-len (2) + attrs-len (2) + attrs.
+        let overhead = MIN_MESSAGE_LEN + 4 + attrs_buf.len();
+        let budget = MAX_MESSAGE_LEN.saturating_sub(overhead);
+        debug_assert!(budget >= 5, "attribute block leaves no room for NLRI");
+        let mut out = Vec::new();
+        let mut chunk = Vec::new();
+        let mut used = 0usize;
+        for prefix in nlri {
+            let cost = Self::prefix_wire_len(prefix);
+            if used + cost > budget && !chunk.is_empty() {
+                out.push(UpdateMsg::announce(std::mem::take(&mut chunk), attributes.clone()));
+                used = 0;
+            }
+            chunk.push(*prefix);
+            used += cost;
+        }
+        out.push(UpdateMsg::announce(chunk, attributes));
+        out
+    }
+
+    /// Split a withdrawal of `prefixes` into as few UPDATEs as fit in
+    /// [`MAX_MESSAGE_LEN`]. Returns an empty `Vec` for empty input.
+    pub fn pack_withdrawals(prefixes: &[Ipv4Prefix]) -> Vec<UpdateMsg> {
+        if prefixes.is_empty() {
+            return Vec::new();
+        }
+        let budget = MAX_MESSAGE_LEN - (MIN_MESSAGE_LEN + 4);
+        let mut out = Vec::new();
+        let mut chunk = Vec::new();
+        let mut used = 0usize;
+        for prefix in prefixes {
+            let cost = Self::prefix_wire_len(prefix);
+            if used + cost > budget && !chunk.is_empty() {
+                out.push(UpdateMsg::withdraw(std::mem::take(&mut chunk)));
+                used = 0;
+            }
+            chunk.push(*prefix);
+            used += cost;
+        }
+        out.push(UpdateMsg::withdraw(chunk));
+        out
+    }
+
     fn encode_body(&self, buf: &mut impl BufMut, four_octet: bool) {
         let mut withdrawn = BytesMut::new();
         for p in &self.withdrawn {
@@ -550,6 +617,75 @@ mod tests {
                 assert_eq!(u.attr(attrs::code::MED), Some(&PathAttribute::Med(50)));
             }
             other => panic!("expected UPDATE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pack_announcements_splits_at_frame_limit_and_roundtrips() {
+        // 2000 /24s cost 4 bytes each on the wire; they cannot fit in
+        // one 4096-byte frame, so the packer must split — and the split
+        // messages must decode back to exactly the input set, in order.
+        let nlri: Vec<Ipv4Prefix> = (0..2000u32)
+            .map(|i| Ipv4Prefix::new(Ipv4Addr(0x0a00_0000 | (i << 8)), 24).unwrap())
+            .collect();
+        let attrs = sample_update().attributes;
+        let msgs = UpdateMsg::pack_announcements(&nlri, attrs.clone(), true);
+        assert!(msgs.len() > 1, "2000 prefixes cannot fit one frame");
+        let mut decoded = Vec::new();
+        for msg in &msgs {
+            assert_eq!(msg.attributes, attrs, "attribute block shared verbatim");
+            let bytes = BgpMessage::Update(msg.clone()).encode(true);
+            assert!(bytes.len() <= MAX_MESSAGE_LEN, "frame of {} bytes", bytes.len());
+            let mut buf = BytesMut::from(&bytes[..]);
+            match BgpMessage::decode(&mut buf, true).unwrap().unwrap() {
+                BgpMessage::Update(u) => decoded.extend(u.nlri),
+                other => panic!("expected UPDATE, got {other:?}"),
+            }
+        }
+        assert_eq!(decoded, nlri);
+    }
+
+    #[test]
+    fn pack_announcements_single_message_when_it_fits() {
+        let nlri: Vec<Ipv4Prefix> = vec!["10.0.0.0/8".parse().unwrap()];
+        let msgs = UpdateMsg::pack_announcements(&nlri, sample_update().attributes, true);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].nlri, nlri);
+        assert!(UpdateMsg::pack_announcements(&[], Vec::new(), true).is_empty());
+    }
+
+    #[test]
+    fn pack_withdrawals_splits_and_roundtrips() {
+        let prefixes: Vec<Ipv4Prefix> = (0..2000u32)
+            .map(|i| Ipv4Prefix::new(Ipv4Addr(0xc000_0000 | (i << 8)), 24).unwrap())
+            .collect();
+        let msgs = UpdateMsg::pack_withdrawals(&prefixes);
+        assert!(msgs.len() > 1);
+        let mut decoded = Vec::new();
+        for msg in &msgs {
+            let bytes = BgpMessage::Update(msg.clone()).encode(true);
+            assert!(bytes.len() <= MAX_MESSAGE_LEN);
+            let mut buf = BytesMut::from(&bytes[..]);
+            match BgpMessage::decode(&mut buf, true).unwrap().unwrap() {
+                BgpMessage::Update(u) => decoded.extend(u.withdrawn),
+                other => panic!("expected UPDATE, got {other:?}"),
+            }
+        }
+        assert_eq!(decoded, prefixes);
+        assert!(UpdateMsg::pack_withdrawals(&[]).is_empty());
+    }
+
+    #[test]
+    fn prefix_wire_len_counts_only_needed_octets() {
+        for (s, want) in [
+            ("0.0.0.0/0", 1),
+            ("10.0.0.0/8", 2),
+            ("128.6.0.0/16", 3),
+            ("1.2.3.0/24", 4),
+            ("1.2.3.4/32", 5),
+        ] {
+            let p: Ipv4Prefix = s.parse().unwrap();
+            assert_eq!(UpdateMsg::prefix_wire_len(&p), want, "{s}");
         }
     }
 

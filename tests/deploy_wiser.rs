@@ -73,7 +73,7 @@ fn both_candidate_costs_are_available() {
     let w = build();
     // The IA DB at S holds both gulf-crossing advertisements with their
     // costs — the raw material for Wiser's choice.
-    let candidates = w.sim.speaker(w.s).iadb().candidates(&p("128.6.0.0/16"));
+    let candidates: Vec<_> = w.sim.speaker(w.s).iadb().candidates(&p("128.6.0.0/16")).collect();
     assert_eq!(candidates.len(), 2);
     let costs: Vec<u64> = candidates.iter().filter_map(|(_, ia)| wiser::path_cost(ia)).collect();
     assert_eq!(costs.len(), 2, "both paths carry costs");

@@ -139,7 +139,7 @@ fn figure8_converges_on_both_gulf_paths() {
     sim.run(10_000_000);
     let s = t.index_of("S");
     // S heard the destination via both gulf branches.
-    assert_eq!(sim.speaker(s).iadb().candidates(&p("128.6.0.0/16")).len(), 2);
+    assert_eq!(sim.speaker(s).iadb().candidates(&p("128.6.0.0/16")).count(), 2);
 }
 
 #[test]
