@@ -9,31 +9,36 @@
 //! [`validate_sim_bench_schema`] and exits nonzero listing every
 //! problem found.
 //!
-//! Schema v3 (this revision) adds the routing-table-scale block: a
-//! required top-level `fulltable` object whose `fulltable_100k` record
-//! carries routes/sec ingested, per-prefix amortized decode time,
-//! wire bytes/route, resident RIB bytes/route, and the update-burst
-//! replay numbers. v2 recorded both engine tiers per scenario (serial
-//! and parallel wall time / events-per-sec, worker thread count,
-//! measured speedup, recording host's CPU count); all of that is
-//! retained. Older documents — the v1 single-`wall_seconds` shape and
-//! the v2 shape without the fulltable block — are rejected by tag
-//! *and* by field list, so a stale generator can't slip an old-shape
-//! document past CI.
+//! Schema v4 (this revision) adds the sharded-engine accounting: every
+//! per-scenario record carries the shard count it ran with and the
+//! partitioner's `edge_cut_fraction`, and a required top-level
+//! `hier_50k` block records the 50,000-AS hierarchical Gao-Rexford
+//! scenario (serial vs sharded wall time, per-shard committed-event
+//! counts, quiescence). v3 added the routing-table-scale `fulltable`
+//! block; v2 recorded both engine tiers per scenario (serial and
+//! parallel wall time / events-per-sec, worker thread count, measured
+//! speedup, recording host's CPU count); all of that is retained.
+//! Older documents — the v1 single-`wall_seconds` shape, the v2 shape
+//! without the fulltable block, and the v3 shape without shard
+//! accounting — are rejected by tag *and* by field list, so a stale
+//! generator can't slip an old-shape document past CI.
 
 use serde_json::Value;
 
 /// Schema identifier every `BENCH_sim.json` document must carry.
-pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v3";
+pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v4";
 
 /// Fields every per-scenario record must carry, with their types
-/// checked: `quiesced` is a bool; the wall-time, events-per-sec and
-/// speedup fields are floats; everything else an unsigned integer.
-pub const REQUIRED_METRICS: [&str; 16] = [
+/// checked: `quiesced` is a bool; the wall-time, events-per-sec,
+/// speedup and edge-cut fields are floats; everything else an unsigned
+/// integer.
+pub const REQUIRED_METRICS: [&str; 18] = [
     "nodes",
     "edges",
     "events",
     "threads",
+    "shards",
+    "edge_cut_fraction",
     "wall_seconds_serial",
     "events_per_sec_serial",
     "wall_seconds_parallel",
@@ -44,6 +49,27 @@ pub const REQUIRED_METRICS: [&str; 16] = [
     "updates_encoded",
     "encode_cache_hits",
     "bytes_allocated",
+    "best_changes",
+    "quiesced",
+];
+
+/// Fields the `hier_50k` block must carry. `events_per_shard` is an
+/// array of unsigned per-shard committed-event counts (its sum must
+/// equal `events`; the generator asserts that before writing).
+pub const REQUIRED_HIER: [&str; 15] = [
+    "nodes",
+    "edges",
+    "events",
+    "threads",
+    "shards",
+    "edge_cut_fraction",
+    "events_per_shard",
+    "wall_seconds_serial",
+    "events_per_sec_serial",
+    "wall_seconds_sharded",
+    "events_per_sec_sharded",
+    "sharded_speedup",
+    "messages",
     "best_changes",
     "quiesced",
 ];
@@ -81,9 +107,17 @@ fn field_ok(record: &Value, field: &str) -> bool {
         "quiesced" => record.get(field).and_then(Value::as_bool).is_some(),
         "wall_seconds_serial"
         | "wall_seconds_parallel"
+        | "wall_seconds_sharded"
         | "events_per_sec_serial"
         | "events_per_sec_parallel"
-        | "parallel_speedup" => record.get(field).and_then(Value::as_f64).is_some(),
+        | "events_per_sec_sharded"
+        | "parallel_speedup"
+        | "sharded_speedup"
+        | "edge_cut_fraction" => record.get(field).and_then(Value::as_f64).is_some(),
+        "events_per_shard" => record
+            .get(field)
+            .and_then(Value::as_array)
+            .is_some_and(|a| !a.is_empty() && a.iter().all(|v| v.as_u64().is_some())),
         _ => record.get(field).and_then(Value::as_u64).is_some(),
     }
 }
@@ -156,6 +190,16 @@ pub fn validate_sim_bench_schema(doc: &Value) -> Vec<String> {
         }
         None => problems.push("missing object block \"fulltable\"".into()),
     }
+    match doc.get("hier_50k") {
+        Some(hier) if hier.as_object().is_some() => {
+            for field in REQUIRED_HIER {
+                if !field_ok(hier, field) {
+                    problems.push(format!("hier_50k.{field} missing or mistyped"));
+                }
+            }
+        }
+        _ => problems.push("missing object block \"hier_50k\"".into()),
+    }
     match doc.get("tier_a") {
         Some(tier_a) if tier_a.as_object().is_some() => {
             for field in REQUIRED_TIER_A {
@@ -183,13 +227,26 @@ mod tests {
     fn record() -> Value {
         json!({
             "nodes": 50u64, "edges": 97u64, "events": 1000u64,
-            "threads": 4u64,
+            "threads": 4u64, "shards": 1u64, "edge_cut_fraction": 0.0f64,
             "wall_seconds_serial": 0.5f64, "events_per_sec_serial": 2000.0f64,
             "wall_seconds_parallel": 0.25f64, "events_per_sec_parallel": 4000.0f64,
             "parallel_speedup": 2.0f64,
             "messages": 10u64, "bytes_delivered": 100u64,
             "updates_encoded": 5u64, "encode_cache_hits": 3u64,
             "bytes_allocated": 4096u64, "best_changes": 7u64,
+            "quiesced": true,
+        })
+    }
+
+    fn hier_record() -> Value {
+        json!({
+            "nodes": 50_000u64, "edges": 78_000u64, "events": 2_000_000u64,
+            "threads": 4u64, "shards": 4u64, "edge_cut_fraction": 0.12f64,
+            "events_per_shard": [500_000u64, 500_000u64, 500_000u64, 500_000u64],
+            "wall_seconds_serial": 20.0f64, "events_per_sec_serial": 100_000.0f64,
+            "wall_seconds_sharded": 10.0f64, "events_per_sec_sharded": 200_000.0f64,
+            "sharded_speedup": 2.0f64,
+            "messages": 1_000_000u64, "best_changes": 100_000u64,
             "quiesced": true,
         })
     }
@@ -223,6 +280,7 @@ mod tests {
             "current": { "waxman50_churn": record() },
             "speedup": {},
             "fulltable": { "fulltable_100k": fulltable_record() },
+            "hier_50k": hier_record(),
             "tier_a": tier_a(),
         })
     }
@@ -361,6 +419,68 @@ mod tests {
         assert!(
             problems.contains(&"missing object block \"fulltable\"".to_string()),
             "the v2 shape lacks the fulltable block: {problems:?}"
+        );
+    }
+
+    /// The v3→v4 negative test: a document in the v3 shape — v3 tag,
+    /// fulltable block present, but no shard accounting on the records
+    /// and no `hier_50k` block — must be rejected by its tag, by the
+    /// missing per-record shard fields, and by the missing block, so a
+    /// pre-sharding generator can't pass the v4 validator.
+    #[test]
+    fn a_v3_document_is_rejected() {
+        let mut doc = valid_doc();
+        if let Some(o) = doc.as_object_mut() {
+            o.retain(|(k, _)| k != "hier_50k");
+            for slot in o.iter_mut() {
+                if slot.0 == "schema" {
+                    slot.1 = Value::String("dbgp-sim-bench/v3".into());
+                }
+            }
+        }
+        for block in ["baseline", "current"] {
+            remove(&mut doc, block, "shards");
+            remove(&mut doc, block, "edge_cut_fraction");
+        }
+        let problems = validate_sim_bench_schema(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("outdated") && p.contains("dbgp-sim-bench/v3")),
+            "v3 tag must be called out as outdated: {problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("current.waxman50_churn.shards")),
+            "v3 records lack shard accounting: {problems:?}"
+        );
+        assert!(
+            problems.contains(&"missing object block \"hier_50k\"".to_string()),
+            "the v3 shape lacks the hier_50k block: {problems:?}"
+        );
+    }
+
+    #[test]
+    fn every_hier_field_is_load_bearing() {
+        for field in REQUIRED_HIER {
+            let mut doc = valid_doc();
+            let rec = doc.get_mut("hier_50k").and_then(Value::as_object_mut).unwrap();
+            rec.retain(|(k, _)| k != field);
+            let problems = validate_sim_bench_schema(&doc);
+            assert_eq!(
+                problems,
+                vec![format!("hier_50k.{field} missing or mistyped")],
+                "dropping {field} must be caught"
+            );
+        }
+        // A per-shard array with a mistyped element is rejected too.
+        let mut doc = valid_doc();
+        let rec = doc.get_mut("hier_50k").and_then(Value::as_object_mut).unwrap();
+        for slot in rec.iter_mut() {
+            if slot.0 == "events_per_shard" {
+                slot.1 = json!(["many", 2u64]);
+            }
+        }
+        assert_eq!(
+            validate_sim_bench_schema(&doc),
+            vec!["hier_50k.events_per_shard missing or mistyped".to_string()]
         );
     }
 

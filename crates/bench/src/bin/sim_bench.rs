@@ -21,11 +21,21 @@
 //!                             rewrites the committed baseline)
 //!   sim_bench --validate-only skip the scenarios entirely and just
 //!                             validate the baseline document's schema
+//!   sim_bench --hier-quick    run the 25×-shrunk hierarchical slice at
+//!                             the requested threads/shards and write
+//!                             `results/hier_quick.json` holding only
+//!                             simulated quantities — byte-identical
+//!                             across thread and shard counts, which the
+//!                             CI determinism job checks by sha256
 //!   --bench-path <path>       validate <path> instead of BENCH_sim.json
 //!   --threads <N>             worker threads for the parallel runs
 //!                             (default `DBGP_THREADS`, else available
 //!                             parallelism); `--threads 1` keeps every
 //!                             run on the serial engine
+//!   --shards <K>              shard count for the hierarchical
+//!                             scenarios (default 4); the classic
+//!                             Waxman scenarios always run unsharded so
+//!                             their speedup history stays comparable
 //!
 //! A missing or mistyped required field in the baseline document is a
 //! hard failure: the exit code is nonzero and every problem is listed.
@@ -160,6 +170,11 @@ impl ScenarioResult {
             "wall_seconds_parallel": round6(self.parallel.wall_seconds),
             "events_per_sec_parallel": round2(self.parallel.events_per_sec()),
             "parallel_speedup": round2(self.parallel_speedup()),
+            // Classic scenarios run unsharded (one event queue behind
+            // the router) so the recorded speedups stay comparable
+            // across baseline generations.
+            "shards": 1u64,
+            "edge_cut_fraction": 0.0f64,
             "messages": s.stats.messages,
             "bytes_delivered": s.stats.bytes,
             "updates_encoded": s.stats.updates_encoded,
@@ -462,6 +477,165 @@ fn fulltable_100k() -> FullTableResult {
     result
 }
 
+/// Origins in the hierarchical scenarios: enough stubs advertising to
+/// exercise multi-prefix RIBs without making the serial leg take
+/// minutes at 50,000 ASes.
+const HIER_ORIGINS: usize = 8;
+const HIER_HORIZON: u64 = 1_000_000;
+
+/// One run of a hierarchical Gao-Rexford scenario.
+struct HierMeasurement {
+    nodes: usize,
+    edges: usize,
+    events: u64,
+    wall_seconds: f64,
+    stats: dbgp_sim::SimStats,
+    quiesced: bool,
+    shards: usize,
+    edge_cut_fraction: f64,
+    events_per_shard: Vec<u64>,
+}
+
+impl HierMeasurement {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Build the valley-free sim over `topo`, run it to quiescence, and
+/// report. `shards > 1` routes events through per-shard calendar
+/// queues; with `threads > 1` as well, the sharded parallel engine
+/// commits the windows.
+fn run_hier(topo: &dbgp_topology::HierTopology, threads: usize, shards: usize) -> HierMeasurement {
+    let mut sim = dbgp_workload::policy::valley_free_sim(topo, SEED);
+    sim.set_threads(threads);
+    if shards > 1 {
+        sim.set_shards(shards);
+    }
+    dbgp_workload::policy::originate_from_stubs(&mut sim, topo, HIER_ORIGINS);
+    let start = Instant::now();
+    sim.run(HIER_HORIZON);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let quiesced = sim.pending_events() == 0;
+    let events_per_shard = sim.shard_event_counts();
+    assert_eq!(
+        events_per_shard.iter().sum::<u64>(),
+        sim.events_processed(),
+        "per-shard commit counts must tile the total"
+    );
+    HierMeasurement {
+        nodes: sim.node_count(),
+        edges: topo.edge_count(),
+        events: sim.events_processed(),
+        wall_seconds,
+        stats: sim.stats(),
+        quiesced,
+        shards: sim.shards(),
+        edge_cut_fraction: sim.edge_cut_fraction(),
+        events_per_shard,
+    }
+}
+
+/// The hier determinism gate: serial and sharded legs must agree on
+/// every simulated quantity.
+fn assert_hier_identical(name: &str, serial: &HierMeasurement, sharded: &HierMeasurement) {
+    let digest = |r: &HierMeasurement| {
+        (r.events, r.stats.messages, r.stats.bytes, r.stats.best_changes, r.quiesced)
+    };
+    assert_eq!(
+        digest(serial),
+        digest(sharded),
+        "{name}: serial vs sharded runs diverged (events, messages, bytes, churn, quiesced)"
+    );
+}
+
+/// The 50,000-AS hierarchical scenario: serial leg (one thread, one
+/// queue) vs sharded leg at the requested thread/shard counts. As with
+/// [`scenario`], the sharded leg runs first so the serial leg gets the
+/// warm caches.
+fn hier_50k_scenario(threads: usize, shards: usize) -> Value {
+    let topo = dbgp_topology::fixtures::hier_50k(SEED);
+    println!(
+        "\nhier_50k: {} ASes, {} adjacencies ({} transit + {} peering)",
+        topo.len(),
+        topo.edge_count(),
+        topo.transit.edge_count(),
+        topo.peering.len()
+    );
+    let sharded = run_hier(&topo, threads, shards);
+    let serial = run_hier(&topo, 1, 1);
+    assert_hier_identical("hier_50k", &serial, &sharded);
+    if !serial.quiesced {
+        eprintln!("error: hier_50k failed to quiesce inside the horizon");
+        std::process::exit(1);
+    }
+    println!(
+        "hier_50k: {} events, serial {:.2}s ({:.0} ev/s), sharded[{}x{}t] {:.2}s ({:.0} ev/s), \
+         edge cut {:.3}",
+        serial.events,
+        serial.wall_seconds,
+        serial.events_per_sec(),
+        sharded.shards,
+        threads,
+        sharded.wall_seconds,
+        sharded.events_per_sec(),
+        sharded.edge_cut_fraction,
+    );
+    json!({
+        "nodes": serial.nodes as u64,
+        "edges": serial.edges as u64,
+        "events": serial.events,
+        "threads": threads as u64,
+        "shards": sharded.shards as u64,
+        "edge_cut_fraction": round6(sharded.edge_cut_fraction),
+        "events_per_shard": sharded.events_per_shard,
+        "wall_seconds_serial": round6(serial.wall_seconds),
+        "events_per_sec_serial": round2(serial.events_per_sec()),
+        "wall_seconds_sharded": round6(sharded.wall_seconds),
+        "events_per_sec_sharded": round2(sharded.events_per_sec()),
+        "sharded_speedup": round2(if sharded.wall_seconds > 0.0 {
+            serial.wall_seconds / sharded.wall_seconds
+        } else {
+            0.0
+        }),
+        "messages": serial.stats.messages,
+        "best_changes": serial.stats.best_changes,
+        "quiesced": serial.quiesced,
+    })
+}
+
+/// `--hier-quick`: the 25×-shrunk hierarchy at the requested
+/// thread/shard counts, reported as simulated quantities only — the
+/// output file is a pure function of the seed and shard count, so the
+/// CI determinism job diffs its sha256 across thread counts.
+fn hier_quick(threads: usize, shards: usize) -> Value {
+    let topo = dbgp_topology::fixtures::hier_2k(SEED);
+    let m = run_hier(&topo, threads, shards);
+    if !m.quiesced {
+        eprintln!("error: hier_2k quick slice failed to quiesce");
+        std::process::exit(1);
+    }
+    json!({
+        "scenario": "hier_2k",
+        "seed": SEED,
+        "nodes": m.nodes as u64,
+        "edges": m.edges as u64,
+        "shards": m.shards as u64,
+        "edge_cut_fraction": round6(m.edge_cut_fraction),
+        "events": m.events,
+        "events_per_shard": m.events_per_shard,
+        "messages": m.stats.messages,
+        "bytes_delivered": m.stats.bytes,
+        "best_changes": m.stats.best_changes,
+        "last_event_at": m.stats.last_event_at,
+        "quiesced": m.quiesced,
+    })
+}
+
 /// Upgrade a `dbgp-sim-bench/v1` scenario record (single `wall_seconds`
 /// / `events_per_sec`, no thread fields — always measured serially) to
 /// the v2 shape, so a baseline recorded before the parallel engine
@@ -488,6 +662,22 @@ fn upgrade_v1_record(record: &Value) -> Value {
         out.push(("parallel_speedup".into(), Value::Float(1.0)));
     }
     Value::Object(out)
+}
+
+/// Upgrade a `dbgp-sim-bench/v3` scenario record (no shard accounting —
+/// always one queue, zero cut) to the v4 shape, composing with the
+/// v1 upgrade so any committed baseline generation stays comparable.
+fn upgrade_record(record: &Value) -> Value {
+    let mut upgraded = upgrade_v1_record(record);
+    if let Some(fields) = upgraded.as_object_mut() {
+        if !fields.iter().any(|(k, _)| k == "shards") {
+            fields.push(("shards".into(), Value::UInt(1)));
+        }
+        if !fields.iter().any(|(k, _)| k == "edge_cut_fraction") {
+            fields.push(("edge_cut_fraction".into(), Value::Float(0.0)));
+        }
+    }
+    upgraded
 }
 
 /// Validate the baseline document at `path`; exits the process with a
@@ -587,10 +777,29 @@ fn main() {
             })
         })
         .unwrap_or_else(dbgp_par::configured_threads);
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            args.get(i + 1).and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(|| {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(4);
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     if validate_only {
         enforce_schema(&bench_path);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--hier-quick") {
+        let doc = hier_quick(threads, shards);
+        std::fs::create_dir_all("results").ok();
+        std::fs::write("results/hier_quick.json", serde_json::to_string_pretty(&doc).unwrap())
+            .unwrap();
+        println!("(wrote results/hier_quick.json at {threads} threads, {shards} shards)");
         return;
     }
 
@@ -636,6 +845,7 @@ fn main() {
 
     let tier_a = tier_a_sweep(threads);
     let ft = fulltable_100k();
+    let hier = hier_50k_scenario(threads, shards);
 
     // Full mode: keep the recorded baseline (the pre-optimization
     // numbers this PR is measured against); seed it from this run only
@@ -646,9 +856,7 @@ fn main() {
         .as_ref()
         .and_then(|doc: &Value| doc.get("baseline").and_then(Value::as_object))
         .map(|scenarios| {
-            Value::Object(
-                scenarios.iter().map(|(k, v)| (k.clone(), upgrade_v1_record(v))).collect(),
-            )
+            Value::Object(scenarios.iter().map(|(k, v)| (k.clone(), upgrade_record(v))).collect())
         })
         .unwrap_or_else(|| current.clone());
     let mut speedup: Vec<(String, Value)> = Vec::new();
@@ -677,6 +885,7 @@ fn main() {
         "speedup": Value::Object(speedup),
         "tier_a": tier_a,
         "fulltable": { "fulltable_100k": fulltable_json(&ft) },
+        "hier_50k": hier,
     });
     std::fs::write(BENCH_PATH, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
     println!("\n(wrote {BENCH_PATH})");

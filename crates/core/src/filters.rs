@@ -28,6 +28,12 @@ pub struct FilterConfig {
     /// the behaviour of an Internet whose baseline is plain BGP, used as
     /// the comparison case in §6.3.
     pub baseline_only_export: bool,
+    /// Gao-Rexford valley-free export policy: a route learned from a
+    /// provider or lateral peer is exported only to customers. Only
+    /// adjacencies annotated with a [`crate::PeerClass`] participate;
+    /// unannotated ones export freely, so the default stays BGP's
+    /// policy-free behaviour.
+    pub valley_free: bool,
 }
 
 /// How this AS participates in an island, if at all.
@@ -178,6 +184,7 @@ mod tests {
         let cfg = FilterConfig {
             strip_protocols: vec![dbgp_wire::ProtocolId::WISER],
             baseline_only_export: false,
+            valley_free: false,
         };
         let mut adv = ia(&[5]);
         adv.path_descriptors.push(PathDescriptor::new(
@@ -240,7 +247,11 @@ mod tests {
 
     #[test]
     fn baseline_only_export_strips_everything_but_bgp() {
-        let cfg = FilterConfig { strip_protocols: vec![], baseline_only_export: true };
+        let cfg = FilterConfig {
+            strip_protocols: vec![],
+            baseline_only_export: true,
+            valley_free: false,
+        };
         let mut adv = ia(&[5]);
         adv.path_descriptors.push(PathDescriptor::new(
             dbgp_wire::ProtocolId::WISER,

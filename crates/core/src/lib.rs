@@ -38,5 +38,5 @@ pub use filters::{FilterConfig, IslandConfig, RejectReason};
 pub use iadb::IaDb;
 pub use messages::DbgpUpdate;
 pub use module::{BgpDecision, CandidateIa, DecisionModule, ExportContext, ImportContext};
-pub use neighbor::{DbgpNeighbor, NeighborId};
+pub use neighbor::{DbgpNeighbor, NeighborId, PeerClass};
 pub use speaker::{render_path, Chosen, DbgpConfig, DbgpOutput, DbgpSpeaker};

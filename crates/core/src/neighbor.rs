@@ -13,6 +13,21 @@ impl fmt::Display for NeighborId {
     }
 }
 
+/// The Gao-Rexford commercial relationship of a neighbor, from this
+/// speaker's point of view. Drives valley-free export when the egress
+/// filter's `valley_free` policy is on: routes learned from a provider
+/// or lateral peer are exported only to customers (a route never goes
+/// "up" or "sideways" again after going "down").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PeerClass {
+    /// The neighbor pays us for transit.
+    Customer,
+    /// Settlement-free lateral peer.
+    Peer,
+    /// We pay the neighbor for transit.
+    Provider,
+}
+
 /// Per-neighbor configuration for a D-BGP speaker.
 #[derive(Debug, Clone)]
 pub struct DbgpNeighbor {
@@ -26,21 +41,31 @@ pub struct DbgpNeighbor {
     /// Governs whether the egress filter abstracts intra-island detail
     /// before sending (paper §3.3).
     pub same_island: bool,
+    /// Commercial relationship, if the topology annotates one. `None`
+    /// (the default everywhere outside policy-rich scenarios) exempts
+    /// the adjacency from valley-free filtering.
+    pub class: Option<PeerClass>,
 }
 
 impl DbgpNeighbor {
     /// A D-BGP-capable neighbor outside our island.
     pub fn dbgp(asn: u32) -> Self {
-        DbgpNeighbor { asn, speaks_dbgp: true, same_island: false }
+        DbgpNeighbor { asn, speaks_dbgp: true, same_island: false, class: None }
     }
 
     /// A D-BGP-capable neighbor inside our island.
     pub fn island_peer(asn: u32) -> Self {
-        DbgpNeighbor { asn, speaks_dbgp: true, same_island: true }
+        DbgpNeighbor { asn, speaks_dbgp: true, same_island: true, class: None }
     }
 
     /// A legacy BGP-only neighbor.
     pub fn legacy(asn: u32) -> Self {
-        DbgpNeighbor { asn, speaks_dbgp: false, same_island: false }
+        DbgpNeighbor { asn, speaks_dbgp: false, same_island: false, class: None }
+    }
+
+    /// The same neighbor with a Gao-Rexford relationship annotated.
+    pub fn with_class(mut self, class: PeerClass) -> Self {
+        self.class = Some(class);
+        self
     }
 }

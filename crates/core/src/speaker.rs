@@ -26,7 +26,7 @@ use crate::factory::{self, FactoryContext};
 use crate::filters::{self, FilterConfig, IslandConfig, RejectReason};
 use crate::iadb::IaDb;
 use crate::module::{BgpDecision, CandidateIa, DecisionModule, ImportContext};
-use crate::neighbor::{DbgpNeighbor, NeighborId};
+use crate::neighbor::{DbgpNeighbor, NeighborId, PeerClass};
 use dbgp_rib::PrefixTrie;
 use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
@@ -492,10 +492,27 @@ impl DbgpSpeaker {
             Some(n) => n.clone(),
             None => return,
         };
+        // Gao-Rexford valley-free export: a route learned from a provider
+        // or lateral peer never goes back "up" or "sideways". Both ends of
+        // the decision must be class-annotated to participate; locally
+        // originated routes (no learned-from neighbor) export everywhere.
+        let mut policy_vetoed = false;
         let export = self.loc.get(&prefix).and_then(|chosen| {
             // Split horizon: never send a path back to its source.
             if chosen.neighbor == Some(id) {
                 return None;
+            }
+            if self.cfg.filters.valley_free {
+                let learned_up = chosen
+                    .neighbor
+                    .and_then(|src| self.neighbors.get(&src))
+                    .and_then(|n| n.class)
+                    .is_some_and(|c| c != PeerClass::Customer);
+                let target_up = neighbor.class.is_some_and(|c| c != PeerClass::Customer);
+                if learned_up && target_up {
+                    policy_vetoed = true;
+                    return None;
+                }
             }
             Some(Arc::clone(&chosen.ia))
         });
@@ -547,10 +564,14 @@ impl DbgpSpeaker {
             }
             None => {
                 // Nothing to export: drop this prefix's cached builds so
-                // they don't pin dead IAs.
-                for in_island in [false, true] {
-                    for speaks in [false, true] {
-                        self.out_cache.remove(&(prefix, in_island, speaks));
+                // they don't pin dead IAs. A policy veto is per-neighbor
+                // — the chosen IA is still exported to customers, whose
+                // cached builds must survive the fan-out.
+                if !policy_vetoed {
+                    for in_island in [false, true] {
+                        for speaks in [false, true] {
+                            self.out_cache.remove(&(prefix, in_island, speaks));
+                        }
                     }
                 }
                 let withdrawn =
@@ -858,6 +879,51 @@ mod tests {
         assert!(
             !outs.iter().any(|o| matches!(o, DbgpOutput::SendIa(NeighborId(0), _))),
             "no echo to source"
+        );
+    }
+
+    #[test]
+    fn valley_free_vetoes_upward_and_lateral_exports() {
+        let mut cfg = DbgpConfig::gulf(2);
+        cfg.filters.valley_free = true;
+        let mut speaker = DbgpSpeaker::new(cfg);
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1).with_class(PeerClass::Provider));
+        speaker.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(3).with_class(PeerClass::Provider));
+        speaker.add_neighbor(NeighborId(2), DbgpNeighbor::dbgp(4).with_class(PeerClass::Peer));
+        speaker.add_neighbor(NeighborId(3), DbgpNeighbor::dbgp(5).with_class(PeerClass::Customer));
+        speaker.add_neighbor(NeighborId(4), DbgpNeighbor::dbgp(6)); // unannotated
+        let mut ia = Ia::originate(p("10.0.0.0/8"), nh(1));
+        ia.prepend_as(1);
+        let outs = speaker.receive_ia(NeighborId(0), ia);
+        let sent_to = |id: u32| {
+            outs.iter().any(|o| matches!(o, DbgpOutput::SendIa(n, _) if *n == NeighborId(id)))
+        };
+        // Provider-learned: only the customer and the unannotated
+        // adjacency may hear about it.
+        assert!(!sent_to(1), "provider-learned route must not go to another provider");
+        assert!(!sent_to(2), "provider-learned route must not go to a lateral peer");
+        assert!(sent_to(3), "customers always hear provider-learned routes");
+        assert!(sent_to(4), "unannotated adjacencies are exempt from the policy");
+        // Locally originated prefixes export everywhere.
+        let outs = speaker.originate(p("172.16.0.0/12"), nh(2));
+        for id in 0..=4u32 {
+            assert!(
+                outs.iter().any(|o| matches!(o, DbgpOutput::SendIa(n, _) if *n == NeighborId(id))),
+                "own prefix must reach neighbor {id}"
+            );
+        }
+        // Customer-learned routes go everywhere (that's what transit is).
+        let mut cfg = DbgpConfig::gulf(7);
+        cfg.filters.valley_free = true;
+        let mut transit = DbgpSpeaker::new(cfg);
+        transit.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(8).with_class(PeerClass::Customer));
+        transit.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(9).with_class(PeerClass::Provider));
+        let mut ia = Ia::originate(p("192.168.0.0/16"), nh(8));
+        ia.prepend_as(8);
+        let outs = transit.receive_ia(NeighborId(0), ia);
+        assert!(
+            outs.iter().any(|o| matches!(o, DbgpOutput::SendIa(NeighborId(1), _))),
+            "customer-learned route is exported upward"
         );
     }
 

@@ -23,7 +23,9 @@ use dbgp_core::module::{CandidateIa, DecisionModule, ExportContext};
 use dbgp_wire::ia::PathDescriptor;
 use dbgp_wire::varint::{get_uvarint, put_uvarint};
 use dbgp_wire::{Ia, Ipv4Prefix, IslandId, ProtocolId};
-use std::collections::{BinaryHeap, HashMap};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Descriptor key for HLP's accumulated path cost (it disseminates
 /// "path costs" per Table 1).
@@ -73,10 +75,23 @@ impl Lsa {
     }
 }
 
+/// Reusable Dijkstra working state. `select_best` costs every external
+/// candidate with a link-state distance, so the heap and settled set
+/// are kept (cleared, not dropped) between runs instead of being
+/// reallocated per call.
+#[derive(Debug, Clone, Default)]
+struct DijkstraScratch {
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    visited: HashSet<u32>,
+}
+
 /// The link-state database one island member maintains.
 #[derive(Debug, Clone, Default)]
 pub struct LinkStateDb {
     lsas: HashMap<u32, Lsa>,
+    /// Interior-mutable so the read-only query API stays `&self` (the
+    /// scratch never outlives one query; queries don't nest).
+    scratch: RefCell<DijkstraScratch>,
 }
 
 impl LinkStateDb {
@@ -110,29 +125,49 @@ impl LinkStateDb {
 
     /// Dijkstra from `source`: cost to every reachable router.
     pub fn shortest_paths(&self, source: u32) -> HashMap<u32, u64> {
-        let mut dist: HashMap<u32, u64> = HashMap::new();
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
-        dist.insert(source, 0);
-        heap.push(std::cmp::Reverse((0, source)));
-        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-            if dist.get(&u).copied().unwrap_or(u64::MAX) < d {
-                continue;
-            }
-            let Some(lsa) = self.lsas.get(&u) else { continue };
-            for &(v, cost) in &lsa.links {
-                let nd = d.saturating_add(cost);
-                if nd < dist.get(&v).copied().unwrap_or(u64::MAX) {
-                    dist.insert(v, nd);
-                    heap.push(std::cmp::Reverse((nd, v)));
-                }
-            }
-        }
+        let mut dist = HashMap::new();
+        self.run_dijkstra(source, None, &mut dist);
         dist
     }
 
-    /// Cost from `source` to `target`, if reachable.
+    /// Cost from `source` to `target`, if reachable. Stops as soon as
+    /// `target` settles rather than exploring the whole island.
     pub fn distance(&self, source: u32, target: u32) -> Option<u64> {
-        self.shortest_paths(source).get(&target).copied()
+        let mut dist = HashMap::new();
+        self.run_dijkstra(source, Some(target), &mut dist);
+        dist.get(&target).copied()
+    }
+
+    /// Dijkstra with an explicit settled set: a popped router that is
+    /// already settled is a stale heap entry and is skipped outright,
+    /// and settled neighbors are never re-relaxed (their distance is
+    /// final), so each router's adjacency is expanded exactly once.
+    fn run_dijkstra(&self, source: u32, target: Option<u32>, dist: &mut HashMap<u32, u64>) {
+        let mut scratch = self.scratch.borrow_mut();
+        let DijkstraScratch { heap, visited } = &mut *scratch;
+        heap.clear();
+        visited.clear();
+        dist.insert(source, 0);
+        heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if !visited.insert(u) {
+                continue;
+            }
+            if target == Some(u) {
+                break;
+            }
+            let Some(lsa) = self.lsas.get(&u) else { continue };
+            for &(v, cost) in &lsa.links {
+                if visited.contains(&v) {
+                    continue;
+                }
+                let nd = d.saturating_add(cost);
+                if nd < dist.get(&v).copied().unwrap_or(u64::MAX) {
+                    dist.insert(v, nd);
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
     }
 }
 
@@ -293,6 +328,28 @@ mod tests {
         assert_eq!(db.distance(1, 4), Some(2), "via router 3");
         assert_eq!(db.distance(1, 2), Some(3), "via 3 and 4 beats the direct 5");
         assert_eq!(db.distance(1, 99), None);
+    }
+
+    /// A graph engineered to push the same router into the heap several
+    /// times with improving distances (the stale entries must be
+    /// skipped, not re-expanded), queried repeatedly so the reused
+    /// scratch state is proven to reset between runs.
+    #[test]
+    fn dijkstra_skips_stale_entries_and_reuses_scratch() {
+        let mut db = LinkStateDb::new();
+        db.integrate(Lsa { router: 1, seq: 1, links: vec![(2, 10), (3, 1)] });
+        db.integrate(Lsa { router: 3, seq: 1, links: vec![(2, 2), (4, 20)] });
+        db.integrate(Lsa { router: 2, seq: 1, links: vec![(4, 1)] });
+        db.integrate(Lsa { router: 4, seq: 1, links: vec![] });
+        for round in 0..3 {
+            assert_eq!(db.distance(1, 2), Some(3), "1-3-2 beats direct (round {round})");
+            assert_eq!(db.distance(1, 4), Some(4), "1-3-2-4 beats 1-3-4 (round {round})");
+            let all = db.shortest_paths(1);
+            assert_eq!(all.get(&3), Some(&1));
+            assert_eq!(all.get(&2), Some(&3));
+            assert_eq!(all.get(&4), Some(&4));
+        }
+        assert_eq!(db.distance(1, 99), None, "unreachable after scratch reuse");
     }
 
     #[test]

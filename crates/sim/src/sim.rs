@@ -16,12 +16,13 @@
 //! construction sequence and seed — the property the `dbgp-chaos` crate
 //! builds its fault-injection harness on.
 
-use crate::engine::{EventQueue, SimTime};
+use crate::engine::{EventRouter, Routable, SimTime};
 use crate::link::LinkModel;
 use crate::link::SimRng;
 use bytes::Bytes;
 use dbgp_core::{
     render_path, DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId,
+    PeerClass,
 };
 use dbgp_protocols::{MiroPortal, MiroRequest};
 use dbgp_rib::PrefixTrie;
@@ -69,6 +70,21 @@ enum Event {
     OobRequest { to_addr: Ipv4Addr, from: NodeId, payload: Vec<u8> },
     /// Out-of-band response back to a node.
     OobResponse { to: NodeId, from_addr: Ipv4Addr, payload: Vec<u8> },
+}
+
+impl Routable for Event {
+    /// Shard affinity: wire and flush events are pinned to the node
+    /// whose state they mutate; out-of-band requests address a service,
+    /// not a node, and ride on shard 0 (the sharded engine never runs
+    /// with out-of-band traffic anyway — see [`Sim::run`]).
+    fn route_node(&self) -> Option<usize> {
+        match self {
+            Event::Deliver { to, .. } => Some(*to),
+            Event::Flush { node, .. } => Some(*node),
+            Event::OobRequest { .. } => None,
+            Event::OobResponse { to, .. } => Some(*to),
+        }
+    }
 }
 
 /// A service reachable over the out-of-band bus (the paper's portals and
@@ -139,6 +155,15 @@ struct NodeSlot(*mut Node);
 
 // SAFETY: see the type-level comment; upheld by `Sim::process_window`.
 unsafe impl Send for NodeSlot {}
+
+/// Like [`NodeSlot`] but carrying the whole node-array base: a sharded
+/// worker dereferences only the nodes its shard owns (asserted per
+/// delivery against the router's node→shard table), so the same
+/// disjointness argument applies.
+struct NodeBase(*mut Node);
+
+// SAFETY: see [`NodeSlot`]; upheld by `Sim::run_sharded`.
+unsafe impl Send for NodeBase {}
 
 /// Result of the node-local half of a `Deliver`, produced on a pool
 /// worker and committed serially in pop order.
@@ -295,6 +320,11 @@ struct LinkState {
     speaks_dbgp: bool,
     model: LinkModel,
     up: bool,
+    /// Gao-Rexford annotation, if any: how each end sees the other,
+    /// ordered `(lower-id end's view, higher-id end's view)` to match
+    /// the `link_key` normalization. `None` (every classic scenario)
+    /// leaves the adjacency exempt from valley-free filtering.
+    classes: Option<(PeerClass, PeerClass)>,
 }
 
 /// Counters the experiments read out.
@@ -349,7 +379,7 @@ pub struct Sim {
     /// Undirected link state, keyed by `(min, max)` node pair.
     links: BTreeMap<(NodeId, NodeId), LinkState>,
     services: HashMap<Ipv4Addr, (NodeId, Service)>,
-    queue: EventQueue<Event>,
+    queue: EventRouter<Event>,
     stats: SimStats,
     /// Route-churn records per (node, prefix).
     churn: BTreeMap<(NodeId, Ipv4Prefix), PrefixChurn>,
@@ -387,6 +417,18 @@ pub struct Sim {
     /// Reusable window buffer for the Tier B drain/commit loop; kept on
     /// the struct so its capacity survives across windows.
     window: Vec<(SimTime, Event)>,
+    /// The node partition behind the sharded engine, if [`Sim::set_shards`]
+    /// was called (kept for edge-cut reporting).
+    partition: Option<dbgp_par::Partition>,
+    /// Link-delay accumulators: the calendar queue's day width is tuned
+    /// to the mean link delay at first run.
+    delay_sum: SimTime,
+    delay_count: u64,
+    width_tuned: bool,
+    /// Reusable per-shard window/outcome buffers for the sharded
+    /// engine's drain/commit cycle.
+    shard_windows: Vec<Vec<(SimTime, u64, Event)>>,
+    shard_outcomes: Vec<Vec<Option<ParOutcome>>>,
 }
 
 impl Default for Sim {
@@ -402,7 +444,7 @@ impl Sim {
             nodes: Vec::new(),
             links: BTreeMap::new(),
             services: HashMap::new(),
-            queue: EventQueue::new(),
+            queue: EventRouter::new(),
             stats: SimStats::default(),
             churn: BTreeMap::new(),
             rng: SimRng::new(0),
@@ -415,6 +457,12 @@ impl Sim {
             min_link_delay: u64::MAX,
             oob_used: false,
             window: Vec::new(),
+            partition: None,
+            delay_sum: 0,
+            delay_count: 0,
+            width_tuned: false,
+            shard_windows: Vec::new(),
+            shard_outcomes: Vec::new(),
         }
     }
 
@@ -440,6 +488,41 @@ impl Sim {
     /// Threads of compute the engine will apply (1 = serial).
     pub fn threads(&self) -> usize {
         self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
+    /// Partition the event engine into `shards` per-shard calendar
+    /// queues (Tier C). The partitioner is a METIS-lite greedy edge cut
+    /// over the current link graph, so call this after the topology is
+    /// built; `1` returns to the single-queue engine. Sharding is
+    /// results-neutral at any shard and thread count — the router keeps
+    /// one global `(time, seq)` order (DESIGN.md §12) — and only the
+    /// combination of shards > 1, a worker pool, and an out-of-band-free
+    /// run engages the sharded parallel path.
+    pub fn set_shards(&mut self, shards: usize) {
+        let shards = shards.clamp(1, u16::MAX as usize - 1);
+        let edges: Vec<(usize, usize)> = self.links.keys().copied().collect();
+        let part = dbgp_par::partition(self.nodes.len(), &edges, shards);
+        // Mailbox hint: one window's cross-shard fan-out is bounded in
+        // practice by the shard's share of the link count.
+        let hint = (edges.len() / part.shards.max(1)).max(64);
+        self.queue.set_shards(part.assignment.clone(), part.shards, hint);
+        self.partition = Some(part);
+    }
+
+    /// Shards the event engine is partitioned into (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.queue.shard_count()
+    }
+
+    /// Fraction of links whose endpoints landed in different shards
+    /// (0.0 when unsharded).
+    pub fn edge_cut_fraction(&self) -> f64 {
+        self.partition.as_ref().map_or(0.0, |p| p.edge_cut_fraction())
+    }
+
+    /// Events committed through each shard so far.
+    pub fn shard_event_counts(&self) -> Vec<u64> {
+        self.queue.shard_processed().to_vec()
     }
 
     /// Attach a recording sink: every control-plane action from here on
@@ -664,14 +747,53 @@ impl Sim {
         same_island: bool,
         speaks_dbgp: bool,
     ) {
+        self.link_full(a, b, delay, same_island, speaks_dbgp, None)
+    }
+
+    /// Connect a customer to its transit provider (Gao-Rexford): the
+    /// customer sees a [`PeerClass::Provider`], the provider a
+    /// [`PeerClass::Customer`]. Valley-free filtering only activates on
+    /// speakers whose `FilterConfig::valley_free` is set.
+    pub fn link_customer_provider(&mut self, customer: NodeId, provider: NodeId, delay: SimTime) {
+        let classes = if customer < provider {
+            (PeerClass::Provider, PeerClass::Customer)
+        } else {
+            (PeerClass::Customer, PeerClass::Provider)
+        };
+        self.link_full(customer, provider, delay, false, true, Some(classes));
+    }
+
+    /// Connect two settlement-free lateral peers (Gao-Rexford).
+    pub fn link_peering(&mut self, a: NodeId, b: NodeId, delay: SimTime) {
+        self.link_full(a, b, delay, false, true, Some((PeerClass::Peer, PeerClass::Peer)));
+    }
+
+    fn link_full(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        delay: SimTime,
+        same_island: bool,
+        speaks_dbgp: bool,
+        classes: Option<(PeerClass, PeerClass)>,
+    ) {
         self.links.insert(
             link_key(a, b),
-            LinkState { delay, same_island, speaks_dbgp, model: LinkModel::reliable(), up: true },
+            LinkState {
+                delay,
+                same_island,
+                speaks_dbgp,
+                model: LinkModel::reliable(),
+                up: true,
+                classes,
+            },
         );
         // Lookahead bound: once a link this fast exists, windows may
         // never span more than its delay. (Failing the link does not
         // relax the bound — a conservative lookahead is always safe.)
         self.min_link_delay = self.min_link_delay.min(delay);
+        self.delay_sum = self.delay_sum.saturating_add(delay);
+        self.delay_count += 1;
         for (me, peer) in [(a, b), (b, a)] {
             self.establish(me, peer, same_island, speaks_dbgp, "link-up", None);
         }
@@ -876,10 +998,33 @@ impl Sim {
     /// call picks up exactly where this one stopped. Returns the
     /// statistics snapshot.
     pub fn run(&mut self, max_time: SimTime) -> SimStats {
+        self.tune_width();
         match self.pool.clone() {
+            Some(pool)
+                if self.parallel_safe() && self.queue.shard_count() > 1 && !self.oob_used =>
+            {
+                self.run_sharded(&pool, max_time)
+            }
             Some(pool) if self.parallel_safe() => self.run_windowed(&pool, max_time),
             _ => self.run_serial(max_time),
         }
+    }
+
+    /// Derive the calendar-queue day width from the mean link delay
+    /// (once, at first run): one day spanning roughly one typical delay
+    /// keeps each lookahead window's events within O(1) buckets. A pure
+    /// throughput knob — pop order is exact `(time, seq)` at any width.
+    fn tune_width(&mut self) {
+        if self.width_tuned {
+            return;
+        }
+        self.width_tuned = true;
+        if self.delay_count == 0 {
+            return;
+        }
+        let mean = (self.delay_sum / self.delay_count).max(1);
+        let shift = (SimTime::BITS - mean.leading_zeros()).min(12);
+        self.queue.set_width_shift(shift);
     }
 
     /// Whether the windowed parallel engine may run: telemetry handles
@@ -907,7 +1052,7 @@ impl Sim {
 
     /// Process one event exactly as the serial loop always has. The
     /// caller has already advanced the queue clock to `at` (by popping,
-    /// or via [`EventQueue::set_now`] during a window replay).
+    /// or via the router's `set_now` during a window replay).
     fn handle_event(&mut self, at: SimTime, event: Event) {
         self.stats.last_event_at = at;
         {
@@ -1211,6 +1356,162 @@ impl Sim {
         }
     }
 
+    // ----- sharded parallel engine (Tier C) ------------------------------
+
+    /// The sharded engine: each shard's worker merges its staged
+    /// mailbox, drains its own calendar queue to the window horizon, and
+    /// runs the node-local half of its `Deliver`s — all concurrently,
+    /// with no shared queue — then a serial commit k-way-merges the
+    /// shard windows on the global `(time, seq)` key. Commit-side
+    /// schedules go to per-shard mailboxes (conservative lookahead puts
+    /// them beyond the horizon, so no worker ever misses one).
+    ///
+    /// Bit-identical to [`Sim::run_serial`] by the same argument as the
+    /// windowed engine (DESIGN.md §10, §12): the parallel phase computes
+    /// only node-local speaker outcomes, the shards partition the nodes,
+    /// and every globally visible effect — stats, metrics, FIBs, churn,
+    /// RNG draws, sequence assignment — happens in the commit loop in
+    /// exactly the serial order.
+    fn run_sharded(&mut self, pool: &dbgp_par::Pool, max_time: SimTime) -> SimStats {
+        /// Below this many pending events the pool barrier dwarfs the
+        /// speaker work; flush staging and replay serially. A pure
+        /// performance knob — both paths produce identical results.
+        const MIN_PARALLEL_WINDOW: usize = 64;
+
+        let shards = self.queue.shard_count();
+        let mut swin = std::mem::take(&mut self.shard_windows);
+        let mut souts = std::mem::take(&mut self.shard_outcomes);
+        swin.resize_with(shards, Vec::new);
+        souts.resize_with(shards, Vec::new);
+        self.queue.begin_staging();
+        while let Some(t0) = self.queue.peek_time() {
+            if t0 > max_time {
+                break;
+            }
+            // Same inclusive-horizon arithmetic as the windowed engine.
+            let horizon = t0.saturating_add(self.lookahead().saturating_sub(1)).min(max_time);
+            if self.queue.len() < MIN_PARALLEL_WINDOW {
+                self.queue.flush_staging();
+                let mut window = std::mem::take(&mut self.window);
+                self.queue.drain_upto(horizon, &mut window);
+                for (at, event) in window.drain(..) {
+                    self.queue.set_now(at);
+                    self.handle_event(at, event);
+                }
+                self.window = window;
+                continue;
+            }
+
+            // --- parallel phase: one worker per shard, end to end.
+            {
+                let n_nodes = self.nodes.len();
+                let base = self.nodes.as_mut_ptr();
+                let (queues, chans, node_shard) = self.queue.split_shards();
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = queues
+                    .iter_mut()
+                    .zip(chans.iter_mut())
+                    .zip(swin.iter_mut().zip(souts.iter_mut()))
+                    .enumerate()
+                    .map(|(s, ((queue, chan), (win, outs)))| {
+                        let node_shard: &[u16] = node_shard;
+                        let nbase = NodeBase(base);
+                        Box::new(move || {
+                            // Rebind so the closure captures the Send
+                            // wrapper, not its raw-pointer field (2021
+                            // closures capture disjoint fields).
+                            let nbase = nbase;
+                            for (at, seq, e) in chan.drain() {
+                                queue.insert_keyed(at, seq, e);
+                            }
+                            win.clear();
+                            queue.drain_keyed_upto(horizon, win);
+                            outs.clear();
+                            for (_, _, event) in win.iter() {
+                                if let Event::Deliver { to, from, bytes, .. } = event {
+                                    // Hard ownership check: the router
+                                    // pins every Deliver to its node's
+                                    // shard, so the `&mut Node` below
+                                    // aliases no other worker's.
+                                    assert!(
+                                        *to < n_nodes
+                                            && node_shard.get(*to).copied().unwrap_or(0) as usize
+                                                == s,
+                                        "delivery to node {to} outside shard {s}"
+                                    );
+                                    // SAFETY: bounds-checked offset; the
+                                    // shards partition node ids (asserted
+                                    // above); `parallel_safe` proved the
+                                    // nodes hold no Rc telemetry state
+                                    // (see the NodeSlot safety comment).
+                                    let node = unsafe { &mut *nbase.0.add(*to) };
+                                    outs.push(Some(process_deliver(node, *from, bytes)));
+                                } else {
+                                    outs.push(None);
+                                }
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run_batch(jobs);
+            }
+            let drained: Vec<usize> = swin.iter().map(|w| w.len()).collect();
+            self.queue.note_parallel_drain(&drained);
+
+            // --- commit phase: k-way merge on (time, seq), all global
+            // effects serially in exactly the serial engine's order.
+            let mut iters: Vec<_> = swin.iter_mut().map(|w| w.drain(..).peekable()).collect();
+            let mut taken = vec![0usize; shards];
+            loop {
+                let mut best: Option<((SimTime, u64), usize)> = None;
+                for (s, it) in iters.iter_mut().enumerate() {
+                    if let Some((at, seq, _)) = it.peek() {
+                        let key = (*at, *seq);
+                        if best.is_none_or(|(bk, _)| key < bk) {
+                            best = Some((key, s));
+                        }
+                    }
+                }
+                let Some((_, s)) = best else { break };
+                let (at, _seq, event) = iters[s].next().expect("peeked iterator must yield");
+                let outcome = souts[s][taken[s]].take();
+                taken[s] += 1;
+                self.commit_one(at, event, outcome);
+            }
+        }
+        self.queue.end_staging();
+        self.shard_windows = swin;
+        self.shard_outcomes = souts;
+        self.stats
+    }
+
+    /// Commit one event's global effects — the sharded engine's
+    /// counterpart of the windowed commit loop body, bit-identical to
+    /// what [`Sim::handle_event`] does for the same event minus the
+    /// node-local half already computed in the parallel phase.
+    fn commit_one(&mut self, at: SimTime, event: Event, outcome: Option<ParOutcome>) {
+        self.queue.set_now(at);
+        self.stats.last_event_at = at;
+        match event {
+            Event::Deliver { to, bytes, .. } => {
+                self.stats.messages += 1;
+                self.stats.bytes += bytes.len() as u64;
+                self.metrics.registry.observe(self.metrics.message_bytes, bytes.len() as u64);
+                match outcome.expect("every Deliver got an outcome") {
+                    ParOutcome::DecodeError => self.stats.decode_errors += 1,
+                    ParOutcome::Orphaned => self.stats.orphaned_deliveries += 1,
+                    ParOutcome::Processed(outputs) => {
+                        self.apply_local(to, &outputs);
+                        self.dispatch(to, outputs, None);
+                    }
+                }
+            }
+            Event::Flush { node, neighbor } => self.flush(node, neighbor),
+            Event::OobRequest { .. } | Event::OobResponse { .. } => {
+                unreachable!("the sharded engine requires an out-of-band-free run")
+            }
+        }
+    }
+
     // ----- internals ----------------------------------------------------
 
     /// One end of session bring-up: allocate a neighbor ID for `peer`,
@@ -1235,6 +1536,14 @@ impl Sim {
         let mut neighbor =
             if speaks_dbgp { DbgpNeighbor::dbgp(peer_as) } else { DbgpNeighbor::legacy(peer_as) };
         neighbor.same_island = same_island;
+        // Re-reading the annotation from the link table (rather than
+        // threading it through every call site) keeps restarts and link
+        // restores re-establishing with the same commercial relationship.
+        if let Some((lo_view, hi_view)) =
+            self.links.get(&link_key(me, peer)).and_then(|l| l.classes)
+        {
+            neighbor.class = Some(if me < peer { lo_view } else { hi_view });
+        }
         let root = if self.sink.enabled() {
             self.sink.record_at(
                 self.queue.now(),

@@ -1,7 +1,9 @@
-//! The Tier B contract: the lookahead-windowed parallel engine is
-//! observationally identical to the serial engine — bit-identical
-//! statistics, metrics snapshots, per-node counters, Loc-RIBs, FIBs and
-//! churn records, at every intermediate checkpoint of a churning run.
+//! The Tier B and Tier C contract: the lookahead-windowed parallel
+//! engine and the sharded per-queue engine are observationally
+//! identical to the serial engine — bit-identical statistics, metrics
+//! snapshots, per-node counters, Loc-RIBs, FIBs and churn records, at
+//! every intermediate checkpoint of a churning run, at any thread and
+//! shard count.
 //!
 //! The scenario mirrors the `waxman50_churn` benchmark: gulf speakers
 //! on a 50-AS Waxman graph with heterogeneous link delays and seeded
@@ -23,6 +25,11 @@ fn origin_prefix(node: usize) -> Ipv4Prefix {
 
 /// Build the churn scenario simulation (not yet converged).
 fn build(seed: u64, threads: usize) -> (Sim, Vec<(usize, usize)>) {
+    build_sharded(seed, threads, 1)
+}
+
+/// Build with an explicit shard count (1 = the unsharded router).
+fn build_sharded(seed: u64, threads: usize, shards: usize) -> (Sim, Vec<(usize, usize)>) {
     let graph = waxman_50(seed);
     let mut sim = Sim::new();
     sim.set_threads(threads);
@@ -50,6 +57,12 @@ fn build(seed: u64, threads: usize) -> (Sim, Vec<(usize, usize)>) {
             1 => sim.set_link_model(a, b, LinkModel::reliable().duplicate_ppm(90_000)),
             _ => {}
         }
+    }
+    if shards > 1 {
+        // After the topology exists, so the partitioner sees every link.
+        sim.set_shards(shards);
+        assert_eq!(sim.shards(), shards);
+        assert!(sim.edge_cut_fraction() < 1.0);
     }
     for node in 0..graph.len() {
         sim.originate(node, origin_prefix(node));
@@ -89,7 +102,11 @@ fn fingerprint(sim: &mut Sim) -> String {
 /// function of the seed, so two instances at different thread counts
 /// see identical inputs.
 fn drive(seed: u64, threads: usize) -> Vec<String> {
-    let (mut sim, edges) = build(seed, threads);
+    drive_sharded(seed, threads, 1)
+}
+
+fn drive_sharded(seed: u64, threads: usize, shards: usize) -> Vec<String> {
+    let (mut sim, edges) = build_sharded(seed, threads, shards);
     assert_eq!(sim.threads(), threads);
     let mut checkpoints = Vec::new();
     sim.run(20_000);
@@ -109,6 +126,16 @@ fn drive(seed: u64, threads: usize) -> Vec<String> {
     }
     sim.run(60_000);
     checkpoints.push(fingerprint(&mut sim));
+    // The per-shard commit accounting must tile the global count.
+    let per_shard = sim.shard_event_counts();
+    assert_eq!(per_shard.len(), shards.max(1));
+    assert_eq!(per_shard.iter().sum::<u64>(), sim.events_processed());
+    if shards > 1 {
+        assert!(
+            per_shard.iter().filter(|&&n| n > 0).count() >= 2,
+            "sharded run committed all events through one shard: {per_shard:?}"
+        );
+    }
     checkpoints
 }
 
@@ -129,6 +156,30 @@ fn two_threads_bit_identical_on_waxman_50_churn() {
 #[test]
 fn four_threads_bit_identical_on_waxman_50_churn() {
     assert_identical(42, 4);
+}
+
+fn assert_sharded_identical(seed: u64, threads: usize, shards: usize) {
+    let serial = drive(seed, 1);
+    let sharded = drive_sharded(seed, threads, shards);
+    assert_eq!(serial.len(), sharded.len());
+    for (i, (s, p)) in serial.iter().zip(sharded.iter()).enumerate() {
+        assert_eq!(
+            s, p,
+            "seed {seed}: serial vs {threads}-thread/{shards}-shard runs diverged at checkpoint {i}"
+        );
+    }
+}
+
+/// The Tier C contract: the sharded engine is bit-identical to the
+/// serial engine at every (thread, shard) combination, including
+/// shards without a pool (the router's serial k-way merge) and more
+/// shards than threads.
+#[test]
+fn sharded_engine_bit_identical_on_waxman_50_churn() {
+    assert_sharded_identical(42, 1, 4); // router only, serial engine
+    assert_sharded_identical(42, 2, 2);
+    assert_sharded_identical(42, 2, 4); // more shards than threads
+    assert_sharded_identical(42, 4, 3);
 }
 
 proptest! {

@@ -1,6 +1,7 @@
 //! Ready-made topologies for the chaos and benchmark harnesses.
 
 use crate::graph::AsGraph;
+use crate::hierarchical::{generate_hier, HierParams, HierTopology};
 use crate::waxman::{generate, WaxmanParams};
 
 /// A 50-AS Waxman topology with the paper's §6.3 parameters (α = 0.15,
@@ -16,6 +17,19 @@ pub fn waxman_50(seed: u64) -> AsGraph {
 /// O(n·m) with rejection), so benchmarks build it once and reuse it.
 pub fn waxman_5000(seed: u64) -> AsGraph {
     generate(WaxmanParams { n: 5000, ..WaxmanParams::default() }, seed)
+}
+
+/// The 50,000-AS hierarchical Gao-Rexford tier (12-member tier-1
+/// clique, 988 tier-2, 4,000 regionals, 45,000 stubs) — the benchmark
+/// topology that only the sharded engine makes tractable.
+pub fn hier_50k(seed: u64) -> HierTopology {
+    generate_hier(HierParams::default(), seed)
+}
+
+/// The same hierarchy shrunk 25× (~2,000 ASes) — the CI `--hier-quick`
+/// determinism slice, small enough to run under a debug build.
+pub fn hier_2k(seed: u64) -> HierTopology {
+    generate_hier(HierParams::default().scaled_down(25), seed)
 }
 
 /// The R-BGP failover diamond: destination 0, a short transit 1, a long

@@ -1,0 +1,338 @@
+//! CAIDA-like hierarchical AS topology generation.
+//!
+//! The Waxman generator ([`crate::waxman`]) reproduces the paper's §6.3
+//! evaluation scale, but its degree-heuristic hierarchy is loose: there
+//! is no explicit core, and provider chains can be arbitrarily deep.
+//! This module generates the tiered structure AS-relationship datasets
+//! (CAIDA serial-2 style) actually show:
+//!
+//! * a small clique of **tier-1** transit-free providers, fully meshed
+//!   with settlement-free peering;
+//! * **tier-2** national transit networks, multihomed to the clique and
+//!   sparsely peered laterally;
+//! * **regional** providers buying transit from tier-2;
+//! * a long tail of **stub** edge networks (≈90% of ASes, matching the
+//!   real Internet) multihomed to regionals with occasional direct
+//!   tier-2 uplinks.
+//!
+//! Provider choice within a tier uses preferential attachment (the
+//! repeated-endpoint list trick, O(1) per draw), giving the heavy-tailed
+//! customer-cone distribution the valley-free convergence literature
+//! assumes. Everything is deterministic per seed.
+
+use crate::graph::AsGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which layer of the transit hierarchy an AS sits in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Transit-free core clique member.
+    Tier1,
+    /// National/continental transit provider.
+    Tier2,
+    /// Regional provider.
+    Regional,
+    /// Edge network: pure customer, originates prefixes.
+    Stub,
+}
+
+/// Generator parameters. Defaults give the 50,000-AS benchmark tier.
+#[derive(Debug, Clone, Copy)]
+pub struct HierParams {
+    /// Tier-1 clique size (CAIDA's serial-2 clique hovers around a
+    /// dozen).
+    pub tier1: usize,
+    /// Tier-2 transit count.
+    pub tier2: usize,
+    /// Regional provider count.
+    pub regional: usize,
+    /// Stub count.
+    pub stubs: usize,
+    /// Max providers a tier-2 buys from (uniform in `1..=max`).
+    pub max_tier2_providers: usize,
+    /// Max providers a regional buys from.
+    pub max_regional_providers: usize,
+    /// Max providers a stub buys from.
+    pub max_stub_providers: usize,
+    /// Per-mille chance a tier-2 AS also peers laterally with an
+    /// earlier tier-2.
+    pub tier2_peering_permille: u32,
+    /// Per-mille chance a stub uplinks directly to a tier-2 instead of
+    /// a regional (content networks buying premium transit).
+    pub stub_tier2_uplink_permille: u32,
+}
+
+impl Default for HierParams {
+    fn default() -> Self {
+        HierParams {
+            tier1: 12,
+            tier2: 988,
+            regional: 4_000,
+            stubs: 45_000,
+            max_tier2_providers: 3,
+            max_regional_providers: 3,
+            max_stub_providers: 2,
+            tier2_peering_permille: 250,
+            stub_tier2_uplink_permille: 100,
+        }
+    }
+}
+
+impl HierParams {
+    /// Total AS count.
+    pub fn total(&self) -> usize {
+        self.tier1 + self.tier2 + self.regional + self.stubs
+    }
+
+    /// A proportionally shrunk topology (`total ≈ self.total / factor`),
+    /// keeping at least a 3-node clique — the CI quick slice.
+    pub fn scaled_down(&self, factor: usize) -> Self {
+        let f = factor.max(1);
+        HierParams {
+            tier1: (self.tier1 / f).max(3),
+            tier2: (self.tier2 / f).max(4),
+            regional: (self.regional / f).max(8),
+            stubs: (self.stubs / f).max(16),
+            ..*self
+        }
+    }
+}
+
+/// A tiered topology: customer→provider edges live in `transit` (an
+/// [`AsGraph`], so its valley-free helpers apply), lateral
+/// settlement-free edges in `peering`.
+#[derive(Debug, Clone)]
+pub struct HierTopology {
+    /// Customer→provider adjacencies.
+    pub transit: AsGraph,
+    /// Lateral peering edges, `(a, b)` with `a < b`, sorted.
+    pub peering: Vec<(usize, usize)>,
+    /// Tier of each node.
+    pub tiers: Vec<Tier>,
+}
+
+impl HierTopology {
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// True when the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// Total adjacency count (transit + peering).
+    pub fn edge_count(&self) -> usize {
+        self.transit.edge_count() + self.peering.len()
+    }
+
+    /// Tier of a node.
+    pub fn tier(&self, node: usize) -> Tier {
+        self.tiers[node]
+    }
+
+    /// Node indices of a tier, in ascending order.
+    pub fn nodes_in(&self, tier: Tier) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |&n| self.tiers[n] == tier)
+    }
+
+    /// Connectivity over the union of transit and peering edges.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.len()];
+        for (n, slot) in adj.iter_mut().enumerate() {
+            slot.extend(self.transit.neighbors(n).map(|a| a.neighbor));
+        }
+        for &(a, b) in &self.peering {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; self.len()];
+        seen[0] = true;
+        let mut stack = vec![0usize];
+        let mut count = 1usize;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.len()
+    }
+}
+
+/// Generate a connected hierarchical topology. Node indices are laid out
+/// tier-1 first, then tier-2, regionals, stubs — so `node < tier1` is
+/// the clique, etc.
+pub fn generate_hier(params: HierParams, seed: u64) -> HierTopology {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A15_C0DE);
+    let t1 = params.tier1;
+    let t2_base = t1;
+    let reg_base = t2_base + params.tier2;
+    let stub_base = reg_base + params.regional;
+    let n = params.total();
+
+    let mut tiers = Vec::with_capacity(n);
+    tiers.extend(std::iter::repeat_n(Tier::Tier1, params.tier1));
+    tiers.extend(std::iter::repeat_n(Tier::Tier2, params.tier2));
+    tiers.extend(std::iter::repeat_n(Tier::Regional, params.regional));
+    tiers.extend(std::iter::repeat_n(Tier::Stub, params.stubs));
+
+    let mut transit = AsGraph::new(n);
+    let mut peering: Vec<(usize, usize)> = Vec::new();
+
+    // Tier-1: full settlement-free mesh.
+    for a in 0..t1 {
+        for b in (a + 1)..t1 {
+            peering.push((a, b));
+        }
+    }
+
+    // Preferential-attachment pools: every provider appears once, and
+    // again each time it wins a customer, so the draw probability tracks
+    // customer-cone size.
+    let mut t1_pool: Vec<usize> = (0..t1).collect();
+    let mut t2_pool: Vec<usize> = (t2_base..reg_base).collect();
+    let mut reg_pool: Vec<usize> = (reg_base..stub_base).collect();
+
+    let attach = |rng: &mut StdRng,
+                  transit: &mut AsGraph,
+                  customer: usize,
+                  pool: &mut Vec<usize>,
+                  want: usize| {
+        let mut chosen: Vec<usize> = Vec::with_capacity(want);
+        let mut guard = 0usize;
+        while chosen.len() < want && guard < 64 {
+            guard += 1;
+            let p = pool[rng.gen_range(0..pool.len())];
+            if chosen.contains(&p) {
+                continue;
+            }
+            chosen.push(p);
+        }
+        for p in chosen {
+            transit.add_edge(customer, p);
+            pool.push(p);
+        }
+    };
+
+    for v in t2_base..reg_base {
+        let want = 1 + rng.gen_range(0..params.max_tier2_providers);
+        attach(&mut rng, &mut transit, v, &mut t1_pool, want.min(t1));
+        if rng.gen_range(0u32..1000) < params.tier2_peering_permille && v > t2_base {
+            let peer = rng.gen_range(t2_base..v);
+            peering.push((peer, v));
+        }
+    }
+    for v in reg_base..stub_base {
+        let want = 1 + rng.gen_range(0..params.max_regional_providers);
+        attach(&mut rng, &mut transit, v, &mut t2_pool, want);
+    }
+    for v in stub_base..n {
+        let want = 1 + rng.gen_range(0..params.max_stub_providers);
+        let pool = if rng.gen_range(0u32..1000) < params.stub_tier2_uplink_permille {
+            &mut t2_pool
+        } else {
+            &mut reg_pool
+        };
+        attach(&mut rng, &mut transit, v, pool, want);
+    }
+
+    peering.sort_unstable();
+    peering.dedup();
+    HierTopology { transit, peering, tiers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> HierParams {
+        HierParams::default().scaled_down(25)
+    }
+
+    #[test]
+    fn layout_and_tiers_line_up() {
+        let p = quick();
+        let topo = generate_hier(p, 42);
+        assert_eq!(topo.len(), p.total());
+        assert_eq!(topo.nodes_in(Tier::Tier1).count(), p.tier1);
+        assert_eq!(topo.nodes_in(Tier::Stub).count(), p.stubs);
+        assert_eq!(topo.tier(0), Tier::Tier1);
+        assert_eq!(topo.tier(topo.len() - 1), Tier::Stub);
+    }
+
+    #[test]
+    fn clique_is_fully_meshed_and_transit_free() {
+        let p = quick();
+        let topo = generate_hier(p, 42);
+        let clique: Vec<_> = (0..p.tier1).collect();
+        for &a in &clique {
+            for &b in &clique {
+                if a < b {
+                    assert!(topo.peering.binary_search(&(a, b)).is_ok());
+                }
+            }
+            // Tier-1s never buy transit.
+            assert!(topo
+                .transit
+                .neighbors(a)
+                .all(|adj| adj.relationship == crate::Relationship::ProviderToCustomer));
+        }
+    }
+
+    #[test]
+    fn connected_and_deterministic() {
+        let a = generate_hier(quick(), 7);
+        let b = generate_hier(quick(), 7);
+        assert!(a.is_connected());
+        assert_eq!(a.peering, b.peering);
+        assert_eq!(a.transit.edge_count(), b.transit.edge_count());
+        for n in 0..a.len() {
+            let an: Vec<_> = a.transit.neighbors(n).collect();
+            let bn: Vec<_> = b.transit.neighbors(n).collect();
+            assert_eq!(an, bn);
+        }
+        let c = generate_hier(quick(), 8);
+        assert_ne!(a.peering, c.peering);
+    }
+
+    #[test]
+    fn stubs_are_pure_customers_with_bounded_multihoming() {
+        let p = quick();
+        let topo = generate_hier(p, 42);
+        for v in topo.nodes_in(Tier::Stub) {
+            let degree = topo.transit.degree(v);
+            assert!((1..=p.max_stub_providers).contains(&degree));
+            assert!(topo
+                .transit
+                .neighbors(v)
+                .all(|adj| adj.relationship == crate::Relationship::CustomerToProvider));
+        }
+    }
+
+    #[test]
+    fn provider_degrees_are_heavy_tailed() {
+        let p = quick();
+        let topo = generate_hier(p, 42);
+        // Preferential attachment should make the busiest regional carry
+        // several times the mean stub load.
+        let degrees: Vec<usize> =
+            topo.nodes_in(Tier::Regional).map(|v| topo.transit.degree(v)).collect();
+        let max = *degrees.iter().max().unwrap();
+        let mean = degrees.iter().sum::<usize>() / degrees.len();
+        assert!(max >= 3 * mean.max(1), "max {max} vs mean {mean}: no heavy tail");
+    }
+
+    #[test]
+    fn full_scale_params_add_up_to_50k() {
+        assert_eq!(HierParams::default().total(), 50_000);
+    }
+}

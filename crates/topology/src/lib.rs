@@ -7,15 +7,19 @@
 //! * [`waxman`] — the BRITE-style Waxman generator the paper's §6.3
 //!   simulations use (1,000 ASes, α = 0.15, β = 0.25, degree-based
 //!   customer/provider inference);
+//! * [`hierarchical`] — a CAIDA-like tiered generator (tier-1 clique,
+//!   transit tiers, stub tail) for the 50,000-AS Gao-Rexford benchmark;
 //! * [`paper`] — the fixed topologies of Figures 1, 2, 3, 6 and 8;
 //! * [`fixtures`] — ready-made graphs for the chaos and benchmark
 //!   harnesses (a 50-AS Waxman, the R-BGP failover diamond).
 
 pub mod fixtures;
 pub mod graph;
+pub mod hierarchical;
 pub mod paper;
 pub mod waxman;
 
 pub use graph::{Adjacency, AsGraph, Relationship};
+pub use hierarchical::{generate_hier, HierParams, HierTopology, Tier};
 pub use paper::{PaperNode, PaperTopology};
 pub use waxman::{generate, WaxmanParams};

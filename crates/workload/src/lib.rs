@@ -12,6 +12,8 @@
 //! as a function of message count and IA payload size — depends only on
 //! these shape parameters, which the generator controls explicitly.
 
+pub mod policy;
+
 use dbgp_wire::attrs::{AsPath, Origin, PathAttribute};
 use dbgp_wire::ia::{dkey, IslandDescriptor, PathDescriptor};
 use dbgp_wire::message::UpdateMsg;
