@@ -144,6 +144,26 @@ pub fn validate_sim_bench_schema(doc: &Value) -> Vec<String> {
             problems.push(format!("{field} must be an unsigned integer"));
         }
     }
+    // An oversubscribed recording host cannot measure parallel speedup:
+    // with fewer CPUs than worker threads the "parallel" and "sharded"
+    // columns are bookkeeping-overhead checks, not speedups. Such a
+    // document must say so next to the numbers, keyed by the CPU count
+    // that makes it true, so nobody (human or CI) reads ~1.0x as a
+    // regression or a win.
+    let host_cpus = doc.get("host_cpus").and_then(Value::as_u64);
+    let threads = doc.get("threads").and_then(Value::as_u64);
+    if let (Some(cpus), Some(threads)) = (host_cpus, threads) {
+        if cpus < threads {
+            match doc.get("host_cpus_note").and_then(Value::as_str) {
+                Some(note) if !note.trim().is_empty() => {}
+                _ => problems.push(format!(
+                    "host_cpus={cpus} < threads={threads}: parallel/sharded timings are not \
+                     measured speedup; a non-empty \"host_cpus_note\" string must say so \
+                     (or re-record on a host with >= {threads} CPUs)"
+                )),
+            }
+        }
+    }
     for block in ["baseline", "current"] {
         let Some(scenarios) = doc.get(block).and_then(Value::as_object) else {
             problems.push(format!("missing object block \"{block}\""));
@@ -308,6 +328,53 @@ mod tests {
     #[test]
     fn a_complete_document_validates() {
         assert_eq!(validate_sim_bench_schema(&valid_doc()), Vec::<String>::new());
+    }
+
+    /// A document recorded with fewer CPUs than worker threads must
+    /// carry a `host_cpus_note` admitting the parallel columns are not
+    /// measured speedup; with the note it passes, without it (or with
+    /// a blank one) it is rejected.
+    #[test]
+    fn single_cpu_recordings_require_the_host_cpus_note() {
+        let single_cpu = |note: Option<Value>| {
+            let mut doc = valid_doc();
+            if let Some(o) = doc.as_object_mut() {
+                for slot in o.iter_mut() {
+                    if slot.0 == "host_cpus" {
+                        slot.1 = Value::UInt(1);
+                    }
+                }
+                if let Some(n) = note {
+                    o.push(("host_cpus_note".into(), n));
+                }
+            }
+            doc
+        };
+
+        let problems = validate_sim_bench_schema(&single_cpu(None));
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(
+            problems[0].contains("host_cpus=1 < threads=4")
+                && problems[0].contains("host_cpus_note"),
+            "{problems:?}"
+        );
+
+        let problems = validate_sim_bench_schema(&single_cpu(Some(Value::String("  ".into()))));
+        assert_eq!(problems.len(), 1, "a blank note is no note: {problems:?}");
+
+        let noted = single_cpu(Some(Value::String(
+            "host_cpus=1: parallel timings are overhead checks, not speedup".into(),
+        )));
+        assert_eq!(validate_sim_bench_schema(&noted), Vec::<String>::new());
+
+        // A multi-core recording needs no note (valid_doc has
+        // host_cpus == threads and passes above); threads <= cpus with
+        // an extra note present is also fine.
+        let mut doc = valid_doc();
+        if let Some(o) = doc.as_object_mut() {
+            o.push(("host_cpus_note".into(), Value::String("recorded on 4 cores".into())));
+        }
+        assert_eq!(validate_sim_bench_schema(&doc), Vec::<String>::new());
     }
 
     #[test]

@@ -3,27 +3,25 @@
 //! A classic BGP-4 speaker, written from scratch and sans-IO.
 //!
 //! This crate is the workspace's "Quagga": the baseline inter-domain
-//! routing implementation that D-BGP (`dbgp-core`) extends. It provides:
+//! routing implementation that D-BGP (`dbgp-core`) extends. The state
+//! machines themselves — session FSM, RIBs, decision process, policy —
+//! live in `dbgp-session` (shared with the `dbgpd` daemon) and are
+//! re-exported here under their historical paths; this crate adds:
 //!
-//! * [`session`] — the RFC 4271 §8 finite-state machine, timer-driven
-//!   through an explicit `poll(now)` interface;
-//! * [`route`] — the parsed per-prefix route model;
-//! * [`rib`] — Adj-RIB-In / Loc-RIB / Adj-RIB-Out;
-//! * [`decision`] — the §9.1.2.2 best-path selection chain;
-//! * [`policy`] — route maps (match/set clauses) for import/export;
 //! * [`speaker`] — the whole speaker: byte-oriented, host-driven, with
 //!   split-horizon, loop detection, policy application and incremental
-//!   advertisement generation.
+//!   advertisement generation, assembled from the sans-IO cores.
 //!
 //! Nothing here knows about Integrated Advertisements; `dbgp-core`
 //! builds the multi-protocol pipeline on top of these pieces.
 
-pub mod config;
-pub mod decision;
-pub mod policy;
-pub mod rib;
-pub mod route;
-pub mod session;
+pub use dbgp_session::config;
+pub use dbgp_session::decision;
+pub use dbgp_session::policy;
+pub use dbgp_session::rib;
+pub use dbgp_session::route;
+pub use dbgp_session::session;
+
 pub mod speaker;
 
 pub use config::{NeighborConfig, PeerConfig, PeerId};

@@ -1,31 +1,28 @@
 //! A complete classic BGP-4 speaker, sans-IO.
 //!
-//! The speaker owns one [`Session`] per configured neighbor plus the
-//! three RIBs, and exposes a byte-oriented interface: feed it received
-//! bytes and transport events with a timestamp, and execute the
-//! [`Output`]s it returns (bytes to send, connections to open, ...).
-//! All message framing goes through the real wire codec, so every test
-//! that drives two speakers against each other also exercises
-//! serialization.
+//! The speaker assembles the two cores from `dbgp-session` — one
+//! [`SessionCore`] per configured neighbor plus one [`RoutingCore`] for
+//! the RIBs and decision process — and exposes a byte-oriented
+//! interface: feed it received bytes and transport events with a
+//! timestamp, and execute the [`Output`]s it returns (bytes to send,
+//! connections to open, ...). All message framing goes through the real
+//! wire codec, so every test that drives two speakers against each
+//! other also exercises serialization.
 //!
 //! In the paper's terms this is "Quagga": the baseline BGP
 //! implementation whose advertisement processing D-BGP (in `dbgp-core`)
-//! interposes on.
+//! interposes on. The `dbgpd` daemon (`dbgp-daemon`) drives the same
+//! two cores over real TCP sockets.
 
 use crate::config::{NeighborConfig, PeerId};
-use crate::decision::{self, Candidate};
-use crate::rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, RouteSource};
-use crate::route::Route;
-use crate::session::{
-    Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary,
-};
-use bytes::{Bytes, BytesMut};
-use dbgp_rib::PrefixTrie;
-use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
-use dbgp_wire::message::{BgpMessage, NotificationMsg, UpdateMsg};
-use dbgp_wire::{Ipv4Addr, Ipv4Prefix, WireError};
+use crate::rib::{AdjRibIn, LocRib, LocRibEntry};
+use crate::session::{DownReason, Millis, SessionState, SessionSummary};
+use bytes::Bytes;
+use dbgp_session::{ConnDir, CoreOutput, RibOp, RoutingCore, SessionCore};
+use dbgp_telemetry::SinkHandle;
+use dbgp_wire::message::BgpMessage;
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// Transport-level inputs the host forwards to the speaker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,22 +53,10 @@ pub enum Output {
     BestRouteChanged(Ipv4Prefix, Option<LocRibEntry>),
 }
 
-struct Peer {
-    cfg: NeighborConfig,
-    session: Session,
-    rx: BytesMut,
-    summary: Option<SessionSummary>,
-}
-
 /// A classic BGP-4 speaker.
 pub struct Speaker {
-    asn: u32,
-    router_id: Ipv4Addr,
-    peers: BTreeMap<PeerId, Peer>,
-    adj_in: AdjRibIn,
-    loc_rib: LocRib,
-    adj_out: AdjRibOut,
-    originated: PrefixTrie<Arc<Route>>,
+    peers: BTreeMap<PeerId, SessionCore>,
+    routing: RoutingCore,
     sink: SinkHandle,
     node_label: u32,
 }
@@ -80,13 +65,8 @@ impl Speaker {
     /// Create a speaker for AS `asn` with the given router ID.
     pub fn new(asn: u32, router_id: Ipv4Addr) -> Self {
         Speaker {
-            asn,
-            router_id,
             peers: BTreeMap::new(),
-            adj_in: AdjRibIn::new(),
-            loc_rib: LocRib::new(),
-            adj_out: AdjRibOut::new(),
-            originated: PrefixTrie::new(),
+            routing: RoutingCore::new(asn, router_id),
             sink: SinkHandle::none(),
             node_label: 0,
         }
@@ -98,27 +78,29 @@ impl Speaker {
     pub fn set_telemetry(&mut self, sink: SinkHandle, node_label: u32) {
         self.sink = sink;
         self.node_label = node_label;
-        for (id, peer) in self.peers.iter_mut() {
-            peer.session.set_telemetry(self.sink.clone(), node_label, id.0);
+        self.routing.set_telemetry(self.sink.clone(), node_label);
+        for (id, core) in self.peers.iter_mut() {
+            core.set_telemetry(self.sink.clone(), node_label, id.0);
         }
     }
 
     /// Our AS number.
     pub fn asn(&self) -> u32 {
-        self.asn
+        self.routing.asn()
     }
 
     /// Our router ID.
     pub fn router_id(&self) -> Ipv4Addr {
-        self.router_id
+        self.routing.router_id()
     }
 
     /// Register a neighbor. Panics if the peer ID is already used.
     pub fn add_peer(&mut self, id: PeerId, cfg: NeighborConfig) {
         assert!(!self.peers.contains_key(&id), "duplicate peer {id}");
-        let mut session = Session::new(cfg.session.clone());
-        session.set_telemetry(self.sink.clone(), self.node_label, id.0);
-        self.peers.insert(id, Peer { cfg, session, rx: BytesMut::new(), summary: None });
+        let mut core = SessionCore::new(cfg.session.clone());
+        core.set_telemetry(self.sink.clone(), self.node_label, id.0);
+        self.peers.insert(id, core);
+        self.routing.add_peer(id, cfg);
     }
 
     /// Enable all sessions (ManualStart).
@@ -126,25 +108,22 @@ impl Speaker {
         let ids: Vec<PeerId> = self.peers.keys().copied().collect();
         let mut out = Vec::new();
         for id in ids {
-            let actions =
-                self.peers.get_mut(&id).unwrap().session.handle(now, SessionEvent::ManualStart);
-            self.run_actions(now, id, actions, &mut out);
+            let couts = self.peers.get_mut(&id).unwrap().start(now);
+            self.absorb_core(now, id, couts, &mut out);
         }
         out
     }
 
     /// Forward a transport event for one peer.
     pub fn transport_event(&mut self, now: Millis, id: PeerId, ev: TransportEvent) -> Vec<Output> {
-        let event = match ev {
-            TransportEvent::Connected => SessionEvent::TcpConnected,
-            TransportEvent::Failed => SessionEvent::TcpFailed,
-            TransportEvent::Closed => SessionEvent::TcpClosed,
-        };
         let mut out = Vec::new();
-        if let Some(peer) = self.peers.get_mut(&id) {
-            let actions = peer.session.handle(now, event);
-            self.run_actions(now, id, actions, &mut out);
-        }
+        let Some(core) = self.peers.get_mut(&id) else { return out };
+        let couts = match ev {
+            TransportEvent::Connected => core.connected(now, ConnDir::Out),
+            TransportEvent::Failed => core.connect_failed(now),
+            TransportEvent::Closed => core.closed(now, ConnDir::Out),
+        };
+        self.absorb_core(now, id, couts, &mut out);
         out
     }
 
@@ -152,23 +131,9 @@ impl Speaker {
     /// messages as are buffered.
     pub fn receive(&mut self, now: Millis, id: PeerId, data: &[u8]) -> Vec<Output> {
         let mut out = Vec::new();
-        let Some(peer) = self.peers.get_mut(&id) else { return out };
-        peer.rx.extend_from_slice(data);
-        while let Some(peer) = self.peers.get_mut(&id) {
-            let four_octet =
-                peer.session.four_octet() || peer.session.state() != SessionState::Established;
-            match BgpMessage::decode(&mut peer.rx, four_octet) {
-                Ok(Some(msg)) => {
-                    let actions = peer.session.handle(now, SessionEvent::Message(msg));
-                    self.run_actions(now, id, actions, &mut out);
-                }
-                Ok(None) => break,
-                Err(err) => {
-                    out.extend(self.fail_session(now, id, &err));
-                    break;
-                }
-            }
-        }
+        let Some(core) = self.peers.get_mut(&id) else { return out };
+        let couts = core.bytes_in(now, ConnDir::Out, data);
+        self.absorb_core(now, id, couts, &mut out);
         out
     }
 
@@ -177,48 +142,46 @@ impl Speaker {
         let ids: Vec<PeerId> = self.peers.keys().copied().collect();
         let mut out = Vec::new();
         for id in ids {
-            let actions = self.peers.get_mut(&id).unwrap().session.poll(now);
-            self.run_actions(now, id, actions, &mut out);
+            let couts = self.peers.get_mut(&id).unwrap().poll(now);
+            self.absorb_core(now, id, couts, &mut out);
         }
         out
     }
 
     /// Earliest instant any session timer fires.
     pub fn next_deadline(&self) -> Option<Millis> {
-        self.peers.values().filter_map(|p| p.session.next_deadline()).min()
+        self.peers.values().filter_map(|c| c.next_deadline()).min()
     }
 
     /// Originate a prefix locally and propagate it.
     pub fn originate(&mut self, now: Millis, prefix: Ipv4Prefix) -> Vec<Output> {
+        let ops = self.routing.originate(now, prefix);
         let mut out = Vec::new();
-        let route = Arc::new(Route::originated(self.router_id));
-        self.originated.insert(prefix, route);
-        self.redecide(now, prefix, &mut out);
+        self.absorb_ops(ops, &mut out);
         out
     }
 
     /// Stop originating a prefix.
     pub fn withdraw_origin(&mut self, now: Millis, prefix: Ipv4Prefix) -> Vec<Output> {
+        let ops = self.routing.withdraw_origin(now, prefix);
         let mut out = Vec::new();
-        if self.originated.remove(&prefix).is_some() {
-            self.redecide(now, prefix, &mut out);
-        }
+        self.absorb_ops(ops, &mut out);
         out
     }
 
     /// Read access to the Loc-RIB.
     pub fn loc_rib(&self) -> &LocRib {
-        &self.loc_rib
+        self.routing.loc_rib()
     }
 
     /// Read access to the Adj-RIB-In.
     pub fn adj_rib_in(&self) -> &AdjRibIn {
-        &self.adj_in
+        self.routing.adj_rib_in()
     }
 
     /// The session state for a peer.
     pub fn session_state(&self, id: PeerId) -> Option<SessionState> {
-        self.peers.get(&id).map(|p| p.session.state())
+        self.peers.get(&id).map(|c| c.state())
     }
 
     /// True once the session with `id` is Established.
@@ -228,327 +191,58 @@ impl Speaker {
 
     // ----- internals ----------------------------------------------------
 
-    /// Kill a session after a wire decode error: send the mapped
-    /// NOTIFICATION and reset.
-    fn fail_session(&mut self, now: Millis, id: PeerId, err: &WireError) -> Vec<Output> {
-        let mut out = Vec::new();
-        let Some(peer) = self.peers.get_mut(&id) else { return out };
-        let notification = NotificationMsg::from_wire_error(err);
-        let four = peer.session.four_octet();
-        out.push(Output::SendBytes(id, BgpMessage::Notification(notification).encode(four)));
-        out.push(Output::TcpClose(id));
-        peer.rx.clear();
-        // We initiated the teardown: model it as the transport closing,
-        // so PeerDown carries TransportClosed rather than implying the
-        // peer sent the NOTIFICATION we generated.
-        let actions = peer.session.handle(now, SessionEvent::TcpClosed);
-        self.run_actions(now, id, actions, &mut out);
-        out
-    }
-
-    fn run_actions(
+    /// Execute a session core's outputs: transport ops pass through,
+    /// session edges and delivered UPDATEs feed the routing core, whose
+    /// ops are translated right back into this peer-addressed stream so
+    /// the overall output order matches the historical monolith.
+    fn absorb_core(
         &mut self,
         now: Millis,
         id: PeerId,
-        actions: Vec<Action>,
+        couts: Vec<CoreOutput>,
         out: &mut Vec<Output>,
     ) {
-        for action in actions {
-            match action {
-                Action::TcpConnect => out.push(Output::TcpConnect(id)),
-                Action::TcpClose => out.push(Output::TcpClose(id)),
-                Action::Send(msg) => {
-                    let peer = self.peers.get_mut(&id).unwrap();
-                    let bytes = msg
-                        .encode(peer.session.four_octet() || !matches!(msg, BgpMessage::Update(_)));
-                    out.push(Output::SendBytes(id, bytes));
-                }
-                Action::Up(summary) => {
-                    self.peers.get_mut(&id).unwrap().summary = Some(summary);
+        for cout in couts {
+            match cout {
+                CoreOutput::Connect => out.push(Output::TcpConnect(id)),
+                CoreOutput::Close(_) => out.push(Output::TcpClose(id)),
+                CoreOutput::SendBytes(_, bytes) => out.push(Output::SendBytes(id, bytes)),
+                CoreOutput::Up(summary) => {
                     out.push(Output::PeerUp(id, summary));
-                    // Initial table transfer: advertise our whole view,
-                    // batching prefixes that export the same attribute
-                    // block into shared multi-NLRI UPDATEs.
-                    self.initial_table_dump(id, out);
+                    let ops = self.routing.peer_up(id, summary);
+                    self.absorb_ops(ops, out);
                 }
-                Action::Down(reason) => {
-                    let peer = self.peers.get_mut(&id).unwrap();
-                    peer.summary = None;
-                    peer.rx.clear();
+                CoreOutput::Down(reason) => {
                     out.push(Output::PeerDown(id, reason));
-                    self.adj_out.drop_peer(id);
-                    for prefix in self.adj_in.drop_peer(id) {
-                        self.redecide(now, prefix, out);
+                    let ops = self.routing.peer_down(now, id);
+                    self.absorb_ops(ops, out);
+                }
+                CoreOutput::Update(update) => {
+                    let (ops, err) = self.routing.update(now, id, update);
+                    self.absorb_ops(ops, out);
+                    if let Some(err) = err {
+                        let couts = self.peers.get_mut(&id).unwrap().fail_active(now, &err);
+                        self.absorb_core(now, id, couts, out);
                     }
                 }
-                Action::Deliver(update) => self.process_update(now, id, update, out),
             }
         }
     }
 
-    fn process_update(
-        &mut self,
-        now: Millis,
-        id: PeerId,
-        update: UpdateMsg,
-        out: &mut Vec<Output>,
-    ) {
-        for prefix in &update.withdrawn {
-            if self.adj_in.remove(id, prefix).is_some() {
-                self.redecide(now, *prefix, out);
-            }
-        }
-        if update.nlri.is_empty() {
-            return;
-        }
-        let Ok(route) = Route::from_attrs(&update.attributes) else {
-            // Wire validation already guarantees mandatory attributes;
-            // treat any residual failure as a session-level error.
-            out.extend(self.fail_session(
-                now,
-                id,
-                &WireError::MissingWellKnownAttribute(dbgp_wire::attrs::code::ORIGIN),
-            ));
-            return;
-        };
-        // Receiver-side loop detection (RFC 4271 §9.1.2): a path carrying
-        // our own AS is invisible to the decision process.
-        let looped = route.as_path.contains(self.asn);
-        let peer_as = self.peers[&id].cfg.peer_as;
-        // One attribute block per UPDATE: every NLRI the import policy
-        // leaves untouched shares this interned route.
-        let route = Arc::new(route);
-        let transparent = {
-            let import = &self.peers[&id].cfg.import;
-            import.clauses.is_empty() && import.default_permit
-        };
-        for prefix in &update.nlri {
-            if looped {
-                if self.adj_in.remove(id, prefix).is_some() {
-                    self.redecide(now, *prefix, out);
+    /// Translate routing ops into outputs, encoding UPDATEs with each
+    /// target peer's negotiated 4-octet-AS capability.
+    fn absorb_ops(&mut self, ops: Vec<RibOp>, out: &mut Vec<Output>) {
+        for op in ops {
+            match op {
+                RibOp::BestRouteChanged(prefix, entry) => {
+                    out.push(Output::BestRouteChanged(prefix, entry));
                 }
-                continue;
-            }
-            if transparent {
-                self.adj_in.insert(id, *prefix, Arc::clone(&route));
-            } else {
-                let mut candidate = (*route).clone();
-                let import = &self.peers[&id].cfg.import;
-                if import.apply(prefix, &mut candidate, peer_as) {
-                    let interned =
-                        if candidate == *route { Arc::clone(&route) } else { Arc::new(candidate) };
-                    self.adj_in.insert(id, *prefix, interned);
-                } else if self.adj_in.remove(id, prefix).is_none() {
-                    continue; // rejected and never stored: nothing changes
-                }
-            }
-            self.redecide(now, *prefix, out);
-        }
-    }
-
-    /// Re-run the decision process for one prefix and propagate any
-    /// change.
-    fn redecide(&mut self, now: Millis, prefix: Ipv4Prefix, out: &mut Vec<Output>) {
-        let explain = self.sink.enabled();
-        let (new_entry, why, n_candidates) = self.select_best(&prefix, explain);
-        let changed = match (self.loc_rib.get(&prefix), &new_entry) {
-            (None, None) => false,
-            (Some(old), Some(new)) => old != new,
-            _ => true,
-        };
-        if !changed {
-            return;
-        }
-        if explain {
-            let (selected, neighbor_as, path, hops) = match &new_entry {
-                Some(entry) => {
-                    let nas = match entry.source {
-                        RouteSource::Peer(pid) => Some(self.peers[&pid].cfg.peer_as),
-                        RouteSource::Local => None,
-                    };
-                    (
-                        true,
-                        nas,
-                        entry.route.as_path.to_string(),
-                        entry.route.as_path.hop_count() as u32,
-                    )
-                }
-                None => (false, None, String::new(), 0),
-            };
-            self.sink.record_at(
-                now,
-                self.node_label,
-                self.sink.ambient_parent(),
-                TraceKind::Decision {
-                    prefix,
-                    selected,
-                    neighbor_as,
-                    path,
-                    hops,
-                    candidates: n_candidates,
-                    why,
-                },
-            );
-        }
-        match new_entry.clone() {
-            Some(entry) => {
-                self.loc_rib.install(prefix, entry);
-            }
-            None => {
-                self.loc_rib.remove(&prefix);
-            }
-        }
-        out.push(Output::BestRouteChanged(prefix, new_entry));
-        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
-        for id in ids {
-            if self.is_established(id) {
-                self.propagate_to(now, id, prefix, out);
-            }
-        }
-    }
-
-    fn select_best(
-        &self,
-        prefix: &Ipv4Prefix,
-        explain: bool,
-    ) -> (Option<LocRibEntry>, SelectionReason, u32) {
-        let local = self.originated.get(prefix);
-        // The decision process borrows plain `&Route` views; `arcs` keeps
-        // the interned handles in lockstep so the winner is retained by
-        // refcount bump, not deep clone. `candidates` is a lazy iterator,
-        // so sizing by peer count avoids both a collect and regrowth.
-        let mut arcs: Vec<&Arc<Route>> = Vec::with_capacity(self.peers.len() + 1);
-        let mut candidates: Vec<Candidate<'_>> = Vec::with_capacity(self.peers.len() + 1);
-        if let Some(route) = local {
-            arcs.push(route);
-            candidates.push(Candidate::local(route));
-        }
-        for (peer_id, route) in self.adj_in.candidates(prefix) {
-            let peer = &self.peers[&peer_id];
-            arcs.push(route);
-            candidates.push(Candidate {
-                route,
-                source: RouteSource::Peer(peer_id),
-                peer_as: peer.cfg.peer_as,
-                ebgp: !peer.cfg.is_ibgp(),
-                peer_router_id: peer.summary.map(|s| s.peer_id).unwrap_or(Ipv4Addr(u32::MAX)),
-            });
-        }
-        let n = candidates.len() as u32;
-        let picked = if explain {
-            decision::best_explain(&candidates)
-        } else {
-            decision::best(&candidates).map(|i| (i, SelectionReason::ModulePreference))
-        };
-        match picked {
-            Some((i, why)) => (
-                Some(LocRibEntry { route: Arc::clone(arcs[i]), source: candidates[i].source }),
-                why,
-                n,
-            ),
-            None => (None, SelectionReason::Unreachable, n),
-        }
-    }
-
-    /// Compute what `peer` should see for `prefix`, diff against
-    /// Adj-RIB-Out, and emit the UPDATE if anything changed.
-    fn propagate_to(
-        &mut self,
-        _now: Millis,
-        id: PeerId,
-        prefix: Ipv4Prefix,
-        out: &mut Vec<Output>,
-    ) {
-        let export = self.export_route(id, &prefix);
-        match export {
-            Some(route) => {
-                if self.adj_out.advertise(id, prefix, Arc::clone(&route)) {
-                    let peer = &self.peers[&id];
-                    let ibgp = peer.cfg.is_ibgp();
-                    let update = UpdateMsg::announce(vec![prefix], route.to_attrs(ibgp));
-                    let bytes = BgpMessage::Update(update).encode(peer.session.four_octet());
-                    out.push(Output::SendBytes(id, bytes));
-                }
-            }
-            None => {
-                if self.adj_out.withdraw(id, &prefix) {
-                    let peer = &self.peers[&id];
-                    let update = UpdateMsg::withdraw(vec![prefix]);
-                    let bytes = BgpMessage::Update(update).encode(peer.session.four_octet());
-                    out.push(Output::SendBytes(id, bytes));
+                RibOp::Announce(pid, update) => {
+                    let four = self.peers[&pid].four_octet();
+                    out.push(Output::SendBytes(pid, BgpMessage::Update(update).encode(four)));
                 }
             }
         }
-    }
-
-    /// Initial table transfer toward a freshly-established peer: walk
-    /// the Loc-RIB in prefix order, group prefixes whose exported
-    /// routes are identical, and emit one multi-NLRI UPDATE run per
-    /// group ([`UpdateMsg::pack_announcements`] splits each run at the
-    /// 4096-byte frame limit). Groups keep first-seen (ascending
-    /// prefix) order, so the wire bytes are deterministic.
-    fn initial_table_dump(&mut self, id: PeerId, out: &mut Vec<Output>) {
-        let prefixes: Vec<Ipv4Prefix> = self.loc_rib.iter().map(|(p, _)| *p).collect();
-        let mut groups: Vec<(Arc<Route>, Vec<Ipv4Prefix>)> = Vec::new();
-        for prefix in prefixes {
-            let Some(route) = self.export_route(id, &prefix) else { continue };
-            if !self.adj_out.advertise(id, prefix, Arc::clone(&route)) {
-                continue;
-            }
-            // Linear probe over existing groups; distinct attribute
-            // blocks in one table number in the dozens, not thousands,
-            // and ptr_eq short-circuits the interned common case.
-            match groups.iter_mut().find(|(g, _)| Arc::ptr_eq(g, &route) || **g == *route) {
-                Some((_, members)) => members.push(prefix),
-                None => groups.push((route, vec![prefix])),
-            }
-        }
-        let peer = &self.peers[&id];
-        let four_octet = peer.session.four_octet();
-        let ibgp = peer.cfg.is_ibgp();
-        for (route, members) in groups {
-            for update in UpdateMsg::pack_announcements(&members, route.to_attrs(ibgp), four_octet)
-            {
-                out.push(Output::SendBytes(id, BgpMessage::Update(update).encode(four_octet)));
-            }
-        }
-    }
-
-    /// The route to advertise to `peer` for `prefix`, or `None` to
-    /// withdraw/suppress.
-    fn export_route(&self, id: PeerId, prefix: &Ipv4Prefix) -> Option<Arc<Route>> {
-        let entry = self.loc_rib.get(prefix)?;
-        let peer = &self.peers[&id];
-        match entry.source {
-            // Split horizon: never send a route back to its source.
-            RouteSource::Peer(src) if src == id => return None,
-            // No iBGP reflection: iBGP-learned routes do not go to other
-            // iBGP peers (we are not a route reflector).
-            RouteSource::Peer(src) => {
-                let src_ibgp = self.peers[&src].cfg.is_ibgp();
-                if src_ibgp && peer.cfg.is_ibgp() {
-                    return None;
-                }
-            }
-            RouteSource::Local => {}
-        }
-        if peer.cfg.is_ibgp() {
-            // iBGP forwards the route unmodified; with a transparent
-            // export policy the interned Loc-RIB route is shared as-is.
-            if peer.cfg.export.clauses.is_empty() && peer.cfg.export.default_permit {
-                return Some(Arc::clone(&entry.route));
-            }
-            let mut route = (*entry.route).clone();
-            if !peer.cfg.export.apply(prefix, &mut route, peer.cfg.peer_as) {
-                return None;
-            }
-            return Some(Arc::new(route));
-        }
-        let mut route = entry.route.for_ebgp_export(self.asn, peer.cfg.local_addr);
-        if !peer.cfg.export.apply(prefix, &mut route, peer.cfg.peer_as) {
-            return None;
-        }
-        Some(Arc::new(route))
     }
 }
 
@@ -556,6 +250,8 @@ impl Speaker {
 mod tests {
     use super::*;
     use crate::policy::{Clause, MatchCond, PrefixMatch, RouteMap, SetAction};
+    use crate::rib::RouteSource;
+    use dbgp_telemetry::{SelectionReason, TraceKind};
     use std::collections::VecDeque;
 
     fn p(s: &str) -> Ipv4Prefix {

@@ -44,7 +44,7 @@ use std::thread::{self, JoinHandle};
 
 mod shard;
 
-pub use shard::{partition, Partition, ShardChannel};
+pub use shard::{partition, partition_weighted, Partition, ShardChannel};
 
 /// A unit of work queued on the pool. Lifetime-erased: see the safety
 /// comment in [`Pool::run_batch`].

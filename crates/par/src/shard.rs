@@ -32,6 +32,9 @@ pub struct Partition {
     pub total_edges: usize,
     /// Nodes per shard.
     pub loads: Vec<usize>,
+    /// Summed node weight per shard (equals `loads` when the partition
+    /// was unweighted).
+    pub weight_loads: Vec<u64>,
 }
 
 impl Partition {
@@ -136,7 +139,190 @@ pub fn partition(n: usize, edges: &[(usize, usize)], k: usize) -> Partition {
         .iter()
         .filter(|&&(a, b)| a != b && a < n && b < n && assignment[a] != assignment[b])
         .count();
-    Partition { assignment, shards: k, cut_edges, total_edges, loads }
+    let weight_loads = loads.iter().map(|&l| l as u64).collect();
+    Partition { assignment, shards: k, cut_edges, total_edges, loads, weight_loads }
+}
+
+/// [`partition`], but balancing *weighted* load instead of node count:
+/// each node carries a weight (an activity proxy — e.g. its degree, or
+/// a measured event count) and no shard may exceed ~5% over the ideal
+/// weight share. A greedy affinity pass seeds the assignment, then a
+/// repartition pass moves nodes out of overweight shards (least
+/// internal affinity first) and finishes with bounded
+/// Kernighan–Lin-style sweeps that move boundary nodes only when the
+/// move reduces the edge cut without breaking the weight cap.
+///
+/// This exists because node-count balance is the wrong invariant for
+/// hub-heavy graphs: on the CAIDA-like `hier_50k` tier the unweighted
+/// partitioner puts the 12-member tier-1 clique and its big transit
+/// cones on one shard — balanced in *nodes*, but carrying 66% of all
+/// *events*. Weighting by degree spreads the hubs.
+///
+/// Deterministic: identical inputs yield identical assignments.
+/// `weights` shorter than `n` is padded with weight 1; zero weights
+/// count as 1 so every node costs something to host.
+pub fn partition_weighted(
+    n: usize,
+    edges: &[(usize, usize)],
+    k: usize,
+    weights: &[u64],
+) -> Partition {
+    let k = k.max(1).min(n.max(1));
+    let w = |v: usize| weights.get(v).copied().unwrap_or(1).max(1);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut total_edges = 0usize;
+    for &(a, b) in edges {
+        if a == b || a >= n || b >= n {
+            continue;
+        }
+        adj[a].push(b as u32);
+        adj[b].push(a as u32);
+        total_edges += 1;
+    }
+    let total_weight: u64 = (0..n).map(w).sum();
+    // ~5% skew over the ideal weight share, but never below the
+    // heaviest single node — some node has to host it.
+    let cap =
+        (total_weight.div_ceil(k as u64) * 21).div_ceil(20).max((0..n).map(w).max().unwrap_or(1));
+
+    const UNASSIGNED: u16 = u16::MAX;
+    let mut assignment = vec![UNASSIGNED; n];
+    let mut weight_loads = vec![0u64; k];
+
+    // Same deterministic BFS order as `partition`.
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let seed = (0..n).max_by_key(|&v| (adj[v].len(), std::cmp::Reverse(v)));
+    let mut queue = std::collections::VecDeque::new();
+    let mut next_unseen = 0usize;
+    if let Some(s) = seed {
+        seen[s] = true;
+        queue.push_back(s as u32);
+    }
+    while order.len() < n {
+        let Some(v) = queue.pop_front() else {
+            while next_unseen < n && seen[next_unseen] {
+                next_unseen += 1;
+            }
+            if next_unseen == n {
+                break;
+            }
+            seen[next_unseen] = true;
+            queue.push_back(next_unseen as u32);
+            continue;
+        };
+        order.push(v);
+        for &w in &adj[v as usize] {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+
+    // Greedy seed: most already-assigned neighbors wins among shards
+    // with weight room; ties toward the lighter shard. If every shard
+    // is at cap (rounding), the lightest takes it.
+    let mut affinity = vec![0usize; k];
+    for &v in &order {
+        for a in affinity.iter_mut() {
+            *a = 0;
+        }
+        for &nb in &adj[v as usize] {
+            let s = assignment[nb as usize];
+            if s != UNASSIGNED {
+                affinity[s as usize] += 1;
+            }
+        }
+        let vw = w(v as usize);
+        let mut best: Option<usize> = None;
+        let mut best_key = (isize::MIN, u64::MAX);
+        for (s, &aff) in affinity.iter().enumerate() {
+            if weight_loads[s] + vw > cap {
+                continue;
+            }
+            let key = (aff as isize, u64::MAX - weight_loads[s]);
+            if key > best_key {
+                best_key = key;
+                best = Some(s);
+            }
+        }
+        let best =
+            best.unwrap_or_else(|| (0..k).min_by_key(|&s| (weight_loads[s], s)).expect("k >= 1"));
+        assignment[v as usize] = best as u16;
+        weight_loads[best] += vw;
+    }
+
+    // Repartition pass: drain overweight shards. Nodes leave in order
+    // of least internal affinity (they cost the least cut to move),
+    // ties by index, and land on the shard with the most affinity for
+    // them among those with room, else the lightest.
+    let internal_affinity = |v: usize, assignment: &[u16]| -> usize {
+        adj[v].iter().filter(|&&nb| assignment[nb as usize] == assignment[v]).count()
+    };
+    while let Some(over) = (0..k).find(|&s| weight_loads[s] > cap) {
+        let candidate = (0..n)
+            .filter(|&v| assignment[v] == over as u16)
+            .min_by_key(|&v| (internal_affinity(v, &assignment), v));
+        let Some(v) = candidate else { break };
+        let vw = w(v);
+        let mut aff = vec![0usize; k];
+        for &nb in &adj[v] {
+            let s = assignment[nb as usize];
+            if s != UNASSIGNED && s as usize != over {
+                aff[s as usize] += 1;
+            }
+        }
+        let target = (0..k)
+            .filter(|&s| s != over && weight_loads[s] + vw <= cap)
+            .max_by_key(|&s| (aff[s], u64::MAX - weight_loads[s], std::cmp::Reverse(s)));
+        let Some(target) = target else { break };
+        assignment[v] = target as u16;
+        weight_loads[over] -= vw;
+        weight_loads[target] += vw;
+    }
+
+    // Bounded KL-lite sweeps: move a node to a neighboring shard only
+    // when that strictly reduces the cut and keeps the cap.
+    for _sweep in 0..2 {
+        let mut moved = false;
+        for &v in &order {
+            let v = v as usize;
+            let cur = assignment[v] as usize;
+            let mut aff = vec![0usize; k];
+            for &nb in &adj[v] {
+                let s = assignment[nb as usize];
+                if s != UNASSIGNED {
+                    aff[s as usize] += 1;
+                }
+            }
+            let vw = w(v);
+            let target = (0..k)
+                .filter(|&s| s != cur && weight_loads[s] + vw <= cap)
+                .max_by_key(|&s| (aff[s], u64::MAX - weight_loads[s], std::cmp::Reverse(s)));
+            if let Some(t) = target {
+                if aff[t] > aff[cur] {
+                    assignment[v] = t as u16;
+                    weight_loads[cur] -= vw;
+                    weight_loads[t] += vw;
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    let mut loads = vec![0usize; k];
+    for &s in &assignment {
+        loads[s as usize] += 1;
+    }
+    let cut_edges = edges
+        .iter()
+        .filter(|&&(a, b)| a != b && a < n && b < n && assignment[a] != assignment[b])
+        .count();
+    Partition { assignment, shards: k, cut_edges, total_edges, loads, weight_loads }
 }
 
 /// A grow-on-overflow mailbox with a capacity hint and occupancy
@@ -273,6 +459,98 @@ mod tests {
         let p = partition(50, &ring(50), 1);
         assert!(p.assignment.iter().all(|&s| s == 0));
         assert_eq!(p.cut_edges, 0);
+    }
+
+    /// A miniature `hier_50k`: a 12-node hub clique (heavy, every stub
+    /// hangs off it) plus light stubs. This is the shape where
+    /// node-count balance concentrates the event load on one shard.
+    fn hub_clique(stubs: usize) -> (usize, Vec<(usize, usize)>, Vec<u64>) {
+        let hubs = 12usize;
+        let n = hubs + stubs;
+        let mut edges = Vec::new();
+        for a in 0..hubs {
+            for b in (a + 1)..hubs {
+                edges.push((a, b));
+            }
+        }
+        // Preferential attachment in miniature: stub i hangs off hub
+        // i % 3, so three hubs carry almost all stub adjacency.
+        for i in 0..stubs {
+            edges.push((hubs + i, i % 3));
+        }
+        // Degree as the activity proxy.
+        let mut weights = vec![0u64; n];
+        for &(a, b) in &edges {
+            weights[a] += 1;
+            weights[b] += 1;
+        }
+        (n, edges, weights)
+    }
+
+    #[test]
+    fn weighted_partition_spreads_hub_weight_that_unweighted_concentrates() {
+        let (n, edges, weights) = hub_clique(120);
+        let total: u64 = weights.iter().sum();
+
+        // The unweighted partitioner balances node count, which lands
+        // the whole clique (and with it most of the weight) together —
+        // the documented 66%-one-shard case.
+        let plain = partition(n, &edges, 4);
+        let mut plain_weight = vec![0u64; 4];
+        for (v, &s) in plain.assignment.iter().enumerate() {
+            plain_weight[s as usize] += weights[v];
+        }
+        let plain_max = *plain_weight.iter().max().unwrap();
+        assert!(
+            plain_max * 2 > total,
+            "expected the unweighted partition to concentrate >50% of the \
+             weight (got {plain_weight:?}); if this starts failing, the \
+             seed partitioner changed and the weighted variant needs re-review"
+        );
+
+        // The weighted partitioner must respect the ~5% weight cap
+        // (floored at the heaviest single node).
+        let p = partition_weighted(n, &edges, 4, &weights);
+        let cap = (total.div_ceil(4) * 21).div_ceil(20).max(*weights.iter().max().unwrap());
+        for (s, &wl) in p.weight_loads.iter().enumerate() {
+            assert!(wl <= cap, "shard {s} weight {wl} blew the cap {cap}: {:?}", p.weight_loads);
+        }
+        assert_eq!(p.weight_loads.iter().sum::<u64>(), total);
+        assert_eq!(p.loads.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn weighted_partition_is_deterministic() {
+        let (n, edges, weights) = hub_clique(200);
+        let a = partition_weighted(n, &edges, 3, &weights);
+        let b = partition_weighted(n, &edges, 3, &weights);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.weight_loads, b.weight_loads);
+    }
+
+    #[test]
+    fn weighted_partition_with_unit_weights_stays_balanced_and_cut_stays_sane() {
+        // With all weights 1 the weighted variant solves the same
+        // problem as `partition`; it need not match assignments, but
+        // balance and cut quality must hold.
+        let edges = ring(100);
+        let p = partition_weighted(100, &edges, 4, &vec![1; 100]);
+        for &l in &p.loads {
+            assert!(l <= 27, "load {l} blew the balance cap: {:?}", p.loads);
+        }
+        assert!(p.cut_edges <= 16, "ring cut {} far from optimal 4", p.cut_edges);
+        // Degenerate inputs mirror `partition`.
+        let empty = partition_weighted(0, &[], 4, &[]);
+        assert!(empty.assignment.is_empty());
+        let short = partition_weighted(5, &ring(5), 2, &[7]); // weights padded
+        assert_eq!(short.assignment.len(), 5);
+    }
+
+    #[test]
+    fn unweighted_partition_reports_weight_loads_equal_to_loads() {
+        let p = partition(60, &ring(60), 3);
+        let as_w: Vec<u64> = p.loads.iter().map(|&l| l as u64).collect();
+        assert_eq!(p.weight_loads, as_w);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! The sans-IO BGP session core.
+//!
+//! Everything in this crate is a pure state machine: bytes and
+//! timestamps go in, bytes, timer deadlines and RIB deltas come out.
+//! No sockets, no clocks, no threads — the host decides what "now"
+//! means and owns every side effect. Two hosts drive this crate today:
+//!
+//! * the deterministic simulator / in-process fabric (`dbgp-bgp`'s
+//!   [`Speaker`](../dbgp_bgp/speaker/index.html) and everything built
+//!   on it), where "now" is simulated time; and
+//! * `dbgpd` (`dbgp-daemon`), the real BGP daemon, where "now" is
+//!   milliseconds since process start and the bytes ride TCP.
+//!
+//! Because both frontends execute *this* code, a behaviour verified
+//! against the oracle in simulation is the behaviour a live daemon
+//! executes — the property the D-BGP deployment story rests on.
+//!
+//! Layout:
+//!
+//! * [`session`] — the RFC 4271 §8 per-connection finite-state machine;
+//! * [`stream`] — TCP stream reassembly: buffered bytes to framed
+//!   [`BgpMessage`](dbgp_wire::message::BgpMessage)s;
+//! * [`peer`] — [`peer::SessionCore`]: one neighbor, up to two
+//!   transport connections, RFC 4271 §6.8 collision resolution;
+//! * [`route`] / [`rib`] / [`decision`] / [`policy`] — the parsed route
+//!   model, the three RIBs, the §9.1.2.2 decision process and route-map
+//!   policy engine;
+//! * [`routing`] — [`routing::RoutingCore`]: the multi-neighbor RIB
+//!   plumbing (import, decide, export, propagate) shared by every
+//!   frontend;
+//! * [`config`] — peer and neighbor configuration.
+
+pub mod config;
+pub mod decision;
+pub mod peer;
+pub mod policy;
+pub mod rib;
+pub mod route;
+pub mod routing;
+pub mod session;
+pub mod stream;
+
+pub use config::{NeighborConfig, PeerConfig, PeerId};
+pub use decision::{best, best_with, compare, compare_with, Candidate, DecisionOptions};
+pub use peer::{ConnDir, CoreOutput, SessionCore};
+pub use policy::{Clause, MatchCond, PrefixMatch, RouteMap, SetAction};
+pub use rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, RouteSource};
+pub use route::Route;
+pub use routing::{RibOp, RoutingCore};
+pub use session::{
+    Action, DownReason, Millis, Session, SessionEvent, SessionState, SessionSummary,
+};
+pub use stream::StreamReassembler;

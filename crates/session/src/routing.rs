@@ -1,0 +1,428 @@
+//! The multi-neighbor RIB plumbing: import policy, the decision
+//! process, Loc-RIB maintenance, and export diffing against
+//! Adj-RIB-Out.
+//!
+//! [`RoutingCore`] is the routing half of a BGP speaker with the
+//! session machinery cut away: it never sees bytes or timers, only
+//! parsed [`UpdateMsg`]s and peer up/down edges, and it answers with
+//! [`RibOp`]s — UPDATEs to send (unencoded; the host picks the wire
+//! encoding per the peer's negotiated capabilities) and best-route
+//! changes for the host's FIB. Both the simulator's speaker and the
+//! `dbgpd` daemon wrap this same core, which is what makes the
+//! oracle-vs-daemon bit-match meaningful.
+
+use crate::config::{NeighborConfig, PeerId};
+use crate::decision::{self, Candidate};
+use crate::rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, RouteSource};
+use crate::route::Route;
+use crate::session::{Millis, SessionSummary};
+use dbgp_rib::PrefixTrie;
+use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
+use dbgp_wire::message::UpdateMsg;
+use dbgp_wire::{Ipv4Addr, Ipv4Prefix, WireError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A RIB-level side effect the host must act on, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RibOp {
+    /// Send this UPDATE to this peer. The host encodes it with the
+    /// peer's negotiated 4-octet-AS setting.
+    Announce(PeerId, UpdateMsg),
+    /// The best route for a prefix changed (`None` = now unreachable).
+    /// The host's data plane should update its FIB.
+    BestRouteChanged(Ipv4Prefix, Option<LocRibEntry>),
+}
+
+struct PeerEntry {
+    cfg: NeighborConfig,
+    /// Set while the session is Established; carries the negotiated
+    /// capabilities and the peer's router ID for the decision process.
+    summary: Option<SessionSummary>,
+}
+
+/// The sans-IO routing core of a BGP speaker.
+pub struct RoutingCore {
+    asn: u32,
+    router_id: Ipv4Addr,
+    peers: BTreeMap<PeerId, PeerEntry>,
+    adj_in: AdjRibIn,
+    loc_rib: LocRib,
+    adj_out: AdjRibOut,
+    originated: PrefixTrie<Arc<Route>>,
+    sink: SinkHandle,
+    node_label: u32,
+}
+
+impl RoutingCore {
+    /// A routing core for AS `asn` with the given router ID.
+    pub fn new(asn: u32, router_id: Ipv4Addr) -> Self {
+        RoutingCore {
+            asn,
+            router_id,
+            peers: BTreeMap::new(),
+            adj_in: AdjRibIn::new(),
+            loc_rib: LocRib::new(),
+            adj_out: AdjRibOut::new(),
+            originated: PrefixTrie::new(),
+            sink: SinkHandle::none(),
+            node_label: 0,
+        }
+    }
+
+    /// Attach a telemetry sink; `node_label` identifies this speaker in
+    /// recorded decision events.
+    pub fn set_telemetry(&mut self, sink: SinkHandle, node_label: u32) {
+        self.sink = sink;
+        self.node_label = node_label;
+    }
+
+    /// Our AS number.
+    pub fn asn(&self) -> u32 {
+        self.asn
+    }
+
+    /// Our router ID.
+    pub fn router_id(&self) -> Ipv4Addr {
+        self.router_id
+    }
+
+    /// Register a neighbor. Panics if the peer ID is already used.
+    pub fn add_peer(&mut self, id: PeerId, cfg: NeighborConfig) {
+        assert!(!self.peers.contains_key(&id), "duplicate peer {id}");
+        self.peers.insert(id, PeerEntry { cfg, summary: None });
+    }
+
+    /// The neighbor configuration for a peer.
+    pub fn peer_cfg(&self, id: PeerId) -> Option<&NeighborConfig> {
+        self.peers.get(&id).map(|p| &p.cfg)
+    }
+
+    /// True while the session with `id` is up (between
+    /// [`peer_up`](Self::peer_up) and [`peer_down`](Self::peer_down)).
+    pub fn is_established(&self, id: PeerId) -> bool {
+        self.peers.get(&id).is_some_and(|p| p.summary.is_some())
+    }
+
+    /// The session summary recorded at [`peer_up`](Self::peer_up).
+    pub fn summary(&self, id: PeerId) -> Option<SessionSummary> {
+        self.peers.get(&id).and_then(|p| p.summary)
+    }
+
+    /// The session with `id` reached Established: record the negotiated
+    /// summary and compute the initial table transfer.
+    pub fn peer_up(&mut self, id: PeerId, summary: SessionSummary) -> Vec<RibOp> {
+        let mut out = Vec::new();
+        if let Some(peer) = self.peers.get_mut(&id) {
+            peer.summary = Some(summary);
+            // Initial table transfer: advertise our whole view, batching
+            // prefixes that export the same attribute block into shared
+            // multi-NLRI UPDATEs.
+            self.initial_table_dump(id, &mut out);
+        }
+        out
+    }
+
+    /// The session with `id` went down: flush its RIB state and
+    /// re-decide every prefix it contributed.
+    pub fn peer_down(&mut self, now: Millis, id: PeerId) -> Vec<RibOp> {
+        let mut out = Vec::new();
+        if let Some(peer) = self.peers.get_mut(&id) {
+            peer.summary = None;
+            self.adj_out.drop_peer(id);
+            for prefix in self.adj_in.drop_peer(id) {
+                self.redecide(now, prefix, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Process an UPDATE received from `id`.
+    ///
+    /// The returned ops are valid even when an error is also returned
+    /// (withdrawals processed before the failure still count); a
+    /// `Some(err)` means the session must be torn down, mirroring the
+    /// RFC 4271 §6.3 treatment of malformed attribute blocks.
+    pub fn update(
+        &mut self,
+        now: Millis,
+        id: PeerId,
+        update: UpdateMsg,
+    ) -> (Vec<RibOp>, Option<WireError>) {
+        let mut out = Vec::new();
+        for prefix in &update.withdrawn {
+            if self.adj_in.remove(id, prefix).is_some() {
+                self.redecide(now, *prefix, &mut out);
+            }
+        }
+        if update.nlri.is_empty() {
+            return (out, None);
+        }
+        let Ok(route) = Route::from_attrs(&update.attributes) else {
+            // Wire validation already guarantees mandatory attributes;
+            // treat any residual failure as a session-level error.
+            return (
+                out,
+                Some(WireError::MissingWellKnownAttribute(dbgp_wire::attrs::code::ORIGIN)),
+            );
+        };
+        // Receiver-side loop detection (RFC 4271 §9.1.2): a path carrying
+        // our own AS is invisible to the decision process.
+        let looped = route.as_path.contains(self.asn);
+        let peer_as = self.peers[&id].cfg.peer_as;
+        // One attribute block per UPDATE: every NLRI the import policy
+        // leaves untouched shares this interned route.
+        let route = Arc::new(route);
+        let transparent = {
+            let import = &self.peers[&id].cfg.import;
+            import.clauses.is_empty() && import.default_permit
+        };
+        for prefix in &update.nlri {
+            if looped {
+                if self.adj_in.remove(id, prefix).is_some() {
+                    self.redecide(now, *prefix, &mut out);
+                }
+                continue;
+            }
+            if transparent {
+                self.adj_in.insert(id, *prefix, Arc::clone(&route));
+            } else {
+                let mut candidate = (*route).clone();
+                let import = &self.peers[&id].cfg.import;
+                if import.apply(prefix, &mut candidate, peer_as) {
+                    let interned =
+                        if candidate == *route { Arc::clone(&route) } else { Arc::new(candidate) };
+                    self.adj_in.insert(id, *prefix, interned);
+                } else if self.adj_in.remove(id, prefix).is_none() {
+                    continue; // rejected and never stored: nothing changes
+                }
+            }
+            self.redecide(now, *prefix, &mut out);
+        }
+        (out, None)
+    }
+
+    /// Originate a prefix locally and propagate it.
+    pub fn originate(&mut self, now: Millis, prefix: Ipv4Prefix) -> Vec<RibOp> {
+        let mut out = Vec::new();
+        let route = Arc::new(Route::originated(self.router_id));
+        self.originated.insert(prefix, route);
+        self.redecide(now, prefix, &mut out);
+        out
+    }
+
+    /// Stop originating a prefix.
+    pub fn withdraw_origin(&mut self, now: Millis, prefix: Ipv4Prefix) -> Vec<RibOp> {
+        let mut out = Vec::new();
+        if self.originated.remove(&prefix).is_some() {
+            self.redecide(now, prefix, &mut out);
+        }
+        out
+    }
+
+    /// Read access to the Loc-RIB.
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// Read access to the Adj-RIB-In.
+    pub fn adj_rib_in(&self) -> &AdjRibIn {
+        &self.adj_in
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    /// Re-run the decision process for one prefix and propagate any
+    /// change.
+    fn redecide(&mut self, now: Millis, prefix: Ipv4Prefix, out: &mut Vec<RibOp>) {
+        let explain = self.sink.enabled();
+        let (new_entry, why, n_candidates) = self.select_best(&prefix, explain);
+        let changed = match (self.loc_rib.get(&prefix), &new_entry) {
+            (None, None) => false,
+            (Some(old), Some(new)) => old != new,
+            _ => true,
+        };
+        if !changed {
+            return;
+        }
+        if explain {
+            let (selected, neighbor_as, path, hops) = match &new_entry {
+                Some(entry) => {
+                    let nas = match entry.source {
+                        RouteSource::Peer(pid) => Some(self.peers[&pid].cfg.peer_as),
+                        RouteSource::Local => None,
+                    };
+                    (
+                        true,
+                        nas,
+                        entry.route.as_path.to_string(),
+                        entry.route.as_path.hop_count() as u32,
+                    )
+                }
+                None => (false, None, String::new(), 0),
+            };
+            self.sink.record_at(
+                now,
+                self.node_label,
+                self.sink.ambient_parent(),
+                TraceKind::Decision {
+                    prefix,
+                    selected,
+                    neighbor_as,
+                    path,
+                    hops,
+                    candidates: n_candidates,
+                    why,
+                },
+            );
+        }
+        match new_entry.clone() {
+            Some(entry) => {
+                self.loc_rib.install(prefix, entry);
+            }
+            None => {
+                self.loc_rib.remove(&prefix);
+            }
+        }
+        out.push(RibOp::BestRouteChanged(prefix, new_entry));
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        for id in ids {
+            if self.is_established(id) {
+                self.propagate_to(now, id, prefix, out);
+            }
+        }
+    }
+
+    fn select_best(
+        &self,
+        prefix: &Ipv4Prefix,
+        explain: bool,
+    ) -> (Option<LocRibEntry>, SelectionReason, u32) {
+        let local = self.originated.get(prefix);
+        // The decision process borrows plain `&Route` views; `arcs` keeps
+        // the interned handles in lockstep so the winner is retained by
+        // refcount bump, not deep clone. `candidates` is a lazy iterator,
+        // so sizing by peer count avoids both a collect and regrowth.
+        let mut arcs: Vec<&Arc<Route>> = Vec::with_capacity(self.peers.len() + 1);
+        let mut candidates: Vec<Candidate<'_>> = Vec::with_capacity(self.peers.len() + 1);
+        if let Some(route) = local {
+            arcs.push(route);
+            candidates.push(Candidate::local(route));
+        }
+        for (peer_id, route) in self.adj_in.candidates(prefix) {
+            let peer = &self.peers[&peer_id];
+            arcs.push(route);
+            candidates.push(Candidate {
+                route,
+                source: RouteSource::Peer(peer_id),
+                peer_as: peer.cfg.peer_as,
+                ebgp: !peer.cfg.is_ibgp(),
+                peer_router_id: peer.summary.map(|s| s.peer_id).unwrap_or(Ipv4Addr(u32::MAX)),
+            });
+        }
+        let n = candidates.len() as u32;
+        let picked = if explain {
+            decision::best_explain(&candidates)
+        } else {
+            decision::best(&candidates).map(|i| (i, SelectionReason::ModulePreference))
+        };
+        match picked {
+            Some((i, why)) => (
+                Some(LocRibEntry { route: Arc::clone(arcs[i]), source: candidates[i].source }),
+                why,
+                n,
+            ),
+            None => (None, SelectionReason::Unreachable, n),
+        }
+    }
+
+    /// Compute what `peer` should see for `prefix`, diff against
+    /// Adj-RIB-Out, and emit the UPDATE if anything changed.
+    fn propagate_to(&mut self, _now: Millis, id: PeerId, prefix: Ipv4Prefix, out: &mut Vec<RibOp>) {
+        let export = self.export_route(id, &prefix);
+        match export {
+            Some(route) => {
+                if self.adj_out.advertise(id, prefix, Arc::clone(&route)) {
+                    let ibgp = self.peers[&id].cfg.is_ibgp();
+                    let update = UpdateMsg::announce(vec![prefix], route.to_attrs(ibgp));
+                    out.push(RibOp::Announce(id, update));
+                }
+            }
+            None => {
+                if self.adj_out.withdraw(id, &prefix) {
+                    out.push(RibOp::Announce(id, UpdateMsg::withdraw(vec![prefix])));
+                }
+            }
+        }
+    }
+
+    /// Initial table transfer toward a freshly-established peer: walk
+    /// the Loc-RIB in prefix order, group prefixes whose exported
+    /// routes are identical, and emit one multi-NLRI UPDATE run per
+    /// group ([`UpdateMsg::pack_announcements`] splits each run at the
+    /// 4096-byte frame limit). Groups keep first-seen (ascending
+    /// prefix) order, so the wire bytes are deterministic.
+    fn initial_table_dump(&mut self, id: PeerId, out: &mut Vec<RibOp>) {
+        let prefixes: Vec<Ipv4Prefix> = self.loc_rib.iter().map(|(p, _)| *p).collect();
+        let mut groups: Vec<(Arc<Route>, Vec<Ipv4Prefix>)> = Vec::new();
+        for prefix in prefixes {
+            let Some(route) = self.export_route(id, &prefix) else { continue };
+            if !self.adj_out.advertise(id, prefix, Arc::clone(&route)) {
+                continue;
+            }
+            // Linear probe over existing groups; distinct attribute
+            // blocks in one table number in the dozens, not thousands,
+            // and ptr_eq short-circuits the interned common case.
+            match groups.iter_mut().find(|(g, _)| Arc::ptr_eq(g, &route) || **g == *route) {
+                Some((_, members)) => members.push(prefix),
+                None => groups.push((route, vec![prefix])),
+            }
+        }
+        let peer = &self.peers[&id];
+        let four_octet = peer.summary.map(|s| s.four_octet).unwrap_or(false);
+        let ibgp = peer.cfg.is_ibgp();
+        for (route, members) in groups {
+            for update in UpdateMsg::pack_announcements(&members, route.to_attrs(ibgp), four_octet)
+            {
+                out.push(RibOp::Announce(id, update));
+            }
+        }
+    }
+
+    /// The route to advertise to `peer` for `prefix`, or `None` to
+    /// withdraw/suppress.
+    fn export_route(&self, id: PeerId, prefix: &Ipv4Prefix) -> Option<Arc<Route>> {
+        let entry = self.loc_rib.get(prefix)?;
+        let peer = &self.peers[&id];
+        match entry.source {
+            // Split horizon: never send a route back to its source.
+            RouteSource::Peer(src) if src == id => return None,
+            // No iBGP reflection: iBGP-learned routes do not go to other
+            // iBGP peers (we are not a route reflector).
+            RouteSource::Peer(src) => {
+                let src_ibgp = self.peers[&src].cfg.is_ibgp();
+                if src_ibgp && peer.cfg.is_ibgp() {
+                    return None;
+                }
+            }
+            RouteSource::Local => {}
+        }
+        if peer.cfg.is_ibgp() {
+            // iBGP forwards the route unmodified; with a transparent
+            // export policy the interned Loc-RIB route is shared as-is.
+            if peer.cfg.export.clauses.is_empty() && peer.cfg.export.default_permit {
+                return Some(Arc::clone(&entry.route));
+            }
+            let mut route = (*entry.route).clone();
+            if !peer.cfg.export.apply(prefix, &mut route, peer.cfg.peer_as) {
+                return None;
+            }
+            return Some(Arc::new(route));
+        }
+        let mut route = entry.route.for_ebgp_export(self.asn, peer.cfg.local_addr);
+        if !peer.cfg.export.apply(prefix, &mut route, peer.cfg.peer_as) {
+            return None;
+        }
+        Some(Arc::new(route))
+    }
+}

@@ -1,0 +1,103 @@
+//! Replay of the shared `msg-*.bin` fuzz corpus through the daemon's
+//! stream reassembler — the second decode path the corpus pins (the
+//! first is `BgpMessage::decode` directly; see `fuzz_msg_replay.rs` in
+//! `dbgp-wire`). The reassembler must agree with one-shot decoding no
+//! matter how the stream is fragmented, and malformed frames must fail
+//! with the same typed error on both paths.
+
+use bytes::BytesMut;
+use dbgp_session::stream::StreamReassembler;
+use dbgp_wire::message::BgpMessage;
+use dbgp_wire::WireError;
+
+const CORPUS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../wire/fuzz_corpus");
+
+fn corpus_files() -> Vec<(String, Vec<u8>)> {
+    let mut entries: Vec<_> = std::fs::read_dir(CORPUS_DIR)
+        .expect("shared fuzz_corpus directory")
+        .map(|e| e.expect("corpus entry").path())
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .filter_map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            if name.starts_with("msg-") && name.ends_with(".bin") {
+                Some((name, std::fs::read(&path).expect("corpus file")))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn oneshot(bytes: &[u8], four_octet: bool) -> Result<Option<BgpMessage>, WireError> {
+    let mut buf = BytesMut::from(bytes);
+    BgpMessage::decode(&mut buf, four_octet)
+}
+
+/// Every corpus frame, fed byte-by-byte, must produce exactly what the
+/// one-shot decoder produces — same message or same typed error.
+#[test]
+fn reassembler_agrees_with_oneshot_decode_per_frame() {
+    let files = corpus_files();
+    assert!(files.len() >= 10, "message corpus lost files: {}", files.len());
+    for (name, data) in &files {
+        for four_octet in [false, true] {
+            let expected = oneshot(data, four_octet);
+            let mut rx = StreamReassembler::new();
+            let mut got: Result<Option<BgpMessage>, WireError> = Ok(None);
+            for b in data {
+                rx.push(std::slice::from_ref(b));
+                got = rx.next_message(four_octet);
+                if !matches!(got, Ok(None)) {
+                    break;
+                }
+            }
+            assert_eq!(got, expected, "{name} (four_octet={four_octet})");
+        }
+    }
+}
+
+/// All *valid* corpus frames concatenated into one stream and pushed in
+/// fixed-size chunks decode to the same sequence at every chunk size.
+#[test]
+fn reassembler_is_fragmentation_invariant_over_corpus_stream() {
+    let valid: Vec<u8> = corpus_files()
+        .iter()
+        .filter(|(_, data)| oneshot(data, false).is_ok())
+        .flat_map(|(_, data)| data.clone())
+        .collect();
+    let reference =
+        StreamReassembler::decode_all(&valid, false).expect("valid frames decode cleanly");
+    assert!(reference.len() >= 3, "expected OPEN + KEEPALIVE + NOTIFICATION, got {reference:?}");
+    for chunk in [1usize, 2, 3, 7, 18, 19, 20, 64, 4096] {
+        let mut rx = StreamReassembler::new();
+        let mut got = Vec::new();
+        for piece in valid.chunks(chunk) {
+            rx.push(piece);
+            while let Some(msg) = rx.next_message(false).expect("no error on valid stream") {
+                got.push(msg);
+            }
+        }
+        assert_eq!(got, reference, "chunk size {chunk} changed the decoded sequence");
+        assert_eq!(rx.pending(), 0, "chunk size {chunk} left bytes buffered");
+    }
+}
+
+/// A malformed frame poisons the stream at the same point on both
+/// paths: the reassembler reports the typed error once the bad frame's
+/// bytes are buffered, regardless of what arrived before it.
+#[test]
+fn reassembler_reports_typed_errors_mid_stream() {
+    let keepalive = BgpMessage::Keepalive.encode(true);
+    for (name, data) in corpus_files() {
+        let Err(expected) = oneshot(&data, false) else { continue };
+        let mut stream = keepalive.to_vec();
+        stream.extend_from_slice(&data);
+        let mut rx = StreamReassembler::new();
+        rx.push(&stream);
+        assert_eq!(rx.next_message(false), Ok(Some(BgpMessage::Keepalive)), "{name}");
+        assert_eq!(rx.next_message(false), Err(expected), "{name}");
+    }
+}

@@ -509,6 +509,29 @@ impl Sim {
         self.partition = Some(part);
     }
 
+    /// Like [`Sim::set_shards`], but balancing the partition by node
+    /// *degree* (an event-load proxy) instead of node count, via
+    /// `dbgp_par::partition_weighted`. On hub-heavy topologies — the
+    /// `hier_50k` tier-1 clique is the motivating case — count-balanced
+    /// shards leave one shard carrying most of the event load; the
+    /// weighted partition spreads the hubs at the price of a higher
+    /// edge cut. Results are identical either way (sharding is
+    /// results-neutral by construction); only wall-clock and the
+    /// per-shard event split move.
+    pub fn set_shards_weighted(&mut self, shards: usize) {
+        let shards = shards.clamp(1, u16::MAX as usize - 1);
+        let edges: Vec<(usize, usize)> = self.links.keys().copied().collect();
+        let mut weights = vec![1u64; self.nodes.len()];
+        for &(a, b) in &edges {
+            weights[a] += 1;
+            weights[b] += 1;
+        }
+        let part = dbgp_par::partition_weighted(self.nodes.len(), &edges, shards, &weights);
+        let hint = (edges.len() / part.shards.max(1)).max(64);
+        self.queue.set_shards(part.assignment.clone(), part.shards, hint);
+        self.partition = Some(part);
+    }
+
     /// Shards the event engine is partitioned into (1 = unsharded).
     pub fn shards(&self) -> usize {
         self.queue.shard_count()

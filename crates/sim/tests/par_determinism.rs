@@ -30,6 +30,15 @@ fn build(seed: u64, threads: usize) -> (Sim, Vec<(usize, usize)>) {
 
 /// Build with an explicit shard count (1 = the unsharded router).
 fn build_sharded(seed: u64, threads: usize, shards: usize) -> (Sim, Vec<(usize, usize)>) {
+    build_partitioned(seed, threads, shards, false)
+}
+
+fn build_partitioned(
+    seed: u64,
+    threads: usize,
+    shards: usize,
+    weighted: bool,
+) -> (Sim, Vec<(usize, usize)>) {
     let graph = waxman_50(seed);
     let mut sim = Sim::new();
     sim.set_threads(threads);
@@ -60,7 +69,11 @@ fn build_sharded(seed: u64, threads: usize, shards: usize) -> (Sim, Vec<(usize, 
     }
     if shards > 1 {
         // After the topology exists, so the partitioner sees every link.
-        sim.set_shards(shards);
+        if weighted {
+            sim.set_shards_weighted(shards);
+        } else {
+            sim.set_shards(shards);
+        }
         assert_eq!(sim.shards(), shards);
         assert!(sim.edge_cut_fraction() < 1.0);
     }
@@ -106,7 +119,15 @@ fn drive(seed: u64, threads: usize) -> Vec<String> {
 }
 
 fn drive_sharded(seed: u64, threads: usize, shards: usize) -> Vec<String> {
-    let (mut sim, edges) = build_sharded(seed, threads, shards);
+    drive_partitioned(seed, threads, shards, false)
+}
+
+fn drive_weighted(seed: u64, threads: usize, shards: usize) -> Vec<String> {
+    drive_partitioned(seed, threads, shards, true)
+}
+
+fn drive_partitioned(seed: u64, threads: usize, shards: usize, weighted: bool) -> Vec<String> {
+    let (mut sim, edges) = build_partitioned(seed, threads, shards, weighted);
     assert_eq!(sim.threads(), threads);
     let mut checkpoints = Vec::new();
     sim.run(20_000);
@@ -180,6 +201,20 @@ fn sharded_engine_bit_identical_on_waxman_50_churn() {
     assert_sharded_identical(42, 2, 2);
     assert_sharded_identical(42, 2, 4); // more shards than threads
     assert_sharded_identical(42, 4, 3);
+}
+
+/// The degree-weighted partition (`Sim::set_shards_weighted`) changes
+/// only *which shard* commits each event, never the results: a full
+/// churn run under it stays bit-identical to the serial engine.
+#[test]
+fn weighted_partition_bit_identical_on_waxman_50_churn() {
+    let seed = 42;
+    let serial = drive(seed, 1);
+    let weighted = drive_weighted(seed, 2, 4);
+    assert_eq!(serial.len(), weighted.len());
+    for (i, (s, p)) in serial.iter().zip(weighted.iter()).enumerate() {
+        assert_eq!(s, p, "serial vs weighted-partition runs diverged at checkpoint {i}");
+    }
 }
 
 proptest! {

@@ -14,10 +14,14 @@ pub const MAX_MESSAGE_LEN: usize = 4096;
 /// BGP version implemented.
 pub const BGP_VERSION: u8 = 4;
 
-const TYPE_OPEN: u8 = 1;
-const TYPE_UPDATE: u8 = 2;
-const TYPE_NOTIFICATION: u8 = 3;
-const TYPE_KEEPALIVE: u8 = 4;
+/// OPEN message type code.
+pub const TYPE_OPEN: u8 = 1;
+/// UPDATE message type code.
+pub const TYPE_UPDATE: u8 = 2;
+/// NOTIFICATION message type code.
+pub const TYPE_NOTIFICATION: u8 = 3;
+/// KEEPALIVE message type code.
+pub const TYPE_KEEPALIVE: u8 = 4;
 
 /// A capability advertised in an OPEN's optional parameters (RFC 5492).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
