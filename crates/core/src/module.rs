@@ -125,6 +125,15 @@ pub trait DecisionModule: Send {
     fn decorate_origin(&mut self, _ia: &mut Ia, _local_as: u32) {}
 }
 
+/// The baseline tie-break key: shortest path vector, then lowest
+/// neighbor AS, then lowest neighbor id. [`BgpDecision`] orders by
+/// exactly this key; modules that apply their own criterion first
+/// (ranked policies, bandwidth, cost) reuse it as the final tie-break so
+/// every selection is a total order and replays are deterministic.
+pub fn baseline_key(c: &CandidateIa<'_>) -> (usize, u32, u32) {
+    (c.ia.hop_count(), c.neighbor_as, c.neighbor.0)
+}
+
 /// The baseline decision module: BGP's path selection reduced to its
 /// policy-free core (shortest path vector, then lowest neighbor AS),
 /// exactly the reduction the paper's simulator uses (§6.3).
@@ -154,11 +163,7 @@ impl DecisionModule for BgpDecision {
         _prefix: Ipv4Prefix,
         candidates: &[CandidateIa<'_>],
     ) -> Option<usize> {
-        candidates
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| (c.ia.hop_count(), c.neighbor_as, c.neighbor.0))
-            .map(|(i, _)| i)
+        candidates.iter().enumerate().min_by_key(|(_, c)| baseline_key(c)).map(|(i, _)| i)
     }
 
     fn explain_best(

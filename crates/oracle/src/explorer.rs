@@ -17,7 +17,7 @@
 use crate::reference::RefNet;
 use dbgp_wire::Ipv4Prefix;
 use proptest::test_runner::TestRng;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// Exploration bounds.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +33,89 @@ pub struct ExplorerConfig {
 impl Default for ExplorerConfig {
     fn default() -> Self {
         ExplorerConfig { branch_depth: 4, random_schedules: 64, max_deliveries: 10_000 }
+    }
+}
+
+/// The classified result of a global-FIFO run with global-state cycle
+/// detection — the general mechanism behind the stability suite's
+/// converge / stable-oscillation / livelock labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoOutcome {
+    /// Every queue drained: the run converged.
+    Quiesced {
+        /// Deliveries needed to quiesce.
+        deliveries: u64,
+    },
+    /// The global state (speakers, FIBs, links, in-flight frames in
+    /// relative order) recurred: the FIFO continuation repeats this
+    /// cycle forever — a *proof* of divergence, not a timeout.
+    Oscillation {
+        /// Deliveries before the recurrent cycle is entered.
+        preperiod: u64,
+        /// Cycle length in deliveries.
+        period: u64,
+        /// Steps within one cycle where some Loc-RIB/FIB changed:
+        /// `> 0` is a livelock (best paths flap forever), `0` a
+        /// stable oscillation (only message state churns).
+        routing_changes: u64,
+    },
+    /// Budget ran out before quiescence or a state recurrence:
+    /// inconclusive, *not* a proven oscillation.
+    BudgetExhausted {
+        /// The delivery budget that was exhausted.
+        deliveries: u64,
+    },
+}
+
+/// Run `net` in global-FIFO order with full-state cycle detection.
+///
+/// Sound, not probabilistic: recurrence is decided on the complete
+/// canonical state rendering ([`RefNet::state_digest`]), never on a
+/// hash. Because delivery is a deterministic function of that quotient
+/// state, a repeated digest proves the continuation cycles forever.
+pub fn run_fifo_classified(net: &mut RefNet, max_deliveries: u64) -> FifoOutcome {
+    let mut seen: HashMap<String, u64> = HashMap::new();
+    let mut routing = vec![net.routing_digest()];
+    seen.insert(net.state_digest(), 0);
+    let mut step = 0u64;
+    while net.pending() > 0 {
+        if step >= max_deliveries {
+            return FifoOutcome::BudgetExhausted { deliveries: step };
+        }
+        net.deliver_next_fifo();
+        step += 1;
+        routing.push(net.routing_digest());
+        let digest = net.state_digest();
+        if let Some(&first) = seen.get(&digest) {
+            let period = step - first;
+            let routing_changes = (first..step)
+                .filter(|&i| routing[i as usize + 1] != routing[i as usize])
+                .count() as u64;
+            return FifoOutcome::Oscillation { preperiod: first, period, routing_changes };
+        }
+        seen.insert(digest, step);
+    }
+    FifoOutcome::Quiesced { deliveries: step }
+}
+
+/// Explain a schedule that hit its delivery budget: probe the FIFO
+/// continuation from the stuck state and say whether divergence is
+/// *proven* (recurrent state cycle) or the budget was simply too small.
+fn classify_stuck(net: &RefNet, budget: u64) -> String {
+    let mut probe = net.clone();
+    match run_fifo_classified(&mut probe, budget) {
+        FifoOutcome::Oscillation { preperiod, period, .. } => format!(
+            "proven oscillation: the FIFO continuation enters a recurrent \
+             global-state cycle of length {period} after {preperiod} further deliveries"
+        ),
+        FifoOutcome::Quiesced { deliveries } => format!(
+            "budget exhausted: the FIFO continuation quiesces after {deliveries} \
+             further deliveries, so the budget was too small for this schedule"
+        ),
+        FifoOutcome::BudgetExhausted { deliveries } => format!(
+            "budget exhausted: no quiescence or state recurrence within \
+             {deliveries} further FIFO deliveries (inconclusive)"
+        ),
     }
 }
 
@@ -91,8 +174,9 @@ fn random_schedule(
         if delivered >= cfg.max_deliveries {
             return Err(format!(
                 "stability violation: random schedule {seed} did not quiesce \
-                 within {} deliveries (schedule prefix {trail:?})",
-                cfg.max_deliveries
+                 within {} deliveries — {} (schedule prefix {trail:?})",
+                cfg.max_deliveries,
+                classify_stuck(&net, cfg.max_deliveries)
             ));
         }
         let links = net.deliverable();
@@ -127,8 +211,9 @@ fn dfs(
             .ok_or_else(|| {
                 format!(
                     "stability violation: schedule prefix {trail:?} + FIFO tail did not \
-                     quiesce within {} deliveries",
-                    cfg.max_deliveries
+                     quiesce within {} deliveries — {}",
+                    cfg.max_deliveries,
+                    classify_stuck(net, cfg.max_deliveries)
                 )
             })?;
         check(&tail).map_err(|e| format!("schedule {trail:?} + FIFO tail: {e}"))?;

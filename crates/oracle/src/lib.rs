@@ -32,7 +32,10 @@ pub mod scenario;
 pub mod topologies;
 
 pub use differential::{check_scenarios, run_differential, run_differential_mutated, Divergence};
-pub use explorer::{check_routing_invariants, explore, ExplorerConfig, ExplorerReport};
+pub use explorer::{
+    check_routing_invariants, explore, run_fifo_classified, ExplorerConfig, ExplorerReport,
+    FifoOutcome,
+};
 pub use reference::{Mutation, RefConfig, RefIsland, RefModule, RefNet, RefSpeaker};
 pub use scenario::{
     build_production, build_reference, scenario_from_json, scenario_to_json, Fault, IslandSpec,

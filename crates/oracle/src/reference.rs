@@ -172,11 +172,33 @@ pub struct RefCandidate {
     pub ia: Ia,
 }
 
+/// The pure AS-number sequence of a path vector; `None` when the path
+/// contains island abstractions or AS-sets (mirrors
+/// `dbgp_protocols::ranked::as_sequence` — gadget policies only rank
+/// concrete AS paths).
+fn ranked_sequence(ia: &Ia) -> Option<Vec<u32>> {
+    ia.path_vector
+        .iter()
+        .map(|e| match e {
+            PathElem::As(a) => Some(*a),
+            PathElem::Island(_) | PathElem::AsSet(_) => None,
+        })
+        .collect()
+}
+
 /// Naive mirrors of every production decision module.
 #[derive(Debug, Clone)]
 pub enum RefModule {
     /// Baseline BGP: shortest path, lowest neighbor AS, lowest neighbor.
     Bgp,
+    /// Explicit per-node path ranking (the stability gadget override).
+    /// Registers under the baseline's protocol ID, replacing plain BGP
+    /// selection — mirrors `dbgp_protocols::RankedPolicyModule`.
+    Ranked {
+        /// AS-path sequences, most preferred first; unlisted paths rank
+        /// below every listed one and fall back to baseline order.
+        prefs: Vec<Vec<u32>>,
+    },
     /// Wiser path-cost selection (OOB scaling fixed at 1.0 — the
     /// differential scenarios never exchange cost reports).
     Wiser {
@@ -290,7 +312,9 @@ impl RefModule {
     /// The protocol this module registers under.
     pub fn protocol(&self) -> ProtocolId {
         match self {
-            RefModule::Bgp | RefModule::AddrMap { .. } => ProtocolId::BGP,
+            RefModule::Bgp | RefModule::Ranked { .. } | RefModule::AddrMap { .. } => {
+                ProtocolId::BGP
+            }
             RefModule::Wiser { .. } => ProtocolId::WISER,
             RefModule::Rbgp { .. } => ProtocolId::RBGP,
             RefModule::Eqbgp { .. } => ProtocolId::EQBGP,
@@ -340,6 +364,16 @@ impl RefModule {
                     })
                     .map(|(i, _)| i),
             },
+            RefModule::Ranked { prefs } => cands
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| {
+                    let rank = ranked_sequence(&c.ia)
+                        .and_then(|seq| prefs.iter().position(|p| *p == seq))
+                        .unwrap_or(prefs.len());
+                    (rank, ref_hop_count(&c.ia), c.neighbor_as, c.neighbor)
+                })
+                .map(|(i, _)| i),
             RefModule::AddrMap { .. } => cands
                 .iter()
                 .enumerate()
@@ -448,7 +482,7 @@ impl RefModule {
 
     fn export(&mut self, ia: &mut Ia, prefix: Ipv4Prefix, neighbor_as: u32, local_as: u32) {
         match self {
-            RefModule::Bgp => {}
+            RefModule::Bgp | RefModule::Ranked { .. } => {}
             RefModule::AddrMap { island, service } => {
                 attach_island_descriptor_once(
                     ia,
@@ -563,7 +597,10 @@ impl RefModule {
 
     fn decorate_origin(&mut self, ia: &mut Ia, _local_as: u32) {
         match self {
-            RefModule::Bgp | RefModule::Rbgp { .. } | RefModule::Bgpsec { .. } => {}
+            RefModule::Bgp
+            | RefModule::Ranked { .. }
+            | RefModule::Rbgp { .. }
+            | RefModule::Bgpsec { .. } => {}
             RefModule::AddrMap { island, service } => {
                 attach_island_descriptor_once(
                     ia,
@@ -1164,6 +1201,28 @@ impl RefSpeaker {
         }
     }
 
+    /// Append a canonical rendering of this speaker's complete dynamic
+    /// state — sessions, Adj-RIB-In, Loc-RIB, originations,
+    /// Adj-RIB-Out, and module-internal state — to `out`. Two speakers
+    /// with equal renderings behave identically on every future input;
+    /// the stability suite's global-state cycle detector relies on
+    /// this. Derived `Debug` output over `BTreeMap`s is deterministic,
+    /// matching the oracle's obviousness-over-speed charter.
+    pub fn state_digest(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.neighbors,
+            self.adj_in,
+            self.loc,
+            self.originated,
+            self.adj_out,
+            self.modules,
+            self.mutation
+        );
+    }
+
     /// The IA factory: clone, prepend, declare membership, per-module
     /// exports (protocol-ID order), global export filters, validate.
     fn build_outgoing(
@@ -1491,6 +1550,49 @@ impl RefNet {
             return false;
         };
         self.deliver_from(from, to)
+    }
+
+    /// A canonical rendering of global state: every speaker's dynamic
+    /// state, every FIB, link status, and all queued frames in global
+    /// send order. Absolute sequence numbers and the delivery counter
+    /// are deliberately excluded — new frames always enqueue behind
+    /// every frame already in flight, so only *relative* order (which
+    /// the send-order rendering preserves) determines how the network
+    /// evolves. Two states with equal digests therefore evolve
+    /// identically under any delivery schedule, which is exactly the
+    /// property global-state cycle detection needs.
+    pub fn state_digest(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let _ = write!(out, "#{i} fib={:?} sessions={:?} ", node.fib, node.ids_by_node);
+            node.speaker.state_digest(&mut out);
+            out.push('\n');
+        }
+        let _ = writeln!(out, "links={:?}", self.links);
+        let mut frames: Vec<(u64, usize, usize, &RefFrame)> = self
+            .queues
+            .iter()
+            .flat_map(|(&(from, to), q)| q.iter().map(move |(seq, f)| (*seq, from, to, f)))
+            .collect();
+        frames.sort_by_key(|(seq, ..)| *seq);
+        for (_, from, to, frame) in frames {
+            let _ = writeln!(out, "{from}->{to} {frame:?}");
+        }
+        out
+    }
+
+    /// A rendering of just the routing outcome: each node's Loc-RIB and
+    /// FIB. When this changes *within* a detected global-state cycle
+    /// the oscillation is a livelock (best paths flap forever); when it
+    /// stays constant the cycle only churns message state.
+    pub fn routing_digest(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let _ = writeln!(out, "#{i} loc={:?} fib={:?}", node.speaker.loc, node.fib);
+        }
+        out
     }
 
     /// Run to quiescence in global-FIFO order. Returns the number of

@@ -92,23 +92,30 @@ pub struct Scenario {
 /// [`RefNet::run_fifo`] replays.
 pub const LINK_DELAY: u64 = 10;
 
-fn portal(asn: u32) -> Ipv4Addr {
+/// Portal address derived from an AS number. Public so the stability
+/// gadget builders attach the same module parameters the differential
+/// scenarios use when replaying committed fixtures.
+pub fn portal(asn: u32) -> Ipv4Addr {
     Ipv4Addr::new(163, 42, (asn >> 8) as u8, (asn & 0xff) as u8)
 }
 
-fn service_addr(island: u32) -> Ipv4Addr {
+/// Lookup-service address derived from an island ID.
+pub fn service_addr(island: u32) -> Ipv4Addr {
     Ipv4Addr::new(198, 51, 100, (island % 250) as u8)
 }
 
-fn wiser_cost(asn: u32) -> u64 {
+/// Wiser internal cost derived from an AS number.
+pub fn wiser_cost(asn: u32) -> u64 {
     u64::from(asn % 7 + 1) * 5
 }
 
-fn eqbgp_bw(asn: u32) -> u64 {
+/// EQ-BGP ingress bandwidth derived from an AS number.
+pub fn eqbgp_bw(asn: u32) -> u64 {
     u64::from(asn % 5 + 1) * 100
 }
 
-fn hlp_cost(asn: u32) -> u64 {
+/// HLP internal cost derived from an AS number.
+pub fn hlp_cost(asn: u32) -> u64 {
     u64::from(asn % 4 + 1)
 }
 

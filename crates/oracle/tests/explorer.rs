@@ -133,3 +133,53 @@ fn rbgp_diamond_fails_over_on_all_reconvergence_schedules() {
     let report = explore(&net, &config(), &check).expect("all reconvergence schedules agree");
     assert!(report.schedules >= 1, "no schedules explored");
 }
+
+/// A schedule that exhausts its budget because the net genuinely
+/// diverges must be reported as a *proven* oscillation (recurrent
+/// global-state cycle on the FIFO continuation), never as an
+/// inconclusive timeout. The net is DISAGREE: two nodes that each
+/// prefer the route through the other over their own direct spoke.
+#[test]
+fn budget_failure_on_a_real_oscillation_is_reported_as_proven() {
+    use dbgp_oracle::{RefConfig, RefModule, RefNet};
+
+    let mut net = RefNet::new();
+    for asn in [10, 17, 24] {
+        net.add_node(RefConfig::gulf(asn));
+    }
+    net.link(0, 1, false);
+    net.link(0, 2, false);
+    net.link(1, 2, false);
+    net.speaker_mut(1).register_module(RefModule::Ranked { prefs: vec![vec![24, 10], vec![10]] });
+    net.speaker_mut(2).register_module(RefModule::Ranked { prefs: vec![vec![17, 10], vec![10]] });
+    net.originate(0, paper_prefix());
+
+    let cfg = ExplorerConfig { branch_depth: 2, random_schedules: 4, max_deliveries: 300 };
+    let err = explore(&net, &cfg, &|_| Ok(())).expect_err("DISAGREE must not pass exploration");
+    assert!(err.contains("proven oscillation"), "want a divergence proof, got: {err}");
+    assert!(err.contains("recurrent global-state cycle"), "want the cycle evidence, got: {err}");
+    assert!(!err.contains("inconclusive"), "a proof must not be hedged: {err}");
+}
+
+/// The converse: a net that converges fine but is given a starvation
+/// budget must be reported as *budget exhausted*, never as a proven
+/// oscillation. The line 0-1-2 quiesces in exactly two FIFO
+/// deliveries, so a budget of one delivery is guaranteed too small.
+#[test]
+fn budget_failure_on_a_converging_net_is_reported_as_budget_exhausted() {
+    use dbgp_oracle::{RefConfig, RefNet};
+
+    let mut net = RefNet::new();
+    for asn in [10, 17, 24] {
+        net.add_node(RefConfig::gulf(asn));
+    }
+    net.link(0, 1, false);
+    net.link(1, 2, false);
+    net.originate(0, paper_prefix());
+
+    let cfg = ExplorerConfig { branch_depth: 0, random_schedules: 0, max_deliveries: 1 };
+    let err =
+        explore(&net, &cfg, &|_| Ok(())).expect_err("a one-delivery budget cannot cover the line");
+    assert!(err.contains("budget exhausted"), "want a budget verdict, got: {err}");
+    assert!(!err.contains("proven oscillation"), "must not claim divergence: {err}");
+}

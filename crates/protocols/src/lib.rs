@@ -17,7 +17,10 @@
 //! * [`bgpsec`] — BGPSec-lite attestation chains over `dbgp-crypto`
 //!   (critical fix; §3.2, §3.5);
 //! * [`eqbgp`] — EQ-BGP-style bottleneck bandwidth (critical fix and the
-//!   Figure-10 archetype).
+//!   Figure-10 archetype);
+//! * [`ranked`] — explicit per-node path rankings, the decision-process
+//!   override the stability gadget suite uses to express
+//!   Griffin-gadget policies.
 //!
 //! Together, the per-protocol deployment code here mirrors the paper's
 //! §6.1 measurement that D-BGP reduces "deploy a new protocol across
@@ -29,6 +32,7 @@ pub mod eqbgp;
 pub mod hlp;
 pub mod miro;
 pub mod pathlet;
+pub mod ranked;
 pub mod rbgp;
 pub mod scion;
 pub mod wiser;
@@ -39,6 +43,7 @@ pub use eqbgp::BottleneckBwModule;
 pub use hlp::{HlpModule, LinkStateDb, Lsa};
 pub use miro::{MiroModule, MiroOffer, MiroPortal, MiroRequest, Tunnel};
 pub use pathlet::{Pathlet, PathletAd, PathletDb, PathletHeader, PathletModule, PathletNode};
+pub use ranked::{as_sequence, RankedPolicyModule};
 pub use rbgp::{BackupPath, RbgpModule};
 pub use scion::{PathSet, ScionHeader, ScionModule};
 pub use wiser::{CostReport, WiserModule};

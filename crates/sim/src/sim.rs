@@ -32,7 +32,7 @@ use dbgp_telemetry::{
 };
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
 use serde_json::Value;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -373,6 +373,50 @@ pub struct PrefixChurn {
     pub last_change_at: SimTime,
 }
 
+/// One recorded best-path change, emitted by the bounded-horizon
+/// oscillation capture ([`Sim::capture_best_changes`]). The stability
+/// suite analyzes the tail of this sequence for periodicity: a
+/// non-quiescent run whose `(node, prefix, next)` tail repeats is a
+/// route-flapping livelock observed in the production engine, not just
+/// in the reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BestChange {
+    /// Simulated time of the change.
+    pub at: SimTime,
+    /// The node whose Loc-RIB changed.
+    pub node: NodeId,
+    /// The affected prefix.
+    pub prefix: Ipv4Prefix,
+    /// Whether a route is installed after the change (`false` =
+    /// withdrawn / unreachable).
+    pub installed: bool,
+    /// The new FIB next hop; `None` when withdrawn or locally
+    /// originated.
+    pub next: Option<NodeId>,
+}
+
+/// Ring buffer behind [`Sim::capture_best_changes`]: keeps the most
+/// recent `cap` changes (the tail is what periodicity analysis needs;
+/// the transient before it is disposable) plus a total count.
+#[derive(Debug, Clone, Default)]
+struct BestChangeCapture {
+    cap: usize,
+    total: u64,
+    records: VecDeque<BestChange>,
+}
+
+impl BestChangeCapture {
+    fn record(&mut self, change: BestChange) {
+        self.total += 1;
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+        }
+        if self.cap > 0 {
+            self.records.push_back(change);
+        }
+    }
+}
+
 /// The simulator.
 pub struct Sim {
     nodes: Vec<Node>,
@@ -429,6 +473,10 @@ pub struct Sim {
     /// engine's drain/commit cycle.
     shard_windows: Vec<Vec<(SimTime, u64, Event)>>,
     shard_outcomes: Vec<Vec<Option<ParOutcome>>>,
+    /// Bounded-horizon oscillation capture; `None` (the default) is
+    /// completely inert — no state, no branches taken, no output
+    /// change, so pinned golden results are unaffected.
+    capture: Option<BestChangeCapture>,
 }
 
 impl Default for Sim {
@@ -463,6 +511,7 @@ impl Sim {
             width_tuned: false,
             shard_windows: Vec::new(),
             shard_outcomes: Vec::new(),
+            capture: None,
         }
     }
 
@@ -579,6 +628,27 @@ impl Sim {
     /// coalescing entirely).
     pub fn set_mrai(&mut self, mrai: SimTime) {
         self.mrai = mrai;
+    }
+
+    /// Turn on bounded-horizon oscillation capture: from here on the
+    /// most recent `cap` best-path changes are kept (with their
+    /// simulated times) for post-run periodicity analysis. Like an
+    /// attached trace recorder, capture forces the serial engine — the
+    /// record order *is* the analysis input, so it must be the serial
+    /// commit order.
+    pub fn capture_best_changes(&mut self, cap: usize) {
+        self.capture = Some(BestChangeCapture { cap, total: 0, records: VecDeque::new() });
+    }
+
+    /// Total best-path changes observed since capture was enabled.
+    pub fn captured_change_count(&self) -> u64 {
+        self.capture.as_ref().map_or(0, |c| c.total)
+    }
+
+    /// The captured tail of best-path changes, oldest first (at most
+    /// the `cap` passed to [`Sim::capture_best_changes`]).
+    pub fn captured_changes(&self) -> Vec<BestChange> {
+        self.capture.as_ref().map_or_else(Vec::new, |c| c.records.iter().copied().collect())
     }
 
     /// Re-seed the perturbation RNG. Two runs with the same construction
@@ -1054,10 +1124,13 @@ impl Sim {
     /// hold an `Rc` and are not thread-safe, so any attached recorder or
     /// per-speaker sink forces the serial engine. (Telemetry also changes
     /// the processing granularity, so the serial engine is the only one
-    /// that can honor per-element trace causality anyway.)
+    /// that can honor per-element trace causality anyway.) Oscillation
+    /// capture forces serial for the same reason: its record order is
+    /// the analysis input.
     fn parallel_safe(&self) -> bool {
         self.recorder.is_none()
             && !self.sink.is_attached()
+            && self.capture.is_none()
             && self.nodes.iter().all(|n| !n.speaker.telemetry_attached())
     }
 
@@ -1631,16 +1704,22 @@ impl Sim {
                 let record = self.churn.entry((node, *prefix)).or_default();
                 record.best_changes += 1;
                 record.last_change_at = self.queue.now();
-                match chosen {
+                let (installed, next) = match chosen {
                     Some(chosen) => {
                         let next = chosen
                             .neighbor
                             .and_then(|n| self.nodes[node].neighbor_nodes.get(&n).copied());
                         self.nodes[node].fib.insert(*prefix, next);
+                        (true, next)
                     }
                     None => {
                         self.nodes[node].fib.remove(prefix);
+                        (false, None)
                     }
+                };
+                let at = self.queue.now();
+                if let Some(capture) = &mut self.capture {
+                    capture.record(BestChange { at, node, prefix: *prefix, installed, next });
                 }
             }
         }

@@ -1,0 +1,306 @@
+//! Static dispute-wheel detection over a gadget's policy graph.
+//!
+//! The detector builds, for every node, the concrete rank key its
+//! decision process assigns to every simple path to the origin — the
+//! same keys the production modules and the oracle reference use — and
+//! searches for a *dispute wheel* (Griffin–Shepherd–Wilfong): nodes
+//! `u_0..u_{k-1}` with spoke paths `Q_i` and rim paths `R_i` from
+//! `u_i` to `u_{i+1}` such that every `u_i` strictly prefers the rim
+//! route `R_i · Q_{i+1}` to its own spoke `Q_i`.
+//!
+//! The search is a cycle check on the *dispute digraph*: one vertex per
+//! `(node, spoke path)` pair, an arc `(u, Q_u) → (v, Q_v)` whenever
+//! some rim `R` makes `R · Q_v` a simple path that `u` strictly
+//! prefers to `Q_u`. Any cycle is a dispute wheel.
+//!
+//! The predictor is deliberately one-sided, exactly as the theory is:
+//!
+//! * [`Prediction::Safe`] (no wheel) is a *guarantee* — the gadget
+//!   converges on every schedule, and the stability table hard-asserts
+//!   the observed dynamics agree;
+//! * [`Prediction::DisputeWheel`] is *conservative* — divergence is
+//!   possible but not certain (DISAGREE has a wheel yet always has a
+//!   stable state to fall into), so observed convergence is recorded
+//!   as a documented conservative row, never an error.
+
+use crate::gadget::Gadget;
+use dbgp_oracle::scenario::{eqbgp_bw, hlp_cost, wiser_cost};
+use dbgp_wire::ProtocolId;
+
+/// The detector's verdict on one gadget instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prediction {
+    /// No dispute wheel: convergence on every schedule is guaranteed.
+    Safe,
+    /// A dispute wheel exists: divergence is possible (not certain).
+    DisputeWheel,
+}
+
+impl Prediction {
+    /// Stable table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Prediction::Safe => "safe",
+            Prediction::DisputeWheel => "dispute-wheel",
+        }
+    }
+}
+
+/// How one node ranks candidate routes — mirrors the concrete decision
+/// modules, including protocol descriptors and their loss over legacy
+/// links.
+enum NodeKind<'a> {
+    Bgp,
+    Ranked(&'a [Vec<u32>]),
+    Wiser,
+    Eqbgp,
+    Hlp,
+}
+
+fn node_kind<'a>(g: &'a Gadget, i: usize) -> NodeKind<'a> {
+    if let Some(prefs) = &g.rankings[i] {
+        return NodeKind::Ranked(prefs);
+    }
+    match &g.scenario.nodes[i].island {
+        None => NodeKind::Bgp,
+        Some(spec) => match ProtocolId(spec.protocol) {
+            ProtocolId::WISER => NodeKind::Wiser,
+            ProtocolId::EQBGP => NodeKind::Eqbgp,
+            ProtocolId::HLP => NodeKind::Hlp,
+            other => panic!("dispute-wheel detector does not model protocol {other:?}"),
+        },
+    }
+}
+
+/// Bottleneck-bandwidth score of a path as *received* by its first
+/// node, modeling descriptor loss: every hop over a legacy (non-D-BGP)
+/// link strips the EQ-BGP descriptor, and an EQ-BGP exporter restarts
+/// the bottleneck from its own ingress bandwidth
+/// (`unwrap_or(u64::MAX).min(bw)`), while the receiver *scores* a
+/// stripped descriptor as 0. This asymmetry is exactly the
+/// `eqbgp-legacy-livelock` wheel.
+fn eqbgp_score(g: &Gadget, path: &[usize]) -> u64 {
+    let mut desc: Option<u64> = None;
+    // Walk origin -> ... -> first hop, folding exports and link strips.
+    for w in path.windows(2).rev() {
+        let (to, from) = (w[0], w[1]);
+        let sent = match node_kind(g, from) {
+            NodeKind::Eqbgp => Some(desc.unwrap_or(u64::MAX).min(eqbgp_bw(g.asn(from)))),
+            _ => desc,
+        };
+        let speaks_dbgp = g.link(from, to).expect("path follows existing links");
+        desc = if speaks_dbgp { sent } else { None };
+    }
+    desc.unwrap_or(0)
+}
+
+/// Lexicographic rank key node `path[0]` assigns to the route along
+/// `path` (ending at the origin). Smaller is preferred. The key
+/// mirrors the concrete modules' selection order, with the baseline
+/// `(hop count, neighbor AS)` tail — neighbor ASNs are unique per
+/// node, so the key is a strict total order over distinct first hops.
+fn rank_key(g: &Gadget, path: &[usize]) -> Vec<u64> {
+    let node = path[0];
+    let hops = &path[1..];
+    let len = hops.len() as u64;
+    let first_asn = u64::from(g.asn(hops[0]));
+    match node_kind(g, node) {
+        NodeKind::Bgp => vec![len, first_asn],
+        NodeKind::Ranked(prefs) => {
+            let seq: Vec<u32> = hops.iter().map(|&i| g.asn(i)).collect();
+            let rank = prefs.iter().position(|p| *p == seq).unwrap_or(prefs.len()) as u64;
+            vec![rank, len, first_asn]
+        }
+        NodeKind::Wiser => {
+            let cost: u64 = hops.iter().map(|&i| wiser_cost(g.asn(i))).sum();
+            vec![cost, len, first_asn]
+        }
+        NodeKind::Hlp => {
+            let cost: u64 = hops.iter().map(|&i| hlp_cost(g.asn(i))).sum();
+            vec![cost, len, first_asn]
+        }
+        NodeKind::Eqbgp => vec![u64::MAX - eqbgp_score(g, path), len, first_asn],
+    }
+}
+
+/// All simple paths `from -> to` over the gadget's links, excluding
+/// any node in `forbidden`. Paths include both endpoints.
+fn simple_paths(g: &Gadget, from: usize, to: usize, forbidden: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut stack = vec![from];
+    fn dfs(
+        g: &Gadget,
+        to: usize,
+        forbidden: &[usize],
+        stack: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        let cur = *stack.last().unwrap();
+        if cur == to {
+            out.push(stack.clone());
+            return;
+        }
+        for next in g.neighbors(cur) {
+            if stack.contains(&next) || (forbidden.contains(&next) && next != to) {
+                continue;
+            }
+            stack.push(next);
+            dfs(g, to, forbidden, stack, out);
+            stack.pop();
+        }
+    }
+    dfs(g, to, forbidden, &mut stack, &mut out);
+    out
+}
+
+/// Cycle check on a digraph in adjacency-list form (iterative
+/// three-color DFS).
+fn has_cycle(adj: &[Vec<usize>]) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; adj.len()];
+    for start in 0..adj.len() {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack of (vertex, next-edge-index).
+        let mut stack = vec![(start, 0usize)];
+        color[start] = Color::Gray;
+        while let Some(&mut (v, ref mut edge)) = stack.last_mut() {
+            if *edge < adj[v].len() {
+                let w = adj[v][*edge];
+                *edge += 1;
+                match color[w] {
+                    Color::Gray => return true,
+                    Color::White => {
+                        color[w] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// Predict the gadget's stability class from its static policy graph.
+/// Faults are ignored: the prediction is about the all-links-up
+/// topology (the wedgie's fault flap returns to exactly that).
+pub fn predict(g: &Gadget) -> Prediction {
+    let n = g.node_count();
+    assert!(n <= 10, "the dispute-wheel search enumerates simple paths; keep gadgets small");
+    let origin = g.origin();
+
+    // Spoke candidates: every simple path node -> origin.
+    let spokes: Vec<Vec<Vec<usize>>> = (0..n)
+        .map(|u| if u == origin { Vec::new() } else { simple_paths(g, u, origin, &[]) })
+        .collect();
+
+    let mut verts: Vec<(usize, usize)> = Vec::new();
+    for (u, paths) in spokes.iter().enumerate() {
+        for pi in 0..paths.len() {
+            verts.push((u, pi));
+        }
+    }
+
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); verts.len()];
+    for (vi, &(u, pu)) in verts.iter().enumerate() {
+        let spoke_key = rank_key(g, &spokes[u][pu]);
+        for (wi, &(v, pv)) in verts.iter().enumerate() {
+            if v == u {
+                continue;
+            }
+            let q = &spokes[v][pv];
+            if q.contains(&u) {
+                continue;
+            }
+            // Rims u -> v must avoid the origin and q's interior, so
+            // the spliced route stays a simple path ending at origin.
+            let mut forbidden = q.clone();
+            forbidden.push(origin);
+            let rims = simple_paths(g, u, v, &forbidden);
+            let preferred = rims.iter().any(|r| {
+                let mut full = r.clone();
+                full.extend_from_slice(&q[1..]);
+                rank_key(g, &full) < spoke_key
+            });
+            if preferred {
+                adj[vi].push(wi);
+            }
+        }
+    }
+
+    if has_cycle(&adj) {
+        Prediction::DisputeWheel
+    } else {
+        Prediction::Safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::{bad_gadget, disagree, eqbgp_legacy_livelock, good_gadget, wedgie, wheel};
+
+    #[test]
+    fn bad_gadget_has_a_wheel_good_gadget_does_not() {
+        assert_eq!(predict(&bad_gadget("ranked")), Prediction::DisputeWheel);
+        assert_eq!(predict(&good_gadget("ranked")), Prediction::Safe);
+    }
+
+    #[test]
+    fn baseline_and_monotone_protocols_are_safe_everywhere() {
+        for g in [
+            bad_gadget("bgp"),
+            bad_gadget("wiser"),
+            bad_gadget("hlp"),
+            disagree("bgp"),
+            wheel(5, "bgp"),
+            eqbgp_legacy_livelock("bgp"),
+        ] {
+            assert_eq!(predict(&g), Prediction::Safe, "{} × {}", g.name, g.protocol);
+        }
+    }
+
+    #[test]
+    fn disagree_and_wedgie_have_wheels() {
+        assert_eq!(predict(&disagree("ranked")), Prediction::DisputeWheel);
+        assert_eq!(predict(&wedgie()), Prediction::DisputeWheel);
+        assert_eq!(predict(&wheel(4, "ranked")), Prediction::DisputeWheel);
+        assert_eq!(predict(&wheel(5, "ranked")), Prediction::DisputeWheel);
+    }
+
+    #[test]
+    fn legacy_descriptor_strip_creates_the_eqbgp_wheel() {
+        // Native fixture: stripped descriptors make a k=2 wheel.
+        assert_eq!(predict(&eqbgp_legacy_livelock("eqbgp")), Prediction::DisputeWheel);
+        // All-D-BGP links on the same topology: bottleneck bandwidth
+        // is consistent, ties fall to hop count — wheel-free.
+        let mut g = eqbgp_legacy_livelock("eqbgp");
+        for link in &mut g.scenario.links {
+            link.2 = true;
+        }
+        assert_eq!(predict(&g), Prediction::Safe);
+    }
+
+    #[test]
+    fn eqbgp_scores_model_the_strip() {
+        let g = eqbgp_legacy_livelock("eqbgp");
+        // Node 2's direct route crosses the legacy link: scored 0.
+        assert_eq!(eqbgp_score(&g, &[2, 0]), 0);
+        // Through node 1 the descriptor survives: min(100, 300) = 100.
+        assert_eq!(eqbgp_score(&g, &[2, 1, 0]), 100);
+        // Node 1 direct: 100. Through node 2: the strip happened
+        // upstream, node 2 restarts the bottleneck at its own 500.
+        assert_eq!(eqbgp_score(&g, &[1, 0]), 100);
+        assert_eq!(eqbgp_score(&g, &[1, 2, 0]), 500);
+    }
+}

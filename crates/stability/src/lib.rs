@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! dbgp-stability: the stability gadget suite (DESIGN.md §14).
+//!
+//! D-BGP lets islands deploy protocols whose selection rules are *not*
+//! shortest-path — and arbitrary path preferences are exactly what
+//! makes BGP divergence possible (the Stable Paths Problem,
+//! Griffin–Shepherd–Wilfong). This crate closes the loop between that
+//! theory and the workspace's three execution engines:
+//!
+//! * [`gadget`] — the fixture library: BAD-GADGET, GOOD-GADGET,
+//!   DISAGREE, the RFC 4264 wedgie, parametric dispute wheels of size
+//!   `k`, and the promoted `eqbgp-legacy-livelock` differential
+//!   fixture, each as a topology + per-node decision-process spec
+//!   buildable into a production [`dbgp_sim::Sim`], an oracle
+//!   [`dbgp_oracle::RefNet`], or the schedule explorer;
+//! * [`detect`] — a static dispute-wheel detector over the concrete
+//!   policy rank functions (ranked overrides, baseline BGP, Wiser,
+//!   HLP, EQ-BGP with legacy-link descriptor loss);
+//! * [`classify`] — the outcome classifier: global-FIFO runs with
+//!   sound recurrent-state-cycle detection, a seeded-random schedule
+//!   pool, the schedule explorer, and a production-simulator
+//!   cross-check, folded into `converge` / `stable-oscillation` /
+//!   `livelock` / `unknown` labels;
+//! * [`table`] — prediction vs. observation for every gadget ×
+//!   protocol case, rendered as the deterministic, CI-gated
+//!   `results/stability.json`.
+//!
+//! The contract is one-sided, as the theory is: `safe` (no wheel) is
+//! a hard guarantee and any divergence fails the table; a
+//! `dispute-wheel` prediction is conservative, and rows that converge
+//! anyway must be on the documented allowlist.
+
+pub mod classify;
+pub mod detect;
+pub mod gadget;
+pub mod table;
+
+pub use classify::{capture_tail_period, classify, ClassifyConfig, Observation, Outcome};
+pub use detect::{predict, Prediction};
+pub use gadget::{
+    bad_gadget, catalog, disagree, eqbgp_legacy_livelock, gadget_asn, gadget_prefix, good_gadget,
+    wedgie, wheel, Gadget, GADGET_ISLAND,
+};
+pub use table::{build_row, render_json, row_consistent, Row, CONSERVATIVE_OK};

@@ -1,0 +1,184 @@
+//! The stability table: one row per gadget × protocol case, with the
+//! static prediction checked against the observed dynamics, rendered
+//! as deterministic JSON for `results/stability.json`.
+
+use crate::classify::{classify, ClassifyConfig, Observation, Outcome};
+use crate::detect::{predict, Prediction};
+use crate::gadget::Gadget;
+use serde_json::{json, Value};
+
+/// Dispute-wheel rows that are *allowed* to converge: the wheel is
+/// real, but a stable state exists and the run falls into it. Each
+/// entry is documented in DESIGN.md §14 / EXPERIMENTS.md.
+///
+/// * `wedgie × ranked` — the RFC 4264 hysteresis gadget: every phase
+///   converges; the wheel shows up as *which* stable state you land
+///   in, not as divergence.
+/// * `disagree × *` and `wheel-{2k} × ranked` — even wheels have
+///   stable states; schedules that break the symmetric race converge.
+///   (Under the global-FIFO schedule the symmetric race recurs, so
+///   these usually observe `livelock` anyway; the entries cover
+///   budget variations.)
+pub const CONSERVATIVE_OK: &[(&str, &str)] =
+    &[("wedgie", "ranked"), ("disagree", "ranked"), ("wheel-4", "ranked")];
+
+/// One stability-table row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Gadget name.
+    pub gadget: String,
+    /// Protocol variant label.
+    pub protocol: &'static str,
+    /// The static prediction.
+    pub prediction: Prediction,
+    /// Everything the dynamic probes observed.
+    pub observation: Observation,
+    /// Whether prediction and observation are consistent under the
+    /// one-sided contract (see [`row_consistent`]).
+    pub consistent: bool,
+    /// Dispute-wheel row that converged anyway (documented, allowed).
+    pub conservative: bool,
+}
+
+/// The one-sided consistency contract:
+///
+/// * `safe` is a guarantee — the row must converge, every pool
+///   schedule must quiesce, and the explorer (when run) must come
+///   back clean;
+/// * `dispute-wheel` predicts *possible* divergence — observed
+///   livelock or stable oscillation confirms it, and observed
+///   convergence is acceptable only for the documented
+///   [`CONSERVATIVE_OK`] rows.
+///
+/// Returns `(consistent, conservative)`.
+pub fn row_consistent(g: &Gadget, prediction: Prediction, obs: &Observation) -> (bool, bool) {
+    match prediction {
+        Prediction::Safe => {
+            let converged = obs.outcome == Outcome::Converge;
+            let pool_clean = obs.pool_quiesced == obs.pool_schedules;
+            let explorer_clean = matches!(obs.explorer, "quiesced" | "skipped");
+            let sim_clean = obs.sim_agrees != Some(false);
+            (converged && pool_clean && explorer_clean && sim_clean, false)
+        }
+        Prediction::DisputeWheel => match obs.outcome {
+            Outcome::Livelock | Outcome::StableOscillation => {
+                (obs.sim_agrees != Some(false), false)
+            }
+            Outcome::Converge => {
+                let allowed = CONSERVATIVE_OK
+                    .iter()
+                    .any(|&(name, proto)| name == g.name && proto == g.protocol);
+                (allowed && obs.sim_agrees != Some(false), true)
+            }
+            Outcome::Unknown => (false, false),
+        },
+    }
+}
+
+/// Build one row: predict, observe, check.
+pub fn build_row(g: &Gadget, cfg: &ClassifyConfig) -> Row {
+    let prediction = predict(g);
+    let observation = classify(g, cfg);
+    let (consistent, conservative) = row_consistent(g, prediction, &observation);
+    Row {
+        gadget: g.name.clone(),
+        protocol: g.protocol,
+        prediction,
+        observation,
+        consistent,
+        conservative,
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> Value {
+    match v {
+        Some(v) => json!(v),
+        None => Value::Null,
+    }
+}
+
+fn opt_bool(v: Option<bool>) -> Value {
+    match v {
+        Some(v) => json!(v),
+        None => Value::Null,
+    }
+}
+
+/// Render rows (sorted by gadget, then protocol) into the
+/// `results/stability.json` document. Pure function of the rows, so
+/// the bytes are identical at any thread count.
+pub fn render_json(rows: &[Row], quick: bool) -> Value {
+    let mut rows: Vec<&Row> = rows.iter().collect();
+    rows.sort_by(|a, b| (&a.gadget, a.protocol).cmp(&(&b.gadget, b.protocol)));
+    let gadgets: std::collections::BTreeSet<&str> =
+        rows.iter().map(|r| r.gadget.as_str()).collect();
+    let protocols: std::collections::BTreeSet<&str> = rows.iter().map(|r| r.protocol).collect();
+    let json_rows: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            let o = &r.observation;
+            json!({
+                "gadget": r.gadget,
+                "protocol": r.protocol,
+                "prediction": r.prediction.label(),
+                "observed": o.outcome.label(),
+                "consistent": r.consistent,
+                "conservative": r.conservative,
+                "cycle_length": opt_u64(o.cycle_length),
+                "preperiod": opt_u64(o.preperiod),
+                "routing_changes": opt_u64(o.routing_changes),
+                "fifo_deliveries": opt_u64(o.fifo_deliveries),
+                "schedules_explored": 1 + o.pool_schedules + o.explorer_schedules,
+                "pool_quiesced": o.pool_quiesced,
+                "explorer": o.explorer,
+                "wedged": opt_bool(o.wedged),
+                "sim_agrees": opt_bool(o.sim_agrees),
+                "sim_tail_period": opt_u64(o.sim_tail_period),
+            })
+        })
+        .collect();
+    json!({
+        "schema": "dbgp-stability/v1",
+        "quick": quick,
+        "gadget_count": gadgets.len(),
+        "protocol_count": protocols.len(),
+        "rows": json_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::{bad_gadget, good_gadget};
+
+    #[test]
+    fn safe_rows_hard_assert_convergence() {
+        let cfg = ClassifyConfig::quick();
+        let row = build_row(&good_gadget("bgp"), &cfg);
+        assert_eq!(row.prediction, Prediction::Safe);
+        assert!(row.consistent);
+        assert!(!row.conservative);
+    }
+
+    #[test]
+    fn known_divergent_gadget_is_never_reported_converged() {
+        let cfg = ClassifyConfig::quick();
+        let row = build_row(&bad_gadget("ranked"), &cfg);
+        assert_eq!(row.prediction, Prediction::DisputeWheel);
+        assert_eq!(row.observation.outcome, Outcome::Livelock);
+        assert_ne!(row.observation.outcome.label(), "converge");
+        assert!(row.consistent);
+    }
+
+    #[test]
+    fn render_is_sorted_and_counts_coverage() {
+        let cfg = ClassifyConfig::quick();
+        let rows =
+            vec![build_row(&good_gadget("bgp"), &cfg), build_row(&bad_gadget("ranked"), &cfg)];
+        let doc = render_json(&rows, true);
+        let out = doc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(out[0].get("gadget"), Some(&json!("bad-gadget")));
+        assert_eq!(out[1].get("gadget"), Some(&json!("good-gadget")));
+        assert_eq!(doc.get("schema"), Some(&json!("dbgp-stability/v1")));
+    }
+}

@@ -1,0 +1,62 @@
+//! S1 regression: the `eqbgp-legacy-livelock` differential fixture,
+//! promoted into the gadget library, must classify as a `livelock`
+//! with the exact cycle the differential harness found when it shrank
+//! the divergence (PR 4): nodes 1 and 2 flapping between their direct
+//! spoke and the route through each other, period 4 routing changes,
+//! global-state cycle of 8 deliveries after a preperiod of 4.
+
+use dbgp_stability::{
+    capture_tail_period, classify, eqbgp_legacy_livelock, ClassifyConfig, Outcome,
+};
+use std::collections::BTreeSet;
+
+#[test]
+fn promoted_fixture_classifies_as_livelock_with_the_pinned_cycle() {
+    let g = eqbgp_legacy_livelock("eqbgp");
+    let obs = classify(&g, &ClassifyConfig::quick());
+    assert_eq!(obs.outcome, Outcome::Livelock, "the legacy strip is a genuine livelock");
+    // The pinned cycle: these constants are the fixture's identity.
+    // If they move, the decision process or the reference semantics
+    // changed — re-derive them alongside the diff that explains it.
+    assert_eq!(obs.cycle_length, Some(8), "global-state cycle length");
+    assert_eq!(obs.preperiod, Some(4), "deliveries before the cycle");
+    assert_eq!(obs.routing_changes, Some(4), "route flaps within one cycle");
+    assert_eq!(obs.sim_agrees, Some(true), "production engine livelocks too");
+    assert_eq!(obs.sim_tail_period, Some(4), "production flap period");
+    assert!(obs.pool_quiesced > 0, "stable states exist off the FIFO race");
+}
+
+#[test]
+fn fixture_cycle_is_the_two_node_route_flap() {
+    let g = eqbgp_legacy_livelock("eqbgp");
+    let mut sim = g.build_sim();
+    sim.capture_best_changes(64);
+    sim.run(60_000);
+    assert!(sim.pending_events() > 0, "production engine must not quiesce");
+    let recs = sim.captured_changes();
+    let period = capture_tail_period(&recs).expect("capture tail is periodic");
+    assert_eq!(period, 4);
+    let tail: BTreeSet<(usize, bool, Option<usize>)> =
+        recs[recs.len() - 4..].iter().map(|c| (c.node, c.installed, c.next)).collect();
+    // The k=2 dispute wheel: node 1 alternates between its direct
+    // spoke (next hop 0) and the route through node 2; node 2
+    // mirrors it through node 1. Nothing ever uninstalls — the flap
+    // is between installed routes.
+    let expected: BTreeSet<(usize, bool, Option<usize>)> =
+        [(1, true, Some(0)), (1, true, Some(2)), (2, true, Some(0)), (2, true, Some(1))]
+            .into_iter()
+            .collect();
+    assert_eq!(tail, expected, "the flap set is nodes 1 and 2 swapping spokes");
+}
+
+#[test]
+fn baseline_bgp_on_the_same_topology_is_clean() {
+    // The livelock is the protocol interaction, not the topology:
+    // plain BGP over the identical links (legacy session included)
+    // converges on the shortest paths.
+    let g = eqbgp_legacy_livelock("bgp");
+    let obs = classify(&g, &ClassifyConfig::quick());
+    assert_eq!(obs.outcome, Outcome::Converge);
+    assert_eq!(obs.pool_quiesced, obs.pool_schedules);
+    assert_eq!(obs.explorer, "quiesced");
+}

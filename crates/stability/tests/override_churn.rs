@@ -1,0 +1,99 @@
+//! S4: per-node decision-process overrides must survive `restart_node`
+//! churn. A restart tears down and re-establishes every session; the
+//! registered module set is part of the speaker's configuration and
+//! must keep steering selection after the rebuild.
+//!
+//! The determinism side of the contract — `results/chaos.json` stays
+//! byte-identical (sha256 `43f13a19…`) while overrides are unused — is
+//! enforced by `crates/chaos/tests/golden_baseline.rs`, which runs in
+//! the same tier-1 suite as this file: the ranked module only acts on
+//! speakers it is explicitly registered on, and the best-change
+//! capture is inert until `capture_best_changes` is called.
+
+use dbgp_core::DbgpConfig;
+use dbgp_protocols::RankedPolicyModule;
+use dbgp_sim::Sim;
+use dbgp_wire::Ipv4Prefix;
+use std::str::FromStr;
+
+fn prefix() -> Ipv4Prefix {
+    Ipv4Prefix::from_str("128.6.0.0/16").unwrap()
+}
+
+/// Diamond: origin 0, two equal-length routes to node 2 (via 1, asn
+/// 17, and via 3, asn 31). Baseline BGP tie-breaks to the lower
+/// neighbor AS (via 1); the override on node 2 prefers the route
+/// through 3.
+fn diamond() -> Sim {
+    let mut sim = Sim::new();
+    sim.set_mrai(0);
+    for asn in [10, 17, 24, 31] {
+        sim.add_node(DbgpConfig::gulf(asn));
+    }
+    sim.link(0, 1, 10, false);
+    sim.link(1, 2, 10, false);
+    sim.link(0, 3, 10, false);
+    sim.link(3, 2, 10, false);
+    sim.speaker_mut(2)
+        .register_module(Box::new(RankedPolicyModule::with_prefs(vec![vec![31, 10]])));
+    sim.originate(0, prefix());
+    sim
+}
+
+#[test]
+fn ranked_override_steers_selection() {
+    let mut sim = diamond();
+    sim.run(60_000);
+    assert_eq!(sim.pending_events(), 0, "diamond converges");
+    assert_eq!(
+        sim.fib(2).get(&prefix()),
+        Some(&Some(3)),
+        "override picks the higher-AS route via node 3"
+    );
+}
+
+#[test]
+fn ranked_override_survives_restart_node_churn() {
+    let mut sim = diamond();
+    sim.run(60_000);
+    assert_eq!(sim.fib(2).get(&prefix()), Some(&Some(3)));
+
+    // Churn the overridden node itself, then a neighbor it depends on.
+    sim.restart_node(2);
+    sim.run(120_000);
+    assert_eq!(sim.pending_events(), 0, "reconverges after restarting node 2");
+    assert_eq!(
+        sim.fib(2).get(&prefix()),
+        Some(&Some(3)),
+        "override still steers selection after the node's own restart"
+    );
+
+    sim.restart_node(3);
+    sim.run(180_000);
+    assert_eq!(sim.pending_events(), 0, "reconverges after restarting node 3");
+    assert_eq!(
+        sim.fib(2).get(&prefix()),
+        Some(&Some(3)),
+        "override re-selects the preferred route once node 3 is back"
+    );
+}
+
+#[test]
+fn baseline_without_override_prefers_the_lower_as() {
+    let mut sim = Sim::new();
+    sim.set_mrai(0);
+    for asn in [10, 17, 24, 31] {
+        sim.add_node(DbgpConfig::gulf(asn));
+    }
+    sim.link(0, 1, 10, false);
+    sim.link(1, 2, 10, false);
+    sim.link(0, 3, 10, false);
+    sim.link(3, 2, 10, false);
+    sim.originate(0, prefix());
+    sim.run(60_000);
+    assert_eq!(
+        sim.fib(2).get(&prefix()),
+        Some(&Some(1)),
+        "without the override, baseline tie-break picks the lower neighbor AS"
+    );
+}

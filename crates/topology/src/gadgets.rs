@@ -1,0 +1,68 @@
+//! Edge sets for the classic BGP stability gadgets
+//! (Griffin–Shepherd–Wilfong, "The Stable Paths Problem and
+//! Interdomain Routing"; Griffin–Wilfong wedgies).
+//!
+//! A gadget is a tiny topology plus per-node path *rankings*; only the
+//! topology lives here. Node 0 is always the origin; the policy side
+//! (which ranked paths each rim node prefers) is supplied by
+//! `dbgp-stability`, which pairs these edge sets with per-node decision
+//! modules for the simulator and the oracle reference model.
+
+/// The dispute-wheel ring of size `k`: origin `0` in the center, rim
+/// nodes `1..=k` each linked to the origin (their spoke) and to the
+/// next rim node clockwise (their rim edge). `WHEEL(3)` with
+/// prefer-clockwise rankings is exactly BAD-GADGET.
+pub fn wheel_edges(k: usize) -> Vec<(usize, usize)> {
+    assert!(k >= 2, "a dispute wheel needs at least two rim nodes");
+    let mut edges = Vec::with_capacity(2 * k);
+    for i in 1..=k {
+        edges.push((0, i));
+    }
+    for i in 1..=k {
+        let next = if i == k { 1 } else { i + 1 };
+        edges.push((i.min(next), i.max(next)));
+    }
+    edges.sort();
+    edges.dedup();
+    edges
+}
+
+/// DISAGREE: origin `0`, two rim nodes `1` and `2`, each preferring the
+/// path through the other. Two stable states exist, so any run
+/// converges — to which one depends on the schedule (and, under a
+/// fault flap, yields the BGP-wedgie hysteresis).
+pub fn disagree_edges() -> Vec<(usize, usize)> {
+    wheel_edges(2)
+}
+
+/// GOOD-GADGET: the BAD-GADGET topology (a 3-ring around the origin)
+/// whose rankings are flipped to prefer the *direct* spoke — dispute-
+/// wheel-free, hence guaranteed to converge on every schedule.
+pub fn good_gadget_edges() -> Vec<(usize, usize)> {
+    wheel_edges(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_has_spokes_and_rim() {
+        let edges = wheel_edges(3);
+        assert_eq!(edges, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let w5 = wheel_edges(5);
+        assert_eq!(w5.len(), 10);
+        assert!(w5.contains(&(1, 5)), "rim closes the ring");
+    }
+
+    #[test]
+    fn disagree_is_a_triangle() {
+        assert_eq!(disagree_edges(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two rim nodes")]
+    fn degenerate_wheel_rejected() {
+        wheel_edges(1);
+    }
+}

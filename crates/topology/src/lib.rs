@@ -11,14 +11,19 @@
 //!   transit tiers, stub tail) for the 50,000-AS Gao-Rexford benchmark;
 //! * [`paper`] — the fixed topologies of Figures 1, 2, 3, 6 and 8;
 //! * [`fixtures`] — ready-made graphs for the chaos and benchmark
-//!   harnesses (a 50-AS Waxman, the R-BGP failover diamond).
+//!   harnesses (a 50-AS Waxman, the R-BGP failover diamond);
+//! * [`gadgets`] — the classic stability-gadget edge sets (dispute
+//!   wheels, DISAGREE) that `dbgp-stability` pairs with per-node
+//!   policy rankings.
 
 pub mod fixtures;
+pub mod gadgets;
 pub mod graph;
 pub mod hierarchical;
 pub mod paper;
 pub mod waxman;
 
+pub use gadgets::{disagree_edges, good_gadget_edges, wheel_edges};
 pub use graph::{Adjacency, AsGraph, Relationship};
 pub use hierarchical::{generate_hier, HierParams, HierTopology, Tier};
 pub use paper::{PaperNode, PaperTopology};
