@@ -9,30 +9,34 @@
 //! [`validate_sim_bench_schema`] and exits nonzero listing every
 //! problem found.
 //!
-//! Schema v4 (this revision) adds the sharded-engine accounting: every
-//! per-scenario record carries the shard count it ran with and the
-//! partitioner's `edge_cut_fraction`, and a required top-level
-//! `hier_50k` block records the 50,000-AS hierarchical Gao-Rexford
-//! scenario (serial vs sharded wall time, per-shard committed-event
-//! counts, quiescence). v3 added the routing-table-scale `fulltable`
-//! block; v2 recorded both engine tiers per scenario (serial and
-//! parallel wall time / events-per-sec, worker thread count, measured
-//! speedup, recording host's CPU count); all of that is retained.
-//! Older documents — the v1 single-`wall_seconds` shape, the v2 shape
-//! without the fulltable block, and the v3 shape without shard
-//! accounting — are rejected by tag *and* by field list, so a stale
-//! generator can't slip an old-shape document past CI.
+//! Schema v5 (this revision) adds the convergence-hot-path accounting:
+//! every per-scenario record carries `full_scans_avoided` (decision
+//! fast-path hits of the incremental decision process) and
+//! `frames_coalesced` (always 0 on the classic scenarios, which run
+//! per-change); the `hier_50k` block gains the deterministic-coalescing
+//! leg (`mrai0_updates_encoded` vs `mrai0_coalesced_updates_encoded`,
+//! `frames_coalesced`, and the `coalesce_rib_match` bit asserting the
+//! packed stream converged to the identical RIB); the `fulltable` block
+//! gains `full_scans_avoided`; and two new top-level fields record the
+//! windowed engine's `serial_fallback_threshold` and the instrumented
+//! `phase_times` breakdown (decode/decide/encode/queue wall seconds on
+//! a serial waxman-1000 leg). v4 added the sharded-engine accounting
+//! (per-record shard count, `edge_cut_fraction`, the `hier_50k` block);
+//! v3 added the routing-table-scale `fulltable` block; v2 recorded both
+//! engine tiers per scenario; all of that is retained. Older documents
+//! — v1 through v4 — are rejected by tag *and* by field list, so a
+//! stale generator can't slip an old-shape document past CI.
 
 use serde_json::Value;
 
 /// Schema identifier every `BENCH_sim.json` document must carry.
-pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v4";
+pub const SIM_BENCH_SCHEMA: &str = "dbgp-sim-bench/v5";
 
 /// Fields every per-scenario record must carry, with their types
 /// checked: `quiesced` is a bool; the wall-time, events-per-sec,
 /// speedup and edge-cut fields are floats; everything else an unsigned
 /// integer.
-pub const REQUIRED_METRICS: [&str; 18] = [
+pub const REQUIRED_METRICS: [&str; 20] = [
     "nodes",
     "edges",
     "events",
@@ -50,13 +54,20 @@ pub const REQUIRED_METRICS: [&str; 18] = [
     "encode_cache_hits",
     "bytes_allocated",
     "best_changes",
+    "full_scans_avoided",
+    "frames_coalesced",
     "quiesced",
 ];
 
 /// Fields the `hier_50k` block must carry. `events_per_shard` is an
 /// array of unsigned per-shard committed-event counts (its sum must
-/// equal `events`; the generator asserts that before writing).
-pub const REQUIRED_HIER: [&str; 15] = [
+/// equal `events`; the generator asserts that before writing). The
+/// `mrai0_*` pair comes from the coalescing leg: the same topology run
+/// per-change vs staged at `mrai = 0`, whose packed stream must encode
+/// fewer frames (`mrai0_coalesced_updates_encoded` <
+/// `mrai0_updates_encoded`) while converging to the identical RIB
+/// (`coalesce_rib_match`).
+pub const REQUIRED_HIER: [&str; 20] = [
     "nodes",
     "edges",
     "events",
@@ -71,13 +82,18 @@ pub const REQUIRED_HIER: [&str; 15] = [
     "sharded_speedup",
     "messages",
     "best_changes",
+    "full_scans_avoided",
+    "mrai0_updates_encoded",
+    "mrai0_coalesced_updates_encoded",
+    "frames_coalesced",
+    "coalesce_rib_match",
     "quiesced",
 ];
 
 /// Fields every record in the `fulltable` block must carry. The float
 /// set holds the derived rates; `quiesced` is the burst-replay
 /// convergence bit; everything else is an unsigned count.
-pub const REQUIRED_FULLTABLE: [&str; 11] = [
+pub const REQUIRED_FULLTABLE: [&str; 12] = [
     "routes",
     "updates",
     "wire_bytes",
@@ -88,8 +104,16 @@ pub const REQUIRED_FULLTABLE: [&str; 11] = [
     "rib_bytes_per_route",
     "burst_events",
     "burst_events_per_sec",
+    "full_scans_avoided",
     "quiesced",
 ];
+
+/// Fields the top-level `phase_times` block must carry: wall seconds
+/// spent in each hot-path phase of an instrumented serial waxman-1000
+/// leg, plus the leg's total wall time. Host-dependent, like every
+/// other wall-clock figure in the document.
+pub const REQUIRED_PHASE_TIMES: [&str; 5] =
+    ["decode_seconds", "decide_seconds", "encode_seconds", "queue_seconds", "wall_seconds"];
 
 /// Fields the Tier A sweep block must carry (scenario-level
 /// parallelism: a multi-seed run timed serial vs pooled).
@@ -104,7 +128,7 @@ pub const REQUIRED_TIER_A: [&str; 6] = [
 
 fn field_ok(record: &Value, field: &str) -> bool {
     match field {
-        "quiesced" => record.get(field).and_then(Value::as_bool).is_some(),
+        "quiesced" | "coalesce_rib_match" => record.get(field).and_then(Value::as_bool).is_some(),
         "wall_seconds_serial"
         | "wall_seconds_parallel"
         | "wall_seconds_sharded"
@@ -139,10 +163,20 @@ pub fn validate_sim_bench_schema(doc: &Value) -> Vec<String> {
     if doc.get("seed").and_then(Value::as_u64).is_none() {
         problems.push("seed must be an unsigned integer".into());
     }
-    for field in ["threads", "host_cpus"] {
+    for field in ["threads", "host_cpus", "serial_fallback_threshold"] {
         if doc.get(field).and_then(Value::as_u64).is_none() {
             problems.push(format!("{field} must be an unsigned integer"));
         }
+    }
+    match doc.get("phase_times") {
+        Some(pt) if pt.as_object().is_some() => {
+            for field in REQUIRED_PHASE_TIMES {
+                if pt.get(field).and_then(Value::as_f64).is_none() {
+                    problems.push(format!("phase_times.{field} missing or mistyped"));
+                }
+            }
+        }
+        _ => problems.push("missing object block \"phase_times\"".into()),
     }
     // An oversubscribed recording host cannot measure parallel speedup:
     // with fewer CPUs than worker threads the "parallel" and "sharded"
@@ -254,6 +288,7 @@ mod tests {
             "messages": 10u64, "bytes_delivered": 100u64,
             "updates_encoded": 5u64, "encode_cache_hits": 3u64,
             "bytes_allocated": 4096u64, "best_changes": 7u64,
+            "full_scans_avoided": 4u64, "frames_coalesced": 0u64,
             "quiesced": true,
         })
     }
@@ -267,7 +302,21 @@ mod tests {
             "wall_seconds_sharded": 10.0f64, "events_per_sec_sharded": 200_000.0f64,
             "sharded_speedup": 2.0f64,
             "messages": 1_000_000u64, "best_changes": 100_000u64,
+            "full_scans_avoided": 50_000u64,
+            "mrai0_updates_encoded": 900_000u64,
+            "mrai0_coalesced_updates_encoded": 600_000u64,
+            "frames_coalesced": 300_000u64,
+            "coalesce_rib_match": true,
             "quiesced": true,
+        })
+    }
+
+    fn phase_times() -> Value {
+        json!({
+            "scenario": "waxman1000",
+            "decode_seconds": 0.2f64, "decide_seconds": 0.5f64,
+            "encode_seconds": 0.1f64, "queue_seconds": 0.15f64,
+            "wall_seconds": 1.2f64,
         })
     }
 
@@ -286,6 +335,7 @@ mod tests {
             "routes_per_sec_ingest": 250_000.0f64, "decode_ns_per_route": 120.0f64,
             "rib_bytes_per_route": 96.0f64,
             "burst_events": 40_000u64, "burst_events_per_sec": 90_000.0f64,
+            "full_scans_avoided": 1_000u64,
             "quiesced": true,
         })
     }
@@ -296,6 +346,8 @@ mod tests {
             "seed": 42u64,
             "threads": 4u64,
             "host_cpus": 4u64,
+            "serial_fallback_threshold": 8u64,
+            "phase_times": phase_times(),
             "baseline": { "waxman50_churn": record() },
             "current": { "waxman50_churn": record() },
             "speedup": {},
@@ -522,6 +574,87 @@ mod tests {
             problems.contains(&"missing object block \"hier_50k\"".to_string()),
             "the v3 shape lacks the hier_50k block: {problems:?}"
         );
+    }
+
+    /// The v4→v5 negative test: a document in the v4 shape — v4 tag,
+    /// shard accounting and hier block present, but no hot-path
+    /// accounting (`full_scans_avoided` / `frames_coalesced` on the
+    /// records, no coalescing leg in `hier_50k`, no top-level
+    /// `phase_times` or `serial_fallback_threshold`) — must be rejected
+    /// by its tag AND by the missing fields, so a pre-incremental
+    /// generator can't pass the v5 validator.
+    #[test]
+    fn a_v4_document_is_rejected() {
+        let mut doc = valid_doc();
+        if let Some(o) = doc.as_object_mut() {
+            o.retain(|(k, _)| k != "phase_times" && k != "serial_fallback_threshold");
+            for slot in o.iter_mut() {
+                if slot.0 == "schema" {
+                    slot.1 = Value::String("dbgp-sim-bench/v4".into());
+                }
+            }
+        }
+        for block in ["baseline", "current"] {
+            remove(&mut doc, block, "full_scans_avoided");
+            remove(&mut doc, block, "frames_coalesced");
+        }
+        let hier = doc.get_mut("hier_50k").and_then(Value::as_object_mut).unwrap();
+        hier.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "full_scans_avoided"
+                    | "mrai0_updates_encoded"
+                    | "mrai0_coalesced_updates_encoded"
+                    | "frames_coalesced"
+                    | "coalesce_rib_match"
+            )
+        });
+        let ft = doc
+            .get_mut("fulltable")
+            .and_then(|b| b.get_mut("fulltable_100k"))
+            .and_then(Value::as_object_mut)
+            .unwrap();
+        ft.retain(|(k, _)| k != "full_scans_avoided");
+        let problems = validate_sim_bench_schema(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("outdated") && p.contains("dbgp-sim-bench/v4")),
+            "v4 tag must be called out as outdated: {problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("current.waxman50_churn.full_scans_avoided")),
+            "v4 records lack hot-path accounting: {problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("hier_50k.coalesce_rib_match")),
+            "the v4 hier block lacks the coalescing leg: {problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("fulltable.fulltable_100k.full_scans_avoided")),
+            "the v4 fulltable record lacks full_scans_avoided: {problems:?}"
+        );
+        assert!(
+            problems.contains(&"missing object block \"phase_times\"".to_string()),
+            "the v4 shape lacks the phase_times block: {problems:?}"
+        );
+        assert!(
+            problems.contains(&"serial_fallback_threshold must be an unsigned integer".to_string()),
+            "the v4 shape lacks the fallback threshold: {problems:?}"
+        );
+    }
+
+    #[test]
+    fn every_phase_time_field_is_load_bearing() {
+        for field in REQUIRED_PHASE_TIMES {
+            let mut doc = valid_doc();
+            let pt = doc.get_mut("phase_times").and_then(Value::as_object_mut).unwrap();
+            pt.retain(|(k, _)| k != field);
+            let problems = validate_sim_bench_schema(&doc);
+            assert_eq!(
+                problems,
+                vec![format!("phase_times.{field} missing or mistyped")],
+                "dropping {field} must be caught"
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!                             simulated quantities — byte-identical
 //!                             across thread and shard counts, which the
 //!                             CI determinism job checks by sha256
+//!   sim_bench --phase-times   run only the instrumented serial
+//!                             waxman-1000 leg and print the per-phase
+//!                             wall-time breakdown (decode / decide /
+//!                             encode / queue); the full run embeds the
+//!                             same breakdown as the document's
+//!                             top-level `phase_times` block
 //!   --bench-path <path>       validate <path> instead of BENCH_sim.json
 //!   --threads <N>             worker threads for the parallel runs
 //!                             (default `DBGP_THREADS`, else available
@@ -95,12 +101,13 @@ const QUICK_PATH: &str = "results/BENCH_sim.quick.json";
 
 /// Allocation regression gate for the serial waxman-1000 run. The
 /// zero-copy pipeline recorded 138 839 840 bytes; the telemetry
-/// metrics registry later grew that by ~3% to the value below
-/// (measured immediately before the windowed engine landed). The
-/// windowed engine itself must add nothing to the serial path — the
-/// full benchmark asserts the serial run's `bytes_allocated` stays
-/// within [`ALLOC_SLACK_PERCENT`] of this budget.
-const WAXMAN1000_ALLOC_BASELINE: u64 = 142_982_800;
+/// metrics registry grew that to 142 982 800, and the incremental
+/// decision process's reusable redecide scratch buffers (candidate
+/// assembly and output staging no longer allocate per event) cut it
+/// ~21% to the value below. The full benchmark asserts the serial
+/// run's `bytes_allocated` stays within [`ALLOC_SLACK_PERCENT`] of
+/// this budget.
+const WAXMAN1000_ALLOC_BASELINE: u64 = 112_995_380;
 const ALLOC_SLACK_PERCENT: u64 = 2;
 
 /// Routes in the full-table scenario, and the reduced-scale slice the
@@ -128,6 +135,7 @@ struct RunMeasurement {
     wall_seconds: f64,
     stats: dbgp_sim::SimStats,
     bytes_allocated: u64,
+    full_scans_avoided: u64,
     quiesced: bool,
 }
 
@@ -181,6 +189,12 @@ impl ScenarioResult {
             "encode_cache_hits": s.stats.encode_cache_hits,
             "bytes_allocated": s.bytes_allocated,
             "best_changes": s.stats.best_changes,
+            // Decision fast-path hits (incremental decision process) and
+            // coalesced frames. The classic scenarios run per-change, so
+            // frames_coalesced is always 0 here; the coalescing leg
+            // lives in the hier_50k block.
+            "full_scans_avoided": s.full_scans_avoided,
+            "frames_coalesced": s.stats.frames_coalesced,
             "quiesced": s.quiesced,
         })
     }
@@ -248,6 +262,7 @@ fn measure(
         wall_seconds,
         stats: sim.stats(),
         bytes_allocated,
+        full_scans_avoided: sim.full_scans_avoided(),
         quiesced,
     }
 }
@@ -301,6 +316,8 @@ fn assert_runs_identical(
             r.stats.best_changes,
             r.stats.dropped_messages,
             r.stats.duplicated_messages,
+            r.full_scans_avoided,
+            r.stats.frames_coalesced,
             r.quiesced,
         )
     };
@@ -308,7 +325,8 @@ fn assert_runs_identical(
         digest(serial),
         digest(par),
         "{name}: serial vs {threads}-thread runs diverged \
-         (events, messages, bytes, encodes, cache hits, churn, drops, dups, quiesced)"
+         (events, messages, bytes, encodes, cache hits, churn, drops, dups, \
+          fast-path hits, coalesced frames, quiesced)"
     );
 }
 
@@ -432,6 +450,7 @@ fn fulltable_json(r: &FullTableResult) -> Value {
         "rib_bytes_per_route": round2(r.rib_bytes_per_route),
         "burst_events": r.burst_events,
         "burst_events_per_sec": round2(r.burst_events_per_sec),
+        "full_scans_avoided": r.full_scans_avoided,
         "quiesced": r.quiesced,
     })
 }
@@ -494,6 +513,7 @@ struct HierMeasurement {
     shards: usize,
     edge_cut_fraction: f64,
     events_per_shard: Vec<u64>,
+    full_scans_avoided: u64,
 }
 
 impl HierMeasurement {
@@ -537,6 +557,7 @@ fn run_hier(topo: &dbgp_topology::HierTopology, threads: usize, shards: usize) -
         shards: sim.shards(),
         edge_cut_fraction: sim.edge_cut_fraction(),
         events_per_shard,
+        full_scans_avoided: sim.full_scans_avoided(),
     }
 }
 
@@ -544,19 +565,89 @@ fn run_hier(topo: &dbgp_topology::HierTopology, threads: usize, shards: usize) -
 /// every simulated quantity.
 fn assert_hier_identical(name: &str, serial: &HierMeasurement, sharded: &HierMeasurement) {
     let digest = |r: &HierMeasurement| {
-        (r.events, r.stats.messages, r.stats.bytes, r.stats.best_changes, r.quiesced)
+        (
+            r.events,
+            r.stats.messages,
+            r.stats.bytes,
+            r.stats.best_changes,
+            r.full_scans_avoided,
+            r.quiesced,
+        )
     };
     assert_eq!(
         digest(serial),
         digest(sharded),
-        "{name}: serial vs sharded runs diverged (events, messages, bytes, churn, quiesced)"
+        "{name}: serial vs sharded runs diverged \
+         (events, messages, bytes, churn, fast-path hits, quiesced)"
     );
 }
 
+/// The converged routing outcome of a hierarchical run, rendered to one
+/// comparable string: FIB next hops plus Loc-RIB paths for every node.
+/// This is what deterministic coalescing must leave untouched.
+fn hier_rib_fingerprint(sim: &Sim) -> String {
+    let mut out = String::new();
+    for node in 0..sim.node_count() {
+        out.push_str(&format!("fib[{node}]={:?}\n", sim.fib(node)));
+        for (prefix, chosen) in sim.speaker(node).routes() {
+            out.push_str(&format!(
+                "rib[{node}][{prefix}]: via={:?} path={}\n",
+                chosen.neighbor,
+                dbgp_core::render_path(&chosen.ia)
+            ));
+        }
+    }
+    out
+}
+
+/// The deterministic-coalescing leg: the hierarchical topology run
+/// serially at `mrai = 0` per-change and again with staging on, so the
+/// frame reduction is attributable to coalescing alone (at the default
+/// MRAI the classic window already batches, masking it). Returns
+/// `(updates_encoded per-change, updates_encoded coalesced,
+/// frames_coalesced, rib_match)` and exits nonzero if the coalesced
+/// stream failed to shrink or changed the converged RIB — a broken
+/// coalescer must not be recordable.
+fn hier_coalesce_leg(topo: &dbgp_topology::HierTopology) -> (u64, u64, u64, bool) {
+    let run = |coalesce: bool| {
+        let mut sim = dbgp_workload::policy::valley_free_sim(topo, SEED);
+        sim.set_mrai(0);
+        sim.set_coalesce(coalesce);
+        dbgp_workload::policy::originate_from_stubs(&mut sim, topo, HIER_ORIGINS);
+        sim.run(HIER_HORIZON);
+        if sim.pending_events() != 0 {
+            let leg = if coalesce { "coalesced" } else { "per-change" };
+            eprintln!("error: hier_50k mrai-0 {leg} leg failed to quiesce");
+            std::process::exit(1);
+        }
+        sim
+    };
+    let off = run(false);
+    let on = run(true);
+    let rib_match = hier_rib_fingerprint(&off) == hier_rib_fingerprint(&on);
+    let (soff, son) = (off.stats(), on.stats());
+    println!(
+        "hier_50k mrai-0 coalescing: {} -> {} UPDATE frames ({} coalesced away), RIB match: {}",
+        soff.updates_encoded, son.updates_encoded, son.frames_coalesced, rib_match
+    );
+    if !rib_match {
+        eprintln!("error: coalescing changed the converged hier_50k RIB");
+        std::process::exit(1);
+    }
+    if son.updates_encoded >= soff.updates_encoded || son.frames_coalesced == 0 {
+        eprintln!(
+            "error: the coalesced leg saved no frames ({} vs {} encoded, {} coalesced)",
+            son.updates_encoded, soff.updates_encoded, son.frames_coalesced
+        );
+        std::process::exit(1);
+    }
+    (soff.updates_encoded, son.updates_encoded, son.frames_coalesced, rib_match)
+}
+
 /// The 50,000-AS hierarchical scenario: serial leg (one thread, one
-/// queue) vs sharded leg at the requested thread/shard counts. As with
-/// [`scenario`], the sharded leg runs first so the serial leg gets the
-/// warm caches.
+/// queue) vs sharded leg at the requested thread/shard counts, plus the
+/// mrai-0 coalescing leg. As with [`scenario`], the sharded leg runs
+/// first so the serial leg gets the warm caches.
 fn hier_50k_scenario(threads: usize, shards: usize) -> Value {
     let topo = dbgp_topology::fixtures::hier_50k(SEED);
     println!(
@@ -585,6 +676,7 @@ fn hier_50k_scenario(threads: usize, shards: usize) -> Value {
         sharded.events_per_sec(),
         sharded.edge_cut_fraction,
     );
+    let (mrai0_updates, mrai0_coalesced, frames_coalesced, rib_match) = hier_coalesce_leg(&topo);
     json!({
         "nodes": serial.nodes as u64,
         "edges": serial.edges as u64,
@@ -604,6 +696,11 @@ fn hier_50k_scenario(threads: usize, shards: usize) -> Value {
         }),
         "messages": serial.stats.messages,
         "best_changes": serial.stats.best_changes,
+        "full_scans_avoided": serial.full_scans_avoided,
+        "mrai0_updates_encoded": mrai0_updates,
+        "mrai0_coalesced_updates_encoded": mrai0_coalesced,
+        "frames_coalesced": frames_coalesced,
+        "coalesce_rib_match": rib_match,
         "quiesced": serial.quiesced,
     })
 }
@@ -636,6 +733,49 @@ fn hier_quick(threads: usize, shards: usize) -> Value {
     })
 }
 
+/// The instrumented hot-path breakdown: one serial waxman-1000
+/// convergence leg with per-phase timing on
+/// ([`Sim::enable_phase_timing`] pins the run to the serial engine),
+/// reported as wall seconds per phase. Kept out of the timed scenario
+/// legs: the instrumentation costs a branch per site plus two clock
+/// reads per timed region, so the recorded throughput numbers never
+/// include it.
+fn phase_times_leg() -> Value {
+    let graph = waxman::generate(WaxmanParams::default(), SEED);
+    let mut sim = sim_from_graph(&graph, 10);
+    sim.set_seed(SEED);
+    sim.enable_phase_timing();
+    for node in 0..20 {
+        sim.originate(node, origin_prefix(node));
+    }
+    let start = Instant::now();
+    sim.run(4_000_000_000);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    if sim.pending_events() != 0 {
+        eprintln!("error: instrumented waxman1000 leg failed to converge");
+        std::process::exit(1);
+    }
+    let pt = sim.phase_times().expect("phase timing was enabled");
+    let secs = |ns: u64| ns as f64 / 1e9;
+    println!(
+        "\nphase times (serial waxman1000 convergence, instrumented): \
+         decode {:.3}s, decide {:.3}s, encode {:.3}s, queue {:.3}s, wall {:.3}s",
+        secs(pt.decode_ns),
+        secs(pt.decide_ns),
+        secs(pt.encode_ns),
+        secs(pt.queue_ns),
+        wall_seconds,
+    );
+    json!({
+        "scenario": "waxman1000",
+        "decode_seconds": round6(secs(pt.decode_ns)),
+        "decide_seconds": round6(secs(pt.decide_ns)),
+        "encode_seconds": round6(secs(pt.encode_ns)),
+        "queue_seconds": round6(secs(pt.queue_ns)),
+        "wall_seconds": round6(wall_seconds),
+    })
+}
+
 /// Upgrade a `dbgp-sim-bench/v1` scenario record (single `wall_seconds`
 /// / `events_per_sec`, no thread fields — always measured serially) to
 /// the v2 shape, so a baseline recorded before the parallel engine
@@ -665,8 +805,10 @@ fn upgrade_v1_record(record: &Value) -> Value {
 }
 
 /// Upgrade a `dbgp-sim-bench/v3` scenario record (no shard accounting —
-/// always one queue, zero cut) to the v4 shape, composing with the
-/// v1 upgrade so any committed baseline generation stays comparable.
+/// always one queue, zero cut) to the v4 shape, and a v4 record (no
+/// hot-path accounting — every decision was a full scan, nothing ever
+/// coalesced) to the v5 shape, composing with the v1 upgrade so any
+/// committed baseline generation stays comparable.
 fn upgrade_record(record: &Value) -> Value {
     let mut upgraded = upgrade_v1_record(record);
     if let Some(fields) = upgraded.as_object_mut() {
@@ -675,6 +817,12 @@ fn upgrade_record(record: &Value) -> Value {
         }
         if !fields.iter().any(|(k, _)| k == "edge_cut_fraction") {
             fields.push(("edge_cut_fraction".into(), Value::Float(0.0)));
+        }
+        if !fields.iter().any(|(k, _)| k == "full_scans_avoided") {
+            fields.push(("full_scans_avoided".into(), Value::UInt(0)));
+        }
+        if !fields.iter().any(|(k, _)| k == "frames_coalesced") {
+            fields.push(("frames_coalesced".into(), Value::UInt(0)));
         }
     }
     upgraded
@@ -803,6 +951,11 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--phase-times") {
+        let _ = phase_times_leg();
+        return;
+    }
+
     println!("threads {threads}, host cpus {host_cpus}\n");
     let mut results = vec![waxman50_churn(threads)];
     if !quick {
@@ -833,6 +986,7 @@ fn main() {
             "seed": SEED,
             "threads": threads as u64,
             "host_cpus": host_cpus as u64,
+            "serial_fallback_threshold": Sim::SERIAL_FALLBACK_THRESHOLD as u64,
             "current": current,
             "fulltable": { "fulltable_100k": fulltable_json(&ft) },
         });
@@ -846,6 +1000,7 @@ fn main() {
     let tier_a = tier_a_sweep(threads);
     let ft = fulltable_100k();
     let hier = hier_50k_scenario(threads, shards);
+    let phase_times = phase_times_leg();
 
     // Full mode: keep the recorded baseline (the pre-optimization
     // numbers this PR is measured against); seed it from this run only
@@ -880,6 +1035,11 @@ fn main() {
         "seed": SEED,
         "threads": threads as u64,
         "host_cpus": host_cpus as u64,
+        // The windowed engine's permanent serial-drain trigger: windows
+        // under this many delivers (for SERIAL_FALLBACK_WINDOWS in a
+        // row) drop the run back to the serial path.
+        "serial_fallback_threshold": Sim::SERIAL_FALLBACK_THRESHOLD as u64,
+        "phase_times": phase_times,
         "baseline": baseline,
         "current": current,
         "speedup": Value::Object(speedup),

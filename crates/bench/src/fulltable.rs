@@ -51,6 +51,10 @@ pub struct FullTableResult {
     pub burst_events: u64,
     /// Burst events per second through the discrete-event engine.
     pub burst_events_per_sec: f64,
+    /// Decision-process fast-path hits across the burst replay: arrivals
+    /// and withdrawals the incremental decision settled without a full
+    /// candidate re-scan (summed over every speaker in the topology).
+    pub full_scans_avoided: u64,
     /// Whether the burst replay quiesced inside its horizon.
     pub quiesced: bool,
 }
@@ -153,6 +157,7 @@ pub fn run_full_table(
     let quiesced = converged && sim.pending_events() == 0;
     let burst_seconds = start.elapsed().as_secs_f64();
     let burst_engine_events = sim.events_processed() - events_before;
+    let full_scans_avoided = sim.full_scans_avoided();
 
     FullTableResult {
         routes: routes as u64,
@@ -165,6 +170,7 @@ pub fn run_full_table(
         rib_bytes_per_route: rib_bytes as f64 / routes as f64,
         burst_events: burst_engine_events,
         burst_events_per_sec: burst_engine_events as f64 / burst_seconds.max(1e-9),
+        full_scans_avoided,
         quiesced,
     }
 }
@@ -183,6 +189,10 @@ mod tests {
         assert!(result.rib_bytes_per_route > 0.0);
         assert!(result.quiesced, "burst replay must quiesce");
         assert!(result.burst_events > 0);
+        assert!(
+            result.full_scans_avoided > 0,
+            "churn over a converged topology must hit the decision fast path"
+        );
     }
 
     #[test]

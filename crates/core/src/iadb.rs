@@ -53,6 +53,14 @@ impl IaDb {
         self.entries.get(&neighbor).and_then(|t| t.get(prefix)).map(Arc::as_ref)
     }
 
+    /// The stored `Arc` for `(neighbor, prefix)`, for callers that
+    /// intern the winner (the speaker's scratch-buffer selection keeps
+    /// only borrowed candidate views and re-fetches the winning entry
+    /// here for its refcount bump).
+    pub fn get_arc(&self, neighbor: NeighborId, prefix: &Ipv4Prefix) -> Option<&Arc<Ia>> {
+        self.entries.get(&neighbor).and_then(|t| t.get(prefix))
+    }
+
     /// All (neighbor, IA) pairs for a prefix, in neighbor order (the
     /// outer map iterates sorted, so no extra sort is needed).
     /// Allocation-free: this runs once per received IA.

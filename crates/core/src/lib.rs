@@ -41,4 +41,6 @@ pub use module::{
     baseline_key, BgpDecision, CandidateIa, DecisionModule, ExportContext, ImportContext,
 };
 pub use neighbor::{DbgpNeighbor, NeighborId, PeerClass};
-pub use speaker::{render_path, Chosen, DbgpConfig, DbgpOutput, DbgpSpeaker};
+pub use speaker::{
+    render_path, Chosen, DbgpConfig, DbgpOutput, DbgpSpeaker, PendingSend, PendingSends,
+};

@@ -11,6 +11,7 @@
 use crate::neighbor::NeighborId;
 use dbgp_telemetry::SelectionReason;
 use dbgp_wire::{Ia, Ipv4Prefix, ProtocolId};
+use std::cmp::Ordering;
 
 /// One candidate path for a prefix, as presented to a decision module.
 #[derive(Debug, Clone, Copy)]
@@ -116,6 +117,67 @@ pub trait DecisionModule: Send {
         false
     }
 
+    /// True when the speaker may maintain this module's best path
+    /// *incrementally*: a new candidate that compares strictly worse
+    /// than the installed best (per
+    /// [`compare_candidates`](Self::compare_candidates)) is stored
+    /// without re-running [`select_best`](Self::select_best), and a
+    /// withdrawal of a non-best candidate skips the re-scan outright.
+    ///
+    /// Declaring `true` asserts three properties, each load-bearing for
+    /// the skip to be observationally equivalent to a full scan (the
+    /// DBF-algebra soundness line — a candidate that strictly loses to
+    /// the incumbent cannot change a selection that picks the first
+    /// minimum of a deterministic key):
+    ///
+    /// 1. `select_best` returns the **first** candidate minimal under
+    ///    the order `compare_candidates` describes (the `min_by_key`
+    ///    idiom), and `compare_candidates(a, b)` agrees with that key.
+    /// 2. [`accept`](Self::accept) is **idempotent**: the full scan
+    ///    re-consults it for every stored candidate on every redecide,
+    ///    while the fast path consults it only for the new arrival.
+    /// 3. Every piece of module state the key depends on is fenced by
+    ///    [`selection_epoch`](Self::selection_epoch): whenever such
+    ///    state changes, the epoch changes, which forces the next
+    ///    decision for every prefix back through the full scan.
+    ///
+    /// The conservative default is `false` (always full-scan). Modules
+    /// whose selection is not a total order over candidates — e.g.
+    /// EQ-BGP's `max_by_key` bottleneck-bandwidth pick, which keys on
+    /// no per-neighbor tie-break and takes the *last* maximum — must
+    /// keep it that way.
+    fn incremental_safe(&self) -> bool {
+        false
+    }
+
+    /// Compare two candidates under this module's preference order:
+    /// `Less` means `a` is preferred over `b` (the `min_by_key`
+    /// convention every bundled module uses). Consulted by the speaker's
+    /// incremental fast path only when
+    /// [`incremental_safe`](Self::incremental_safe) is `true`; the
+    /// default `Equal` can never prove an arrival strictly worse, so it
+    /// forces the full scan even for a module that (incorrectly)
+    /// declares itself safe without overriding this.
+    fn compare_candidates(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        _a: &CandidateIa<'_>,
+        _b: &CandidateIa<'_>,
+    ) -> Ordering {
+        Ordering::Equal
+    }
+
+    /// A counter that changes whenever module state consulted by the
+    /// selection key changes (Wiser's scale recalibration, HLP's LSDB
+    /// updates). The speaker records the epoch at each full scan and
+    /// refuses the incremental fast path when the current epoch differs
+    /// — a drifted key could make the full scan pick a different winner
+    /// among the *already stored* candidates, which the fast path can
+    /// never see. Stateless-key modules keep the default constant `0`.
+    fn selection_epoch(&self) -> u64 {
+        0
+    }
+
     /// Deliver an out-of-band message (e.g., Wiser's cost exchange,
     /// MIRO's negotiation) addressed to this module. Default: ignored.
     fn deliver_oob(&mut self, _from: u32, _payload: &[u8]) {}
@@ -156,6 +218,26 @@ impl DecisionModule for BgpDecision {
     // neighbor- and state-independent.
     fn export_is_uniform(&self) -> bool {
         true
+    }
+
+    // Proof of the three incremental_safe obligations: (1) `select_best`
+    // is `min_by_key(baseline_key)` and `compare_candidates` is exactly
+    // `baseline_key` order — a strict total order (the neighbor-id rung
+    // breaks every tie), so "first minimal" is "the unique minimum";
+    // (2) `accept` is the side-effect-free default; (3) the key reads no
+    // module state at all, so the constant epoch 0 fences nothing and
+    // misses nothing.
+    fn incremental_safe(&self) -> bool {
+        true
+    }
+
+    fn compare_candidates(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        a: &CandidateIa<'_>,
+        b: &CandidateIa<'_>,
+    ) -> Ordering {
+        baseline_key(a).cmp(&baseline_key(b))
     }
 
     fn select_best(

@@ -30,8 +30,19 @@ use crate::neighbor::{DbgpNeighbor, NeighborId, PeerClass};
 use dbgp_rib::PrefixTrie;
 use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
 use dbgp_wire::{Ia, Ipv4Addr, Ipv4Prefix, ProtocolId};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// A staged outgoing element: the IA to announce, or `None` for a
+/// withdrawal. Per (neighbor, prefix), last write wins — exactly the
+/// implicit-withdraw semantics the receiver would apply anyway.
+pub type PendingSend = Option<Arc<Ia>>;
+
+/// Per-neighbor staged output of a speaker running with coalescing on:
+/// everything the host should pack into multi-NLRI frames, in canonical
+/// (neighbor, prefix) order.
+pub type PendingSends = BTreeMap<NeighborId, BTreeMap<Ipv4Prefix, PendingSend>>;
 
 /// Speaker-level configuration.
 #[derive(Debug, Clone)]
@@ -129,6 +140,32 @@ pub struct DbgpSpeaker {
     sink: SinkHandle,
     /// Host-assigned label (node index) stamped on emitted events.
     node_label: u32,
+    /// Master switch for the incremental decision fast path (on by
+    /// default; tests flip it off to compare against full scans).
+    incremental: bool,
+    /// Full candidate scans skipped by the incremental fast path.
+    fast_path_hits: u64,
+    /// The `selection_epoch()` the active module reported at each
+    /// prefix's last full scan. Only nonzero epochs are stored, so
+    /// stateless modules (epoch constant 0) never touch the map and the
+    /// fast-path check degenerates to an `is_empty()` test.
+    decision_epochs: BTreeMap<Ipv4Prefix, u64>,
+    /// Reusable candidate-view buffer for `select` — always empty
+    /// between calls; the `'static` parameter is a placeholder the
+    /// borrow is transmuted over while the (empty) vec is checked out.
+    scratch: Vec<CandidateIa<'static>>,
+    /// Cached conjunction of every resident module's
+    /// `export_is_uniform()`, refreshed on `register_module`. When true,
+    /// an unchanged best path implies every rebuilt export is
+    /// byte-identical, so the fast path may skip the fan-out entirely.
+    all_uniform: bool,
+    /// When true, `SendIa`/`SendWithdraw` are staged into
+    /// `pending_sends` instead of being returned, for the host to flush
+    /// in canonical order as packed frames.
+    coalesce: bool,
+    /// Staged outgoing updates, keyed (neighbor, prefix); last write
+    /// wins per slot.
+    pending_sends: PendingSends,
 }
 
 /// Render an IA's path vector for telemetry ("near far" order, space
@@ -162,6 +199,13 @@ impl DbgpSpeaker {
             processed: 0,
             sink: SinkHandle::none(),
             node_label: 0,
+            incremental: true,
+            fast_path_hits: 0,
+            decision_epochs: BTreeMap::new(),
+            scratch: Vec::new(),
+            all_uniform: true,
+            coalesce: false,
+            pending_sends: PendingSends::new(),
         };
         speaker.register_module(Box::new(BgpDecision::new()));
         speaker
@@ -199,6 +243,53 @@ impl DbgpSpeaker {
         self.modules.insert(module.protocol(), module);
         // A new module may change what exports look like.
         self.out_cache.clear();
+        self.all_uniform = self.modules.values().all(|m| m.export_is_uniform());
+        // Epochs recorded under the previous module set no longer prove
+        // anything: poison every installed prefix so the next arrival
+        // takes a full scan and re-records. (`u64::MAX` is reserved —
+        // `selection_epoch` must never return it — so the mismatch is
+        // guaranteed even against a stateless replacement's epoch 0.)
+        for prefix in self.loc.keys() {
+            self.decision_epochs.insert(*prefix, u64::MAX);
+        }
+    }
+
+    /// Enable/disable the incremental decision fast path (enabled by
+    /// default). With it off every arrival takes the full candidate
+    /// scan, which the equivalence tests use as the reference.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// Full candidate scans the incremental fast path has avoided.
+    pub fn full_scans_avoided(&self) -> u64 {
+        self.fast_path_hits
+    }
+
+    /// Enable/disable output coalescing. While on, `SendIa` and
+    /// `SendWithdraw` are staged per (neighbor, prefix) — last write
+    /// wins — instead of being returned from `receive_*`; the host
+    /// drains them with [`take_pending_sends`](Self::take_pending_sends)
+    /// at its commit barrier and packs multi-NLRI frames. Turning
+    /// coalescing off with sends still staged would silently drop them,
+    /// so hosts must drain first.
+    pub fn set_coalesce(&mut self, on: bool) {
+        debug_assert!(
+            on || self.pending_sends.is_empty(),
+            "disable coalescing only after draining pending sends"
+        );
+        self.coalesce = on;
+    }
+
+    /// True when staged sends are waiting to be flushed.
+    pub fn has_pending_sends(&self) -> bool {
+        !self.pending_sends.is_empty()
+    }
+
+    /// Drain every staged send. Keys iterate in canonical (neighbor,
+    /// prefix) order; `None` values are withdrawals.
+    pub fn take_pending_sends(&mut self) -> PendingSends {
+        std::mem::take(&mut self.pending_sends)
     }
 
     /// Mutable access to a registered module (for out-of-band delivery
@@ -223,6 +314,7 @@ impl DbgpSpeaker {
     pub fn neighbor_down(&mut self, id: NeighborId) -> Vec<DbgpOutput> {
         self.neighbors.remove(&id);
         self.adj_out.remove(&id);
+        self.pending_sends.remove(&id);
         let mut out = Vec::new();
         for prefix in self.iadb.drop_neighbor(id) {
             self.redecide(prefix, &mut out);
@@ -324,6 +416,22 @@ impl DbgpSpeaker {
             return out;
         }
         let prefix = ia.prefix;
+        // Incremental fast path: a candidate provably strictly worse
+        // than the installed best (from a different neighbor) cannot
+        // change the selection — store it and skip the full scan.
+        if self.incremental && self.arrival_cannot_win(from, &ia) {
+            self.fast_path_hits += 1;
+            self.iadb.insert(from, ia);
+            // With every export uniform, an unchanged best implies every
+            // rebuilt outgoing IA is byte-identical and the Adj-RIB-Out
+            // diff would suppress the whole fan-out — skip it. Otherwise
+            // a new candidate can still alter what resident modules
+            // export (e.g. Wiser's bookkeeping), so re-evaluate.
+            if !self.all_uniform {
+                self.propagate_all(prefix, &mut out);
+            }
+            return out;
+        }
         // (2) Store in the IA DB.
         self.iadb.insert(from, ia);
         // (3)-(7) Extract, decide, build, filter, send.
@@ -343,6 +451,15 @@ impl DbgpSpeaker {
     pub fn receive_withdraw(&mut self, from: NeighborId, prefix: Ipv4Prefix) -> Vec<DbgpOutput> {
         let mut out = Vec::new();
         if self.iadb.remove(from, &prefix).is_some() {
+            // Removing a candidate that is not the installed best leaves
+            // a first-minimal selection unchanged; skip the re-scan.
+            if self.incremental && self.withdrawal_cannot_matter(from, prefix) {
+                self.fast_path_hits += 1;
+                if !self.all_uniform {
+                    self.propagate_all(prefix, &mut out);
+                }
+                return out;
+            }
             let changed = self.redecide(prefix, &mut out);
             if !changed {
                 self.propagate_all(prefix, &mut out);
@@ -428,6 +545,108 @@ impl DbgpSpeaker {
         }
     }
 
+    /// The active module for a prefix, resolved with the same baseline
+    /// fallback `select` uses.
+    fn module_key(&self, prefix: &Ipv4Prefix) -> ProtocolId {
+        let active = self.active_protocol(prefix);
+        if self.modules.contains_key(&active) {
+            active
+        } else {
+            ProtocolId::BGP
+        }
+    }
+
+    /// Fast-path test for an arriving IA: true when storing it provably
+    /// cannot change the installed best path, so the full candidate
+    /// scan (and export rebuild, when all exports are uniform) can be
+    /// skipped. Sound because:
+    ///
+    /// - a locally originated prefix short-circuits `select` before any
+    ///   module runs, so no stored candidate is ever consulted;
+    /// - otherwise the active module must declare `incremental_safe`
+    ///   (first-minimal selection under `compare_candidates`), the
+    ///   recorded `selection_epoch` must match (no key-affecting state
+    ///   drift since the last full scan), the arrival must come from a
+    ///   neighbor other than the best's source (a re-advertisement
+    ///   replaces the incumbent itself), and the challenger must be
+    ///   rejected by the module's import filter or compare strictly
+    ///   worse than the incumbent — either way the minimal set, and
+    ///   hence the first minimum, is unchanged.
+    fn arrival_cannot_win(&mut self, from: NeighborId, ia: &Ia) -> bool {
+        let prefix = ia.prefix;
+        if self.originated.get(&prefix).is_some() {
+            return true;
+        }
+        let Some(chosen) = self.loc.get(&prefix) else {
+            // Nothing installed: any acceptable arrival wins.
+            return false;
+        };
+        let Some(best_neighbor) = chosen.neighbor else {
+            return false;
+        };
+        if best_neighbor == from {
+            return false;
+        }
+        let Some(from_as) = self.neighbors.get(&from).map(|n| n.asn) else {
+            return false;
+        };
+        let Some(best_as) = self.neighbors.get(&best_neighbor).map(|n| n.asn) else {
+            return false;
+        };
+        let recorded = if self.decision_epochs.is_empty() {
+            0
+        } else {
+            self.decision_epochs.get(&prefix).copied().unwrap_or(0)
+        };
+        let key = self.module_key(&prefix);
+        let incumbent_ia = Arc::clone(&chosen.ia);
+        let Some(module) = self.modules.get_mut(&key) else {
+            return false;
+        };
+        if !module.incremental_safe() || module.selection_epoch() != recorded {
+            return false;
+        }
+        // The module's import filter sees the arrival exactly as a full
+        // scan would (its side effects must land either way); a rejected
+        // candidate can never win.
+        if !module.accept(ImportContext { neighbor: from, neighbor_as: from_as, prefix, ia }) {
+            return true;
+        }
+        let challenger = CandidateIa { neighbor: from, neighbor_as: from_as, ia };
+        let incumbent =
+            CandidateIa { neighbor: best_neighbor, neighbor_as: best_as, ia: &incumbent_ia };
+        module.compare_candidates(prefix, &challenger, &incumbent) == Ordering::Greater
+    }
+
+    /// Fast-path test for a withdrawal already removed from the IA DB:
+    /// true when the withdrawn candidate provably was not the installed
+    /// best, so removing it cannot change a first-minimal selection.
+    fn withdrawal_cannot_matter(&mut self, from: NeighborId, prefix: Ipv4Prefix) -> bool {
+        if self.originated.get(&prefix).is_some() {
+            return true;
+        }
+        let Some(chosen) = self.loc.get(&prefix) else {
+            // No installed best: with epoch-stable state a re-scan of
+            // the (shrunken) candidate set still selects nothing, but
+            // that reasoning leans on accept idempotence alone; the
+            // case is rare enough to just take the full scan.
+            return false;
+        };
+        if chosen.neighbor == Some(from) {
+            return false;
+        }
+        let recorded = if self.decision_epochs.is_empty() {
+            0
+        } else {
+            self.decision_epochs.get(&prefix).copied().unwrap_or(0)
+        };
+        let key = self.module_key(&prefix);
+        let Some(module) = self.modules.get(&key) else {
+            return false;
+        };
+        module.incremental_safe() && module.selection_epoch() == recorded
+    }
+
     /// Steps 3–4: extract the active protocol's information and run its
     /// decision module over the candidates. Also returns why the winner
     /// won (only computed in depth while telemetry records) and how many
@@ -448,42 +667,75 @@ impl DbgpSpeaker {
         // algorithm and the new protocol's" mitigation, and keeping a
         // misconfigured speaker connected.
         let key = if self.modules.contains_key(&active) { active } else { ProtocolId::BGP };
-        let module = match self.modules.get_mut(&key) {
-            Some(m) => m,
-            None => return (None, SelectionReason::Unreachable, 0),
+        if !self.modules.contains_key(&key) {
+            return (None, SelectionReason::Unreachable, 0);
+        }
+        // Check out the reusable candidate buffer. SAFETY: the buffer is
+        // always empty here (emptied before check-in below), an empty
+        // `Vec` owns no element the lifetime parameter could dangle
+        // through, and `Vec<T>` layout does not depend on `T`'s
+        // lifetimes — only the capacity allocation is recycled.
+        let mut views: Vec<CandidateIa<'_>> = {
+            let recycled = std::mem::take(&mut self.scratch);
+            debug_assert!(recycled.is_empty());
+            unsafe {
+                std::mem::transmute::<Vec<CandidateIa<'static>>, Vec<CandidateIa<'_>>>(recycled)
+            }
         };
+        let module = self.modules.get_mut(&key).expect("presence checked above");
         let neighbors = &self.neighbors;
-        // Candidates keep their Arc alongside the module-facing borrow so
-        // the winner is interned into `Chosen` with a refcount bump.
-        let candidates: Vec<(CandidateIa<'_>, &Arc<Ia>)> = self
-            .iadb
-            .candidates(&prefix)
-            .filter_map(|(n, ia)| {
-                let asn = neighbors.get(&n)?.asn;
-                Some((CandidateIa { neighbor: n, neighbor_as: asn, ia: ia.as_ref() }, ia))
-            })
-            .filter(|(c, _)| {
-                module.accept(ImportContext {
-                    neighbor: c.neighbor,
-                    neighbor_as: c.neighbor_as,
-                    prefix,
-                    ia: c.ia,
-                })
-            })
-            .collect();
-        let views: Vec<CandidateIa<'_>> = candidates.iter().map(|(c, _)| *c).collect();
+        for (n, ia) in self.iadb.candidates(&prefix) {
+            let Some(asn) = neighbors.get(&n).map(|nb| nb.asn) else { continue };
+            let c = CandidateIa { neighbor: n, neighbor_as: asn, ia: ia.as_ref() };
+            if module.accept(ImportContext {
+                neighbor: c.neighbor,
+                neighbor_as: c.neighbor_as,
+                prefix,
+                ia: c.ia,
+            }) {
+                views.push(c);
+            }
+        }
         let count = views.len() as u32;
-        let best = match module.select_best(prefix, &views) {
-            Some(b) => b,
-            None => return (None, SelectionReason::Unreachable, count),
+        let result = match module.select_best(prefix, &views) {
+            Some(best) => {
+                let reason = if explain {
+                    module.explain_best(prefix, &views, best)
+                } else {
+                    SelectionReason::ModulePreference
+                };
+                // The winner's view borrows the IA DB entry; re-fetch the
+                // stored `Arc` to intern it into `Chosen`.
+                let winner = views[best];
+                let arc = self
+                    .iadb
+                    .get_arc(winner.neighbor, &prefix)
+                    .expect("winner was enumerated from the IA DB");
+                (
+                    Some(Chosen { neighbor: Some(winner.neighbor), ia: Arc::clone(arc) }),
+                    reason,
+                    count,
+                )
+            }
+            None => (None, SelectionReason::Unreachable, count),
         };
-        let reason = if explain {
-            module.explain_best(prefix, &views, best)
-        } else {
-            SelectionReason::ModulePreference
+        // Fence the incremental fast path on the key state this scan
+        // used. Stateless modules report a constant 0 and (with no
+        // stateful module resident) never touch the map.
+        let epoch = module.selection_epoch();
+        debug_assert_ne!(epoch, u64::MAX, "u64::MAX is the reserved poison epoch");
+        if epoch != 0 {
+            self.decision_epochs.insert(prefix, epoch);
+        } else if !self.decision_epochs.is_empty() {
+            self.decision_epochs.remove(&prefix);
+        }
+        // Check the scratch buffer back in, empty again.
+        views.clear();
+        // SAFETY: emptied on the line above; see the check-out comment.
+        self.scratch = unsafe {
+            std::mem::transmute::<Vec<CandidateIa<'_>>, Vec<CandidateIa<'static>>>(views)
         };
-        let (c, arc) = &candidates[best];
-        (Some(Chosen { neighbor: Some(c.neighbor), ia: Arc::clone(arc) }), reason, count)
+        result
     }
 
     /// Steps 5–7 for one neighbor: build (or withdraw) and send.
@@ -577,7 +829,11 @@ impl DbgpSpeaker {
                 let withdrawn =
                     self.adj_out.get_mut(&id).is_some_and(|t| t.remove(&prefix).is_some());
                 if withdrawn {
-                    out.push(DbgpOutput::SendWithdraw(id, prefix));
+                    if self.coalesce {
+                        self.pending_sends.entry(id).or_default().insert(prefix, None);
+                    } else {
+                        out.push(DbgpOutput::SendWithdraw(id, prefix));
+                    }
                 }
             }
         }
@@ -598,7 +854,11 @@ impl DbgpSpeaker {
             slot.get(&prefix).is_some_and(|prev| Arc::ptr_eq(prev, &ia) || **prev == *ia);
         if !unchanged {
             slot.insert(prefix, Arc::clone(&ia));
-            out.push(DbgpOutput::SendIa(id, ia));
+            if self.coalesce {
+                self.pending_sends.entry(id).or_default().insert(prefix, Some(ia));
+            } else {
+                out.push(DbgpOutput::SendIa(id, ia));
+            }
         }
     }
 }
@@ -979,5 +1239,142 @@ mod tests {
         assert_eq!(speaker.active_protocol(&p("10.5.1.0/24")), ProtocolId::SCION);
         assert_eq!(speaker.active_protocol(&p("10.9.0.0/16")), ProtocolId::WISER);
         assert_eq!(speaker.active_protocol(&p("192.168.0.0/16")), ProtocolId::BGP);
+    }
+
+    /// A pair of identically configured speakers, one with the
+    /// incremental fast path disabled, fed the same inputs.
+    fn fast_slow_pair() -> (DbgpSpeaker, DbgpSpeaker) {
+        let mk = || {
+            let mut s = DbgpSpeaker::new(DbgpConfig::gulf(9));
+            s.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+            s.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(2));
+            s.add_neighbor(NeighborId(2), DbgpNeighbor::dbgp(3));
+            s
+        };
+        let fast = mk();
+        let mut slow = mk();
+        slow.set_incremental(false);
+        (fast, slow)
+    }
+
+    fn hops_ia(nexthop: u8, hops: &[u32]) -> Ia {
+        let mut ia = Ia::originate(p("10.0.0.0/8"), nh(nexthop));
+        for &h in hops.iter().rev() {
+            ia.prepend_as(h);
+        }
+        ia
+    }
+
+    #[test]
+    fn strictly_worse_arrival_takes_fast_path_with_identical_outputs() {
+        let (mut fast, mut slow) = fast_slow_pair();
+        let good = hops_ia(1, &[1]);
+        assert_eq!(
+            fast.receive_ia(NeighborId(0), good.clone()),
+            slow.receive_ia(NeighborId(0), good)
+        );
+        // Two hops from a different neighbor: provably strictly worse.
+        let worse = hops_ia(2, &[2, 50]);
+        assert_eq!(
+            fast.receive_ia(NeighborId(1), worse.clone()),
+            slow.receive_ia(NeighborId(1), worse)
+        );
+        assert_eq!(fast.full_scans_avoided(), 1);
+        assert_eq!(slow.full_scans_avoided(), 0);
+        // Withdrawing the non-best candidate is also a provable no-op.
+        assert_eq!(
+            fast.receive_withdraw(NeighborId(1), p("10.0.0.0/8")),
+            slow.receive_withdraw(NeighborId(1), p("10.0.0.0/8"))
+        );
+        assert_eq!(fast.full_scans_avoided(), 2);
+        // Withdrawing the best forces the full scan on both.
+        assert_eq!(
+            fast.receive_withdraw(NeighborId(0), p("10.0.0.0/8")),
+            slow.receive_withdraw(NeighborId(0), p("10.0.0.0/8"))
+        );
+        assert_eq!(fast.full_scans_avoided(), 2);
+        assert_eq!(fast.best(&p("10.0.0.0/8")), slow.best(&p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn best_source_readvertisement_takes_full_scan() {
+        let (mut fast, mut slow) = fast_slow_pair();
+        fast.receive_ia(NeighborId(0), hops_ia(1, &[1]));
+        slow.receive_ia(NeighborId(0), hops_ia(1, &[1]));
+        // The best's own source re-advertises a longer path: the
+        // incumbent itself is replaced, so the fast path must not fire
+        // and selection must move to the other candidate.
+        fast.receive_ia(NeighborId(1), hops_ia(2, &[2, 60]));
+        slow.receive_ia(NeighborId(1), hops_ia(2, &[2, 60]));
+        let long = hops_ia(1, &[1, 70, 71]);
+        assert_eq!(
+            fast.receive_ia(NeighborId(0), long.clone()),
+            slow.receive_ia(NeighborId(0), long)
+        );
+        assert_eq!(fast.best(&p("10.0.0.0/8")).unwrap().neighbor, Some(NeighborId(1)));
+        assert_eq!(fast.best(&p("10.0.0.0/8")), slow.best(&p("10.0.0.0/8")));
+        assert_eq!(fast.full_scans_avoided(), 1, "only the strictly-worse arrival fast-paths");
+    }
+
+    #[test]
+    fn originated_prefix_arrivals_fast_path_without_module_involvement() {
+        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(9));
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+        speaker.originate(p("10.0.0.0/8"), nh(9));
+        let outs = speaker.receive_ia(NeighborId(0), hops_ia(1, &[1]));
+        assert!(outs.is_empty(), "a learned route never displaces a local origination");
+        assert_eq!(speaker.full_scans_avoided(), 1);
+        assert_eq!(speaker.best(&p("10.0.0.0/8")).unwrap().neighbor, None);
+        // Withdrawing the origination re-scans and promotes the stored IA.
+        let outs = speaker.withdraw_origin(p("10.0.0.0/8"));
+        assert!(outs.iter().any(|o| matches!(o, DbgpOutput::BestChanged(_, Some(_)))));
+        assert_eq!(speaker.best(&p("10.0.0.0/8")).unwrap().neighbor, Some(NeighborId(0)));
+    }
+
+    #[test]
+    fn coalescing_stages_sends_in_canonical_order() {
+        let mut speaker = DbgpSpeaker::new(DbgpConfig::gulf(9));
+        speaker.add_neighbor(NeighborId(0), DbgpNeighbor::dbgp(1));
+        speaker.add_neighbor(NeighborId(1), DbgpNeighbor::dbgp(2));
+        speaker.set_coalesce(true);
+        let outs = speaker.receive_ia(NeighborId(0), hops_ia(1, &[1]));
+        assert!(
+            outs.iter().all(|o| matches!(o, DbgpOutput::BestChanged(..))),
+            "sends are staged, not returned: {outs:?}"
+        );
+        assert!(speaker.has_pending_sends());
+        let pending = speaker.take_pending_sends();
+        assert!(!speaker.has_pending_sends());
+        // Only the uninvolved neighbor has a staged announcement
+        // (split horizon suppresses the source).
+        assert_eq!(pending.len(), 1);
+        let staged = pending.get(&NeighborId(1)).unwrap();
+        assert!(staged.get(&p("10.0.0.0/8")).unwrap().is_some());
+        // A withdrawal overwrites the staged announcement in place.
+        speaker.receive_withdraw(NeighborId(0), p("10.0.0.0/8"));
+        let pending = speaker.take_pending_sends();
+        assert!(pending.get(&NeighborId(1)).unwrap().get(&p("10.0.0.0/8")).unwrap().is_none());
+    }
+
+    #[test]
+    fn module_swap_poisons_fast_path_until_rescan() {
+        let (mut fast, mut slow) = fast_slow_pair();
+        for s in [&mut fast, &mut slow] {
+            s.receive_ia(NeighborId(0), hops_ia(1, &[1]));
+            s.receive_ia(NeighborId(1), hops_ia(2, &[2, 50]));
+            // Replacing the active module invalidates the recorded
+            // decision state; the next arrival must take a full scan
+            // even though the new module is also incremental-safe.
+            s.register_module(Box::new(BgpDecision::new()));
+        }
+        let worse = hops_ia(3, &[3, 51, 52]);
+        assert_eq!(
+            fast.receive_ia(NeighborId(2), worse.clone()),
+            slow.receive_ia(NeighborId(2), worse)
+        );
+        assert_eq!(fast.full_scans_avoided(), 1, "post-swap arrival full-scans");
+        // The full scan re-recorded the epoch; the fast path is live again.
+        fast.receive_ia(NeighborId(2), hops_ia(3, &[3, 51, 53]));
+        assert_eq!(fast.full_scans_avoided(), 2);
     }
 }

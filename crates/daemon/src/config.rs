@@ -52,6 +52,10 @@ pub struct DaemonConfig {
     pub networks: Vec<Ipv4Prefix>,
     /// Configured peerings, in file order (peer index = PeerId).
     pub neighbors: Vec<NeighborSpec>,
+    /// Stage UPDATEs per peer and flush them as packed multi-NLRI
+    /// frames once per reactor tick (`coalesce-updates true`). Off by
+    /// default: per-change frames, byte-compatible with prior releases.
+    pub coalesce_updates: bool,
 }
 
 impl DaemonConfig {
@@ -64,6 +68,7 @@ impl DaemonConfig {
         let mut connect_retry_ms = 1_000u64;
         let mut networks = Vec::new();
         let mut neighbors = Vec::new();
+        let mut coalesce_updates = false;
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -99,6 +104,11 @@ impl DaemonConfig {
                         .map_err(|_| format!("line {lineno}: bad network prefix"))?,
                 ),
                 "neighbor" => neighbors.push(Self::parse_neighbor(rest, lineno)?),
+                "coalesce-updates" => {
+                    coalesce_updates = rest
+                        .parse::<bool>()
+                        .map_err(|_| format!("line {lineno}: bad coalesce-updates"))?
+                }
                 other => return Err(format!("line {lineno}: unknown directive `{other}`")),
             }
         }
@@ -112,6 +122,7 @@ impl DaemonConfig {
             connect_retry_ms,
             networks,
             neighbors,
+            coalesce_updates,
         };
         // next-hop defaults to the router ID.
         for n in &mut cfg.neighbors {

@@ -1,0 +1,184 @@
+//! Coalescing parity through the oracle's scenario corpus: a
+//! production simulator with deterministic update coalescing enabled
+//! must converge to exactly the state its coalesce-off twin reaches —
+//! same chosen neighbor and IA per node per prefix, same FIBs — on
+//! crafted scenarios, across fault phases, and over a generated sweep.
+//! Scenario links are reliable and uniform-delay, so the packed frames
+//! carry the same elements the per-change sender would have emitted;
+//! any state difference is a coalescing bug, not scheduling noise.
+
+use dbgp_oracle::differential::generate_scenario;
+use dbgp_oracle::scenario::{apply_fault_production, build_production, Fault, NodeSpec, Scenario};
+use dbgp_sim::Sim;
+use dbgp_wire::Ipv4Prefix;
+use proptest::test_runner::TestRng;
+use std::collections::BTreeSet;
+
+/// Same per-phase ceiling the differential harness uses; hitting it
+/// means the scenario livelocks, which the sweep treats as "skip" when
+/// both twins agree on it.
+const MAX_SIM_TIME: u64 = 60_000;
+
+fn gulf(asn: u32) -> NodeSpec {
+    NodeSpec { asn, island: None }
+}
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+/// Assert the coalesce-on twin matches the coalesce-off twin at every
+/// quiescent phase boundary. Returns `None` if the per-change twin
+/// livelocked (a livelock has no stable outcome — batching may
+/// legitimately perturb the oscillation's schedule, so nothing is
+/// comparable), otherwise `(off, on)` final stats for frame-count
+/// assertions.
+fn assert_coalesce_parity(scenario: &Scenario) -> Option<(dbgp_sim::SimStats, dbgp_sim::SimStats)> {
+    let mut off = build_production(scenario);
+    let mut on = build_production(scenario);
+    on.set_coalesce(true);
+    for &(node, prefix) in &scenario.originations {
+        off.originate(node, prefix);
+        on.originate(node, prefix);
+    }
+    for phase in 0..=scenario.faults.len() {
+        if phase > 0 {
+            let fault = &scenario.faults[phase - 1];
+            apply_fault_production(&mut off, fault);
+            apply_fault_production(&mut on, fault);
+        }
+        off.run(MAX_SIM_TIME);
+        on.run(MAX_SIM_TIME);
+        let off_quiesced = off.pending_events() == 0;
+        let on_quiesced = on.pending_events() == 0;
+        if !off_quiesced {
+            // The scenario livelocks under per-change sending
+            // (generated EQBGP cycles do this). An oscillation has no
+            // stable state to compare — and batching the same elements
+            // into fewer frames can lawfully reshape or even break the
+            // oscillation's schedule — so the case is skipped.
+            let _ = on_quiesced;
+            return None;
+        }
+        assert!(
+            on_quiesced,
+            "phase {phase}: coalescing broke convergence ({} events pending)",
+            on.pending_events()
+        );
+        compare_states(&off, &on, scenario, phase);
+    }
+    Some((off.stats(), on.stats()))
+}
+
+/// Mirror of the differential harness's state comparison, but between
+/// the two production twins.
+fn compare_states(off: &Sim, on: &Sim, scenario: &Scenario, phase: usize) {
+    let prefixes: BTreeSet<Ipv4Prefix> = scenario.originations.iter().map(|&(_, p)| p).collect();
+    for node in 0..scenario.nodes.len() {
+        for prefix in &prefixes {
+            let base = off.speaker(node).best(prefix);
+            let coal = on.speaker(node).best(prefix);
+            match (base, coal) {
+                (None, None) => {}
+                (Some(b), Some(c)) => {
+                    assert_eq!(
+                        b.neighbor, c.neighbor,
+                        "phase {phase} node {node} prefix {prefix}: chosen neighbor \
+                         diverged under coalescing"
+                    );
+                    assert_eq!(
+                        *b.ia, *c.ia,
+                        "phase {phase} node {node} prefix {prefix}: chosen IA \
+                         diverged under coalescing"
+                    );
+                }
+                (b, c) => panic!(
+                    "phase {phase} node {node} prefix {prefix}: reachability diverged \
+                     (per-change chose {:?}, coalesced chose {:?})",
+                    b.map(|r| r.neighbor),
+                    c.map(|r| r.neighbor)
+                ),
+            }
+        }
+        assert_eq!(
+            off.fib(node),
+            on.fib(node),
+            "phase {phase} node {node}: FIB diverged under coalescing"
+        );
+    }
+}
+
+/// Multi-prefix originations at one node flush as packed frames: the
+/// scenario where coalescing must both fire and stay invisible.
+fn multi_prefix_diamond() -> Scenario {
+    Scenario {
+        nodes: vec![gulf(10), gulf(20), gulf(30), gulf(40), gulf(50)],
+        links: vec![(0, 1, true), (1, 4, true), (0, 2, true), (2, 3, true), (3, 4, true)],
+        originations: vec![
+            (0, p("128.6.0.0/16")),
+            (0, p("44.0.0.0/8")),
+            (0, p("203.0.113.0/24")),
+            (4, p("128.6.128.0/20")),
+        ],
+        faults: vec![Fault::LinkDown(0, 1), Fault::LinkRestore(0, 1), Fault::Restart(0)],
+    }
+}
+
+#[test]
+fn coalesced_frames_converge_to_the_per_change_state() {
+    let (off, on) =
+        assert_coalesce_parity(&multi_prefix_diamond()).expect("the diamond quiesces every phase");
+    assert!(
+        on.frames_coalesced > 0,
+        "a restart re-announcing four prefixes in one tick must pack at \
+         least one multi-element frame"
+    );
+    assert!(
+        on.updates_encoded <= off.updates_encoded,
+        "coalescing must never inflate the frame count ({} -> {})",
+        off.updates_encoded,
+        on.updates_encoded
+    );
+    assert_eq!(off.frames_coalesced, 0, "the off twin must never coalesce");
+}
+
+/// Island scenarios route through per-protocol decision modules and
+/// descriptor-carrying IAs; parity must hold across the whole protocol
+/// pool, not just the baseline rungs. The generated sweep below covers
+/// them randomly; this pins one WISER island deterministically.
+#[test]
+fn island_scenarios_hold_parity_across_fault_phases() {
+    use dbgp_oracle::scenario::IslandSpec;
+    let wiser = IslandSpec { id: 900, abstraction: false, protocol: 1 };
+    let scenario = Scenario {
+        nodes: vec![
+            NodeSpec { asn: 10, island: Some(wiser) },
+            NodeSpec { asn: 20, island: Some(wiser) },
+            NodeSpec { asn: 30, island: Some(wiser) },
+            gulf(40),
+            gulf(50),
+        ],
+        links: vec![(0, 1, true), (1, 2, true), (0, 2, true), (2, 3, true), (3, 4, true)],
+        originations: vec![(0, p("128.6.0.0/16")), (0, p("0.0.0.0/0")), (4, p("44.0.0.0/8"))],
+        faults: vec![Fault::LinkDown(0, 2), Fault::Restart(2), Fault::LinkRestore(0, 2)],
+    };
+    assert_coalesce_parity(&scenario).expect("the island scenario quiesces every phase");
+}
+
+/// The generated corpus: the same scenario distribution the
+/// differential oracle sweeps (random topologies, up to two islands
+/// from the protocol pool, nested prefixes, fault plans), each run as
+/// an off/on twin pair. Cases that livelock under per-change sending
+/// are skipped (an oscillation has no stable state to hold parity on).
+#[test]
+fn generated_scenario_sweep_holds_parity() {
+    let mut compared = 0u32;
+    for case in 0..48u64 {
+        let mut rng = TestRng::for_case("coalesce_parity_sweep", case);
+        let scenario = generate_scenario(&mut rng);
+        if assert_coalesce_parity(&scenario).is_some() {
+            compared += 1;
+        }
+    }
+    assert!(compared >= 32, "the sweep must mostly quiesce to mean anything (got {compared}/48)");
+}

@@ -201,6 +201,10 @@ pub struct HlpModule {
     /// Cost of our own ingress (added at export, like HLP's path costs).
     internal_cost: u64,
     seq: u64,
+    /// Selection-epoch fence: bumped whenever the LSDB or the member
+    /// map changes, because the selection key's internal-distance term
+    /// reads both.
+    epoch: u64,
 }
 
 impl HlpModule {
@@ -213,12 +217,14 @@ impl HlpModule {
             member_routers: HashMap::new(),
             internal_cost,
             seq: 0,
+            epoch: 0,
         }
     }
 
     /// Declare that fellow member `asn` is router `router` in the LSDB.
     pub fn register_member(&mut self, asn: u32, router: u32) {
         self.member_routers.insert(asn, router);
+        self.epoch += 1;
     }
 
     /// The LSDB (for inspection and flooding integration).
@@ -232,13 +238,20 @@ impl HlpModule {
         self.seq += 1;
         let lsa = Lsa { router: self.router, seq: self.seq, links };
         self.lsdb.integrate(lsa.clone());
+        self.epoch += 1;
         lsa
     }
 
     /// Handle a flooded LSA (also reachable through
     /// [`DecisionModule::deliver_oob`]). Returns whether to re-flood.
     pub fn receive_lsa(&mut self, lsa: Lsa) -> bool {
-        self.lsdb.integrate(lsa)
+        let fresh = self.lsdb.integrate(lsa);
+        if fresh {
+            // The link-state distances the selection key reads may have
+            // shifted; stale LSAs change nothing and keep the fence.
+            self.epoch += 1;
+        }
+        fresh
     }
 
     fn internal_distance_to(&self, member_as: u32) -> u64 {
@@ -286,6 +299,36 @@ impl DecisionModule for HlpModule {
         if let Some(lsa) = Lsa::from_bytes(payload) {
             self.receive_lsa(lsa);
         }
+    }
+
+    // Incremental-safety proof: (1) `select_best` is `min_by_key` over
+    // `(external + internal distance, hop count, neighbor AS)` and
+    // `compare_candidates` is that key's order (an exact key tie across
+    // distinct neighbors leaves the first-minimal — lowest neighbor id
+    // — in place, and a strictly greater challenger never enters the
+    // minimal set); (2) `accept` is the side-effect-free default;
+    // (3) the key reads `lsdb` and `member_routers`, both fenced by the
+    // epoch bumps above. `internal_cost` is export-only.
+    fn incremental_safe(&self) -> bool {
+        true
+    }
+
+    fn compare_candidates(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        a: &CandidateIa<'_>,
+        b: &CandidateIa<'_>,
+    ) -> std::cmp::Ordering {
+        let key = |c: &CandidateIa<'_>| {
+            let external = hlp_cost(c.ia).unwrap_or(0);
+            let internal = self.internal_distance_to(c.neighbor_as);
+            (external.saturating_add(internal), c.ia.hop_count(), c.neighbor_as)
+        };
+        key(a).cmp(&key(b))
+    }
+
+    fn selection_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

@@ -87,6 +87,26 @@ impl DecisionModule for RankedPolicyModule {
         true
     }
 
+    // Incremental-safety proof: (1) `select_best` is `min_by_key` over
+    // `(rank_of, baseline_key)` and `compare_candidates` is exactly that
+    // key's order — a strict total order, since the baseline key's
+    // neighbor-id rung breaks every rank tie; (2) `accept` is the
+    // side-effect-free default; (3) `prefs` is fixed at construction
+    // (the builder consumes `self`), so the key reads no mutable state
+    // and the constant epoch 0 fences everything there is to fence.
+    fn incremental_safe(&self) -> bool {
+        true
+    }
+
+    fn compare_candidates(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        a: &CandidateIa<'_>,
+        b: &CandidateIa<'_>,
+    ) -> std::cmp::Ordering {
+        (self.rank_of(a.ia), baseline_key(a)).cmp(&(self.rank_of(b.ia), baseline_key(b)))
+    }
+
     fn select_best(
         &mut self,
         _prefix: Ipv4Prefix,

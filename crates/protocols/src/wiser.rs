@@ -110,6 +110,10 @@ pub struct WiserModule {
     /// Which neighbour AS supplied the currently chosen path per prefix,
     /// so the export filter can apply the right scaling factor.
     chosen_source: HashMap<Ipv4Prefix, u32>,
+    /// Selection-epoch fence: bumped whenever `scale` changes, because
+    /// the selection key reads it. All other mutable state (`received`,
+    /// `sent`, `chosen_source`) never feeds the key.
+    epoch: u64,
 }
 
 impl WiserModule {
@@ -123,6 +127,7 @@ impl WiserModule {
             received: HashMap::new(),
             sent: HashMap::new(),
             chosen_source: HashMap::new(),
+            epoch: 0,
         }
     }
 
@@ -233,6 +238,46 @@ impl DecisionModule for WiserModule {
         }
         let scale = (our_avg.saturating_mul(SCALE_ONE)) / their_avg;
         self.scale.insert(from, scale.max(1));
+        // The selection key just moved for every path from `from`:
+        // invalidate the incremental fast path until each prefix's next
+        // full scan re-records the epoch.
+        self.epoch += 1;
+    }
+
+    // Incremental-safety proof: (1) `select_best` is `min_by_key` over
+    // `(scaled cost, hop count, neighbor AS)` and `compare_candidates`
+    // is that key's order — ties beyond it cannot occur between
+    // *distinct* neighbors of one speaker only when neighbor AS differs,
+    // and when two neighbors share an AS the first-minimal winner is the
+    // lower neighbor id, which is exactly the enumeration order the
+    // fast path's "strictly worse" test preserves (a strictly greater
+    // key never enters the minimal set); (2) `accept` records the
+    // latest received cost — idempotent by construction (see comment
+    // there) and never read by the key; (3) the only key-feeding state
+    // is `scale`, fenced by the epoch bump in `deliver_oob`. The
+    // `chosen_source` side effect in `select_best` is export-only state,
+    // and a skipped scan means the winner (hence its source AS) is
+    // unchanged.
+    fn incremental_safe(&self) -> bool {
+        true
+    }
+
+    fn compare_candidates(
+        &mut self,
+        _prefix: Ipv4Prefix,
+        a: &CandidateIa<'_>,
+        b: &CandidateIa<'_>,
+    ) -> std::cmp::Ordering {
+        let key = |c: &CandidateIa<'_>| {
+            let cost =
+                path_cost(c.ia).map(|raw| self.scaled_cost(c.neighbor_as, raw)).unwrap_or(u64::MAX);
+            (cost, c.ia.hop_count(), c.neighbor_as)
+        };
+        key(a).cmp(&key(b))
+    }
+
+    fn selection_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

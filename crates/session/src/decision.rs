@@ -64,6 +64,22 @@ pub struct DecisionOptions {
     pub always_compare_med: bool,
 }
 
+/// True when [`compare_with`] under `opts` is a strict total order, the
+/// precondition for incremental "strictly worse" pruning: a challenger
+/// that loses to the installed best can then never win a full scan.
+///
+/// The default RFC 4271 MED rule breaks this — MED is consulted only
+/// between routes from the *same* neighbouring AS, which makes the
+/// comparison pair-dependent and intransitive (see the cycle in
+/// `med_default_is_intransitive`), so a challenger that loses to the
+/// incumbent head-to-head can still win the `best_with` fold. With
+/// `always_compare_med` every rung compares per-candidate values
+/// lexicographically, ending at the peer-id rung that never ties, so
+/// the order is total and the fast path is sound.
+pub fn supports_incremental(opts: DecisionOptions) -> bool {
+    opts.always_compare_med
+}
+
 /// Compare two candidates and report the decisive tie-break step.
 /// `Ordering::Greater` means `a` is preferred.
 pub fn compare_explain(a: &Candidate<'_>, b: &Candidate<'_>) -> (Ordering, SelectionReason) {
@@ -157,7 +173,15 @@ pub fn best_with(candidates: &[Candidate<'_>], opts: DecisionOptions) -> Option<
 /// Like [`best`], but also report which tie-break step separated the
 /// winner from the runner-up (the best of the remaining candidates).
 pub fn best_explain(candidates: &[Candidate<'_>]) -> Option<(usize, SelectionReason)> {
-    let winner = best(candidates)?;
+    best_explain_with(candidates, DecisionOptions::default())
+}
+
+/// [`best_explain`] with explicit [`DecisionOptions`].
+pub fn best_explain_with(
+    candidates: &[Candidate<'_>],
+    opts: DecisionOptions,
+) -> Option<(usize, SelectionReason)> {
+    let winner = best_with(candidates, opts)?;
     if candidates.len() == 1 {
         return Some((winner, SelectionReason::OnlyCandidate));
     }
@@ -166,11 +190,11 @@ pub fn best_explain(candidates: &[Candidate<'_>]) -> Option<(usize, SelectionRea
         if i == winner || i == runner {
             continue;
         }
-        if compare(&candidates[i], &candidates[runner]) == Ordering::Greater {
+        if compare_with(&candidates[i], &candidates[runner], opts) == Ordering::Greater {
             runner = i;
         }
     }
-    let (_, step) = compare_explain(&candidates[winner], &candidates[runner]);
+    let (_, step) = compare_explain_with(&candidates[winner], &candidates[runner], opts);
     Some((winner, step))
 }
 
@@ -322,6 +346,36 @@ mod tests {
         let r4 = route(vec![6, 7, 8, 9]);
         let cands = [cand(&r4, 1, 6, true, 1), cand(&w, 2, 1, true, 2), cand(&r3, 3, 3, true, 3)];
         assert_eq!(best_explain(&cands), Some((1, SelectionReason::ShortestPath)));
+    }
+
+    #[test]
+    fn med_default_is_intransitive() {
+        // The textbook MED cycle: a beats b (different AS, router-id),
+        // b beats c (different AS, router-id), c beats a (same AS,
+        // lower MED). This is why `supports_incremental` refuses the
+        // default options: "strictly worse than the incumbent" does not
+        // imply "cannot win a full scan" in a cyclic preference.
+        let mut ra = route(vec![1, 2]);
+        ra.med = Some(50);
+        let mut rb = route(vec![3, 4]);
+        rb.med = Some(10);
+        let mut rc = route(vec![5, 6]);
+        rc.med = Some(10);
+        let a = cand(&ra, 1, 7, true, 1);
+        let b = cand(&rb, 2, 8, true, 2);
+        let c = cand(&rc, 3, 7, true, 3);
+        let opts = DecisionOptions::default();
+        assert_eq!(compare_with(&a, &b, opts), Ordering::Greater);
+        assert_eq!(compare_with(&b, &c, opts), Ordering::Greater);
+        assert_eq!(compare_with(&c, &a, opts), Ordering::Greater, "cycle closes");
+        assert!(!supports_incremental(opts));
+        // always-compare-med restores transitivity: the MED rung now
+        // fires for every pair, breaking the cycle at a-vs-b.
+        let total = DecisionOptions { always_compare_med: true };
+        assert_eq!(compare_with(&b, &a, total), Ordering::Greater);
+        assert_eq!(compare_with(&b, &c, total), Ordering::Greater);
+        assert_eq!(compare_with(&c, &a, total), Ordering::Greater);
+        assert!(supports_incremental(total));
     }
 
     #[test]

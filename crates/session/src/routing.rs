@@ -12,7 +12,7 @@
 //! oracle-vs-daemon bit-match meaningful.
 
 use crate::config::{NeighborConfig, PeerId};
-use crate::decision::{self, Candidate};
+use crate::decision::{self, Candidate, DecisionOptions};
 use crate::rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, RouteSource};
 use crate::route::Route;
 use crate::session::{Millis, SessionSummary};
@@ -20,7 +20,8 @@ use dbgp_rib::PrefixTrie;
 use dbgp_telemetry::{SelectionReason, SinkHandle, TraceKind};
 use dbgp_wire::message::UpdateMsg;
 use dbgp_wire::{Ipv4Addr, Ipv4Prefix, WireError};
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// A RIB-level side effect the host must act on, in order.
@@ -41,6 +42,15 @@ struct PeerEntry {
     summary: Option<SessionSummary>,
 }
 
+/// Staged output toward one peer while coalescing is on. A prefix lives
+/// in at most one of the two sets — each staging action removes it from
+/// the other — so a flush can never both announce and withdraw it.
+#[derive(Debug, Default)]
+struct PendingPeer {
+    withdraw: BTreeSet<Ipv4Prefix>,
+    announce: BTreeMap<Ipv4Prefix, Arc<Route>>,
+}
+
 /// The sans-IO routing core of a BGP speaker.
 pub struct RoutingCore {
     asn: u32,
@@ -52,6 +62,23 @@ pub struct RoutingCore {
     originated: PrefixTrie<Arc<Route>>,
     sink: SinkHandle,
     node_label: u32,
+    /// Decision-process knobs; also gate the incremental fast path
+    /// (only a total comparison order supports strictly-worse pruning).
+    opts: DecisionOptions,
+    /// Master switch for the incremental fast path (on by default; it
+    /// only ever fires when `opts` supports it).
+    incremental: bool,
+    /// Full decision scans skipped by the incremental fast path.
+    fast_path_hits: u64,
+    /// Reusable decision-scratch buffers — always empty between calls;
+    /// the `'static` parameters are placeholders transmuted over while
+    /// the (empty) vecs are checked out by `select_best`.
+    scratch_arcs: Vec<&'static Arc<Route>>,
+    scratch_cands: Vec<Candidate<'static>>,
+    /// When true, announce/withdraw UPDATEs are staged per peer instead
+    /// of being returned, for the host to flush as packed frames.
+    coalesce: bool,
+    pending: BTreeMap<PeerId, PendingPeer>,
 }
 
 impl RoutingCore {
@@ -67,7 +94,101 @@ impl RoutingCore {
             originated: PrefixTrie::new(),
             sink: SinkHandle::none(),
             node_label: 0,
+            opts: DecisionOptions::default(),
+            incremental: true,
+            fast_path_hits: 0,
+            scratch_arcs: Vec::new(),
+            scratch_cands: Vec::new(),
+            coalesce: false,
+            pending: BTreeMap::new(),
         }
+    }
+
+    /// Set the decision-process options. Must be called before routes
+    /// flow: changing the comparison order with routes installed would
+    /// leave the Loc-RIB inconsistent with future decisions.
+    pub fn set_decision_options(&mut self, opts: DecisionOptions) {
+        self.opts = opts;
+    }
+
+    /// The decision-process options in force.
+    pub fn decision_options(&self) -> DecisionOptions {
+        self.opts
+    }
+
+    /// Enable/disable the incremental decision fast path (enabled by
+    /// default; it only fires when the decision options form a total
+    /// order — see [`decision::supports_incremental`]).
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// Full decision scans the incremental fast path has avoided.
+    pub fn full_scans_avoided(&self) -> u64 {
+        self.fast_path_hits
+    }
+
+    /// Enable/disable update coalescing. While on, `RibOp::Announce`
+    /// ops are staged per (peer, prefix) — last write wins — instead of
+    /// being returned; the host drains them with
+    /// [`flush_pending`](Self::flush_pending) at its batching boundary
+    /// (the daemon's reactor tick) as packed multi-NLRI frames.
+    /// `BestRouteChanged` ops still flow immediately. The initial table
+    /// dump at `peer_up` already packs and is not staged.
+    pub fn set_coalesce(&mut self, on: bool) {
+        debug_assert!(
+            on || self.pending.is_empty(),
+            "disable coalescing only after draining pending updates"
+        );
+        self.coalesce = on;
+    }
+
+    /// True when staged updates are waiting to be flushed.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Drain every staged update into packed UPDATE frames, in
+    /// canonical (peer, prefix) order: withdrawals first (one run of
+    /// [`UpdateMsg::pack_withdrawals`]), then announcements grouped by
+    /// attribute block (one [`UpdateMsg::pack_announcements`] run per
+    /// group, groups in first-seen ascending-prefix order) — the same
+    /// deterministic shape as the initial table dump.
+    pub fn flush_pending(&mut self) -> Vec<RibOp> {
+        let mut out = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        for (id, slot) in pending {
+            if !self.is_established(id) {
+                continue;
+            }
+            if !slot.withdraw.is_empty() {
+                let prefixes: Vec<Ipv4Prefix> = slot.withdraw.into_iter().collect();
+                for update in UpdateMsg::pack_withdrawals(&prefixes) {
+                    out.push(RibOp::Announce(id, update));
+                }
+            }
+            if slot.announce.is_empty() {
+                continue;
+            }
+            let mut groups: Vec<(Arc<Route>, Vec<Ipv4Prefix>)> = Vec::new();
+            for (prefix, route) in slot.announce {
+                match groups.iter_mut().find(|(g, _)| Arc::ptr_eq(g, &route) || **g == *route) {
+                    Some((_, members)) => members.push(prefix),
+                    None => groups.push((route, vec![prefix])),
+                }
+            }
+            let peer = &self.peers[&id];
+            let four_octet = peer.summary.map(|s| s.four_octet).unwrap_or(false);
+            let ibgp = peer.cfg.is_ibgp();
+            for (route, members) in groups {
+                for update in
+                    UpdateMsg::pack_announcements(&members, route.to_attrs(ibgp), four_octet)
+                {
+                    out.push(RibOp::Announce(id, update));
+                }
+            }
+        }
+        out
     }
 
     /// Attach a telemetry sink; `node_label` identifies this speaker in
@@ -130,6 +251,7 @@ impl RoutingCore {
         if let Some(peer) = self.peers.get_mut(&id) {
             peer.summary = None;
             self.adj_out.drop_peer(id);
+            self.pending.remove(&id);
             for prefix in self.adj_in.drop_peer(id) {
                 self.redecide(now, prefix, &mut out);
             }
@@ -150,8 +272,15 @@ impl RoutingCore {
         update: UpdateMsg,
     ) -> (Vec<RibOp>, Option<WireError>) {
         let mut out = Vec::new();
+        let fast = self.incremental && decision::supports_incremental(self.opts);
         for prefix in &update.withdrawn {
             if self.adj_in.remove(id, prefix).is_some() {
+                // Removing a candidate that is not the installed best
+                // cannot change the winner of a total-order scan.
+                if fast && self.loser_withdrawal(id, prefix) {
+                    self.fast_path_hits += 1;
+                    continue;
+                }
                 self.redecide(now, *prefix, &mut out);
             }
         }
@@ -185,6 +314,11 @@ impl RoutingCore {
                 continue;
             }
             if transparent {
+                if fast && self.arrival_cannot_win(id, *prefix, &route) {
+                    self.fast_path_hits += 1;
+                    self.adj_in.insert(id, *prefix, Arc::clone(&route));
+                    continue;
+                }
                 self.adj_in.insert(id, *prefix, Arc::clone(&route));
             } else {
                 let mut candidate = (*route).clone();
@@ -192,6 +326,14 @@ impl RoutingCore {
                 if import.apply(prefix, &mut candidate, peer_as) {
                     let interned =
                         if candidate == *route { Arc::clone(&route) } else { Arc::new(candidate) };
+                    // The comparison must see the post-import route —
+                    // exactly what a full scan would read back out of
+                    // the Adj-RIB-In.
+                    if fast && self.arrival_cannot_win(id, *prefix, &interned) {
+                        self.fast_path_hits += 1;
+                        self.adj_in.insert(id, *prefix, interned);
+                        continue;
+                    }
                     self.adj_in.insert(id, *prefix, interned);
                 } else if self.adj_in.remove(id, prefix).is_none() {
                     continue; // rejected and never stored: nothing changes
@@ -293,19 +435,87 @@ impl RoutingCore {
         }
     }
 
+    /// Fast-path test for an arriving route (already import-filtered —
+    /// the comparison must see exactly what the Adj-RIB-In will store):
+    /// true when installing it provably cannot change the Loc-RIB best,
+    /// so the full decision scan can be skipped. Requires the stored
+    /// decision options to form a total order (the caller checks
+    /// [`decision::supports_incremental`]); a locally originated
+    /// incumbent wins at the first rung against any learned challenger,
+    /// and otherwise both the challenger's and the incumbent's sessions
+    /// must be established — candidates from a bounced session are
+    /// flushed at `peer_down`, so live summaries pin the router IDs the
+    /// last full scan compared with.
+    fn arrival_cannot_win(&self, id: PeerId, prefix: Ipv4Prefix, route: &Route) -> bool {
+        let Some(entry) = self.loc_rib.get(&prefix) else {
+            return false;
+        };
+        let incumbent_src = match entry.source {
+            RouteSource::Local => return true,
+            RouteSource::Peer(src) => src,
+        };
+        if incumbent_src == id {
+            return false; // the incumbent itself is being replaced
+        }
+        let ch_peer = &self.peers[&id];
+        let Some(inc_peer) = self.peers.get(&incumbent_src) else {
+            return false;
+        };
+        let (Some(ch_sum), Some(inc_sum)) = (ch_peer.summary, inc_peer.summary) else {
+            return false;
+        };
+        let challenger = Candidate {
+            route,
+            source: RouteSource::Peer(id),
+            peer_as: ch_peer.cfg.peer_as,
+            ebgp: !ch_peer.cfg.is_ibgp(),
+            peer_router_id: ch_sum.peer_id,
+        };
+        let incumbent = Candidate {
+            route: &entry.route,
+            source: RouteSource::Peer(incumbent_src),
+            peer_as: inc_peer.cfg.peer_as,
+            ebgp: !inc_peer.cfg.is_ibgp(),
+            peer_router_id: inc_sum.peer_id,
+        };
+        decision::compare_with(&challenger, &incumbent, self.opts) == Ordering::Less
+    }
+
+    /// Fast-path test for a withdrawal already removed from the
+    /// Adj-RIB-In: under a total order, removing a candidate that is
+    /// not the installed best cannot change the winner.
+    fn loser_withdrawal(&self, id: PeerId, prefix: &Ipv4Prefix) -> bool {
+        match self.loc_rib.get(prefix).map(|e| e.source) {
+            Some(RouteSource::Local) => true,
+            Some(RouteSource::Peer(src)) => src != id,
+            None => false,
+        }
+    }
+
     fn select_best(
-        &self,
+        &mut self,
         prefix: &Ipv4Prefix,
         explain: bool,
     ) -> (Option<LocRibEntry>, SelectionReason, u32) {
-        let local = self.originated.get(prefix);
+        // Check out the reusable scratch buffers. SAFETY: both are
+        // always empty here (emptied before check-in below), an empty
+        // `Vec` owns no element the lifetime parameters could dangle
+        // through, and `Vec<T>` layout does not depend on `T`'s
+        // lifetimes — only the capacity allocations are recycled.
+        let mut arcs: Vec<&Arc<Route>> = {
+            let recycled = std::mem::take(&mut self.scratch_arcs);
+            debug_assert!(recycled.is_empty());
+            unsafe { std::mem::transmute::<Vec<&'static Arc<Route>>, Vec<&Arc<Route>>>(recycled) }
+        };
+        let mut candidates: Vec<Candidate<'_>> = {
+            let recycled = std::mem::take(&mut self.scratch_cands);
+            debug_assert!(recycled.is_empty());
+            unsafe { std::mem::transmute::<Vec<Candidate<'static>>, Vec<Candidate<'_>>>(recycled) }
+        };
         // The decision process borrows plain `&Route` views; `arcs` keeps
         // the interned handles in lockstep so the winner is retained by
-        // refcount bump, not deep clone. `candidates` is a lazy iterator,
-        // so sizing by peer count avoids both a collect and regrowth.
-        let mut arcs: Vec<&Arc<Route>> = Vec::with_capacity(self.peers.len() + 1);
-        let mut candidates: Vec<Candidate<'_>> = Vec::with_capacity(self.peers.len() + 1);
-        if let Some(route) = local {
+        // refcount bump, not deep clone.
+        if let Some(route) = self.originated.get(prefix) {
             arcs.push(route);
             candidates.push(Candidate::local(route));
         }
@@ -322,18 +532,29 @@ impl RoutingCore {
         }
         let n = candidates.len() as u32;
         let picked = if explain {
-            decision::best_explain(&candidates)
+            decision::best_explain_with(&candidates, self.opts)
         } else {
-            decision::best(&candidates).map(|i| (i, SelectionReason::ModulePreference))
+            decision::best_with(&candidates, self.opts)
+                .map(|i| (i, SelectionReason::ModulePreference))
         };
-        match picked {
+        let result = match picked {
             Some((i, why)) => (
                 Some(LocRibEntry { route: Arc::clone(arcs[i]), source: candidates[i].source }),
                 why,
                 n,
             ),
             None => (None, SelectionReason::Unreachable, n),
-        }
+        };
+        // Check the scratch buffers back in, empty again.
+        arcs.clear();
+        candidates.clear();
+        // SAFETY: emptied on the lines above; see the check-out comment.
+        self.scratch_arcs =
+            unsafe { std::mem::transmute::<Vec<&Arc<Route>>, Vec<&'static Arc<Route>>>(arcs) };
+        self.scratch_cands = unsafe {
+            std::mem::transmute::<Vec<Candidate<'_>>, Vec<Candidate<'static>>>(candidates)
+        };
+        result
     }
 
     /// Compute what `peer` should see for `prefix`, diff against
@@ -343,14 +564,26 @@ impl RoutingCore {
         match export {
             Some(route) => {
                 if self.adj_out.advertise(id, prefix, Arc::clone(&route)) {
-                    let ibgp = self.peers[&id].cfg.is_ibgp();
-                    let update = UpdateMsg::announce(vec![prefix], route.to_attrs(ibgp));
-                    out.push(RibOp::Announce(id, update));
+                    if self.coalesce {
+                        let slot = self.pending.entry(id).or_default();
+                        slot.withdraw.remove(&prefix);
+                        slot.announce.insert(prefix, route);
+                    } else {
+                        let ibgp = self.peers[&id].cfg.is_ibgp();
+                        let update = UpdateMsg::announce(vec![prefix], route.to_attrs(ibgp));
+                        out.push(RibOp::Announce(id, update));
+                    }
                 }
             }
             None => {
                 if self.adj_out.withdraw(id, &prefix) {
-                    out.push(RibOp::Announce(id, UpdateMsg::withdraw(vec![prefix])));
+                    if self.coalesce {
+                        let slot = self.pending.entry(id).or_default();
+                        slot.announce.remove(&prefix);
+                        slot.withdraw.insert(prefix);
+                    } else {
+                        out.push(RibOp::Announce(id, UpdateMsg::withdraw(vec![prefix])));
+                    }
                 }
             }
         }

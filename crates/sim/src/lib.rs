@@ -27,4 +27,4 @@ pub mod sim;
 pub use dataplane::{Delivery, Header, Packet};
 pub use engine::{EventQueue, SimTime};
 pub use link::{LinkModel, SimRng, PPM_SCALE};
-pub use sim::{BestChange, NodeCounters, NodeId, PrefixChurn, Service, Sim, SimStats};
+pub use sim::{BestChange, NodeCounters, NodeId, PhaseTimes, PrefixChurn, Service, Sim, SimStats};

@@ -22,7 +22,7 @@ use crate::link::SimRng;
 use bytes::Bytes;
 use dbgp_core::{
     render_path, DbgpConfig, DbgpNeighbor, DbgpOutput, DbgpSpeaker, DbgpUpdate, NeighborId,
-    PeerClass,
+    PeerClass, PendingSends,
 };
 use dbgp_protocols::{MiroPortal, MiroRequest};
 use dbgp_rib::PrefixTrie;
@@ -173,8 +173,14 @@ enum ParOutcome {
     /// The sender is no longer an adjacency of the receiver.
     Orphaned,
     /// Speaker outputs, in the exact order the serial engine's batch
-    /// path would have produced them.
-    Processed(Vec<DbgpOutput>),
+    /// path would have produced them, plus the sends the speaker staged
+    /// while processing this event (always empty with coalescing off).
+    /// Carrying the staged delta per event restores the serial engine's
+    /// per-event staging attribution: the worker drains the speaker
+    /// after each event, and the commit loop re-stages the delta under
+    /// the committing clock — so the time-barrier flush sees exactly
+    /// what a serial run would have staged, in the same order.
+    Processed(Vec<DbgpOutput>, PendingSends),
 }
 
 /// Node-local half of a `Deliver`: decode the frame and run the
@@ -200,7 +206,7 @@ fn process_deliver(node: &mut Node, from: NodeId, bytes: &Bytes) -> ParOutcome {
     for ia in update.ias {
         outputs.extend(node.speaker.receive_ia(from_id, ia));
     }
-    ParOutcome::Processed(outputs)
+    ParOutcome::Processed(outputs, node.speaker.take_pending_sends())
 }
 
 /// Per-node control-plane counters with explicit restart semantics
@@ -359,6 +365,11 @@ pub struct SimStats {
     /// IA bodies whose wire bytes were reused from the Adj-RIB-Out
     /// encode cache instead of being re-serialized.
     pub encode_cache_hits: u64,
+    /// Frames saved by deterministic update coalescing: each flushed
+    /// batch of `k > 1` staged elements counts `k - 1` (the frames a
+    /// per-change sender would have emitted for the same elements).
+    /// Always 0 with coalescing off.
+    pub frames_coalesced: u64,
 }
 
 /// Per-(node, prefix) route-churn record, maintained on every
@@ -477,6 +488,52 @@ pub struct Sim {
     /// completely inert — no state, no branches taken, no output
     /// change, so pinned golden results are unaffected.
     capture: Option<BestChangeCapture>,
+    /// Deterministic update coalescing ([`Sim::set_coalesce`]); off by
+    /// default so the classic per-change wire stream is byte-identical
+    /// to prior releases.
+    coalesce: bool,
+    /// Incremental decision fast path on every speaker (on by default;
+    /// [`Sim::set_incremental`] turns it off for A/B measurement).
+    incremental: bool,
+    /// Speaker-staged sends absorbed at event commit, awaiting the
+    /// time-barrier flush. Keyed `(node, neighbor, prefix)` so the
+    /// flush order is canonical regardless of arrival order.
+    staged_sends: BTreeMap<NodeId, PendingSends>,
+    /// Commit-clock value of the most recent staging; the barrier
+    /// flushes as soon as an event with a strictly later time commits.
+    staged_at: SimTime,
+    /// Per-phase wall-time accumulators ([`Sim::enable_phase_timing`]);
+    /// `None` (the default) keeps the hot path to one predictable
+    /// branch per instrumentation site.
+    phase_timing: Option<Box<PhaseTimes>>,
+}
+
+/// Wall-clock nanoseconds attributed to each stage of the delivery hot
+/// path, collected only when [`Sim::enable_phase_timing`] was called.
+/// `decode` covers frame decoding, `decide` the receiving speakers'
+/// import/decision work, `encode` outbound wire-byte assembly, and
+/// `queue` delivery scheduling (including link-model application).
+/// Timing forces the serial engine and skips traced runs, so enable it
+/// on dedicated measurement runs only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Nanoseconds spent decoding inbound frames.
+    pub decode_ns: u64,
+    /// Nanoseconds spent in speaker receive/decision processing.
+    pub decide_ns: u64,
+    /// Nanoseconds spent assembling outbound wire bytes.
+    pub encode_ns: u64,
+    /// Nanoseconds spent scheduling deliveries onto links.
+    pub queue_ns: u64,
+}
+
+/// Which [`PhaseTimes`] bucket an instrumented span belongs to.
+#[derive(Clone, Copy)]
+enum Phase {
+    Decode,
+    Decide,
+    Encode,
+    Queue,
 }
 
 impl Default for Sim {
@@ -512,6 +569,11 @@ impl Sim {
             shard_windows: Vec::new(),
             shard_outcomes: Vec::new(),
             capture: None,
+            coalesce: false,
+            incremental: true,
+            staged_sends: BTreeMap::new(),
+            staged_at: 0,
+            phase_timing: None,
         }
     }
 
@@ -630,6 +692,66 @@ impl Sim {
         self.mrai = mrai;
     }
 
+    /// Enable deterministic update coalescing: every speaker stages its
+    /// sends per (neighbor, prefix) — last write wins — and the engine
+    /// flushes them as packed multi-NLRI frames the moment the global
+    /// commit clock passes the staging time. Staging deltas are absorbed
+    /// at event commit, which all three engines perform in the same
+    /// `(time, seq)` order, so the flush points, frames and RNG draws
+    /// are engine-independent. Off by default: the classic per-change
+    /// wire stream stays byte-identical to prior releases. With
+    /// `mrai > 0` staged sends join the per-neighbor MRAI window at the
+    /// barrier instead of going out immediately. Coalesced frames carry
+    /// no per-element trace causes. Toggle only while nothing is staged
+    /// (before the first run, or between quiesced runs).
+    pub fn set_coalesce(&mut self, on: bool) {
+        debug_assert!(
+            on || self.staged_sends.is_empty(),
+            "disable coalescing only after the staged sends drained"
+        );
+        self.coalesce = on;
+        for node in &mut self.nodes {
+            node.speaker.set_coalesce(on);
+        }
+    }
+
+    /// Whether deterministic update coalescing is on.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+
+    /// Enable/disable the incremental decision fast path on every
+    /// speaker, current and future. On by default; the off position
+    /// exists for A/B measurement and differential testing against the
+    /// always-full-scan decision process.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        for node in &mut self.nodes {
+            node.speaker.set_incremental(on);
+        }
+    }
+
+    /// Full candidate scans the incremental decision fast path avoided,
+    /// summed over all speakers. Engine-independent: the fast path runs
+    /// in the node-local half of delivery processing, which is
+    /// identical in the serial, windowed and sharded engines.
+    pub fn full_scans_avoided(&self) -> u64 {
+        self.nodes.iter().map(|n| n.speaker.full_scans_avoided()).sum()
+    }
+
+    /// Collect per-phase wall time (decode/decide/encode/queue) on the
+    /// delivery hot path. Forces the serial engine, so enable it only
+    /// on dedicated measurement runs — never on gated throughput legs.
+    pub fn enable_phase_timing(&mut self) {
+        self.phase_timing = Some(Box::default());
+    }
+
+    /// Accumulated hot-path phase times, if
+    /// [`enable_phase_timing`](Self::enable_phase_timing) was called.
+    pub fn phase_times(&self) -> Option<PhaseTimes> {
+        self.phase_timing.as_deref().copied()
+    }
+
     /// Turn on bounded-horizon oscillation capture: from here on the
     /// most recent `cap` best-path changes are kept (with their
     /// simulated times) for post-run periodicity analysis. Like an
@@ -665,6 +787,12 @@ impl Sim {
         if let Some(recorder) = &self.recorder {
             recorder.set_node_asn(id as u32, speaker.asn());
             speaker.set_telemetry(self.sink.clone(), id as u32);
+        }
+        if self.coalesce {
+            speaker.set_coalesce(true);
+        }
+        if !self.incremental {
+            speaker.set_incremental(false);
         }
         self.nodes.push(Node {
             speaker,
@@ -1054,6 +1182,7 @@ impl Sim {
         self.nodes[node].flush_armed.clear();
         self.nodes[node].oob_inbox.clear();
         self.nodes[node].encode_cache.clear();
+        self.staged_sends.remove(&node);
         for &(peer, same_island, speaks_dbgp) in &peers {
             self.establish(node, peer, same_island, speaks_dbgp, "node-restart", root);
             self.establish(peer, node, same_island, speaks_dbgp, "node-restart", root);
@@ -1131,17 +1260,28 @@ impl Sim {
         self.recorder.is_none()
             && !self.sink.is_attached()
             && self.capture.is_none()
+            && self.phase_timing.is_none()
             && self.nodes.iter().all(|n| !n.speaker.telemetry_attached())
     }
 
     /// The classic serial event loop.
     fn run_serial(&mut self, max_time: SimTime) -> SimStats {
-        while let Some(next_at) = self.queue.peek_time() {
-            if next_at > max_time {
+        loop {
+            while let Some(next_at) = self.queue.peek_time() {
+                if next_at > max_time {
+                    break;
+                }
+                let (at, event) = self.queue.pop().expect("peeked event must pop");
+                self.handle_event(at, event);
+            }
+            // End-of-run drain: a quiescing queue can leave coalesced
+            // sends staged (nothing later ever committed). Flushing may
+            // schedule fresh deliveries at or before `max_time`, so loop
+            // until both the queue and the staging area are exhausted.
+            if self.staged_sends.is_empty() {
                 break;
             }
-            let (at, event) = self.queue.pop().expect("peeked event must pop");
-            self.handle_event(at, event);
+            self.flush_staged();
         }
         self.stats
     }
@@ -1150,6 +1290,7 @@ impl Sim {
     /// caller has already advanced the queue clock to `at` (by popping,
     /// or via the router's `set_now` during a window replay).
     fn handle_event(&mut self, at: SimTime, event: Event) {
+        self.maybe_flush_staged(at);
         self.stats.last_event_at = at;
         {
             match event {
@@ -1171,7 +1312,10 @@ impl Sim {
                         None
                     };
                     let mut buf = bytes;
-                    let Ok(update) = DbgpUpdate::decode(&mut buf) else {
+                    let t = self.phase_now();
+                    let decoded = DbgpUpdate::decode(&mut buf);
+                    self.phase_add(t, Phase::Decode);
+                    let Ok(update) = decoded else {
                         self.stats.decode_errors += 1;
                         if traced {
                             self.sink.record_at(
@@ -1234,6 +1378,7 @@ impl Sim {
                             self.dispatch(to, outputs, decode_id);
                         }
                     } else {
+                        let t = self.phase_now();
                         let mut outputs = Vec::new();
                         for prefix in update.withdrawn {
                             outputs
@@ -1242,6 +1387,7 @@ impl Sim {
                         for ia in update.ias {
                             outputs.extend(self.nodes[to].speaker.receive_ia(from_id, ia));
                         }
+                        self.phase_add(t, Phase::Decide);
                         self.apply_local(to, &outputs);
                         self.dispatch(to, outputs, None);
                     }
@@ -1294,36 +1440,79 @@ impl Sim {
     /// RIBs, churn records and event streams to [`Sim::run_serial`] —
     /// the safety argument is spelled out in DESIGN.md §10.
     fn run_windowed(&mut self, pool: &dbgp_par::Pool, max_time: SimTime) -> SimStats {
-        while let Some(t0) = self.queue.peek_time() {
-            if t0 > max_time {
+        let mut low_windows = 0usize;
+        let mut serial_drain = false;
+        loop {
+            while let Some(t0) = self.queue.peek_time() {
+                if t0 > max_time {
+                    break;
+                }
+                // Events at exactly `t0 + lookahead - 1` still precede every
+                // event generated inside the window, hence the inclusive
+                // horizon at lookahead - 1. A zero lookahead (a delay-0 link
+                // exists) degrades to single-timestamp windows, which are
+                // still safe: generated events carry later sequence numbers
+                // than everything drained before they existed.
+                let horizon = t0.saturating_add(self.lookahead().saturating_sub(1)).min(max_time);
+                let mut window = std::mem::take(&mut self.window);
+                self.queue.drain_upto(horizon, &mut window);
+                if serial_drain {
+                    // Permanent serial fallback: the run has shown it
+                    // cannot feed the pool, so skip even the per-window
+                    // bucketing and replay directly.
+                    for (at, event) in window.drain(..) {
+                        self.queue.set_now(at);
+                        self.handle_event(at, event);
+                    }
+                } else {
+                    let delivers = self.process_window(pool, &mut window);
+                    // Rolling under-threshold streak: a workload whose
+                    // windows stay this sparse (waxman50_churn-sized
+                    // topologies) pays pool wakeups for nothing, so
+                    // after enough consecutive sparse windows the run
+                    // drops to a serial drain for good.
+                    if delivers < Self::SERIAL_FALLBACK_THRESHOLD {
+                        low_windows += 1;
+                        serial_drain = low_windows >= Self::SERIAL_FALLBACK_WINDOWS;
+                    } else {
+                        low_windows = 0;
+                    }
+                }
+                window.clear();
+                self.window = window;
+            }
+            // End-of-run drain, exactly as in the serial engine.
+            if self.staged_sends.is_empty() {
                 break;
             }
-            // Events at exactly `t0 + lookahead - 1` still precede every
-            // event generated inside the window, hence the inclusive
-            // horizon at lookahead - 1. A zero lookahead (a delay-0 link
-            // exists) degrades to single-timestamp windows, which are
-            // still safe: generated events carry later sequence numbers
-            // than everything drained before they existed.
-            let horizon = t0.saturating_add(self.lookahead().saturating_sub(1)).min(max_time);
-            let mut window = std::mem::take(&mut self.window);
-            self.queue.drain_upto(horizon, &mut window);
-            self.process_window(pool, &mut window);
-            window.clear();
-            self.window = window;
+            self.flush_staged();
         }
         self.stats
     }
 
-    /// Process one drained window. Windows that cannot profit from (or
-    /// are not eligible for) the parallel phase replay serially through
-    /// [`Sim::handle_event`], which is trivially identical to the serial
-    /// engine.
-    fn process_window(&mut self, pool: &dbgp_par::Pool, window: &mut Vec<(SimTime, Event)>) {
-        /// Below this many deliveries the pool's wakeup cost dwarfs the
-        /// speaker work; replay serially. Purely a performance knob —
-        /// both paths produce identical results.
-        const MIN_PARALLEL_DELIVERS: usize = 8;
+    /// Below this many deliveries in one lookahead window the pool's
+    /// wakeup cost dwarfs the speaker work, so the window replays
+    /// serially. Purely a performance knob — both paths produce
+    /// identical results. `sim_bench` reports this value as
+    /// `serial_fallback_threshold`.
+    pub const SERIAL_FALLBACK_THRESHOLD: usize = 8;
 
+    /// After this many *consecutive* under-threshold windows the
+    /// windowed engine permanently switches to a serial drain for the
+    /// rest of the run (small topologies never grow denser windows, and
+    /// the per-window bucketing itself costs more than it saves).
+    pub const SERIAL_FALLBACK_WINDOWS: usize = 8;
+
+    /// Process one drained window; returns the window's delivery count
+    /// (the serial-fallback signal). Windows that cannot profit from
+    /// (or are not eligible for) the parallel phase replay serially
+    /// through [`Sim::handle_event`], which is trivially identical to
+    /// the serial engine.
+    fn process_window(
+        &mut self,
+        pool: &dbgp_par::Pool,
+        window: &mut Vec<(SimTime, Event)>,
+    ) -> usize {
         let mut by_node: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
         let mut delivers = 0usize;
         let mut plain = true;
@@ -1340,12 +1529,12 @@ impl Sim {
                 Event::OobRequest { .. } | Event::OobResponse { .. } => plain = false,
             }
         }
-        if !plain || delivers < MIN_PARALLEL_DELIVERS || by_node.len() < 2 {
+        if !plain || delivers < Self::SERIAL_FALLBACK_THRESHOLD || by_node.len() < 2 {
             for (at, event) in window.drain(..) {
                 self.queue.set_now(at);
                 self.handle_event(at, event);
             }
-            return;
+            return delivers;
         }
 
         // --- parallel phase: node-local speaker work, sharded by node.
@@ -1429,6 +1618,7 @@ impl Sim {
         // serial engine would have observed.
         for (i, (at, event)) in window.iter().enumerate() {
             self.queue.set_now(*at);
+            self.maybe_flush_staged(*at);
             self.stats.last_event_at = *at;
             match event {
                 Event::Deliver { to, bytes, .. } => {
@@ -1438,9 +1628,10 @@ impl Sim {
                     match outcomes[i].take().expect("every Deliver got an outcome") {
                         ParOutcome::DecodeError => self.stats.decode_errors += 1,
                         ParOutcome::Orphaned => self.stats.orphaned_deliveries += 1,
-                        ParOutcome::Processed(outputs) => {
+                        ParOutcome::Processed(outputs, staged) => {
                             self.apply_local(*to, &outputs);
                             self.dispatch(*to, outputs, None);
+                            self.absorb_staged(*to, staged);
                         }
                     }
                 }
@@ -1450,6 +1641,7 @@ impl Sim {
                 }
             }
         }
+        delivers
     }
 
     // ----- sharded parallel engine (Tier C) ------------------------------
@@ -1480,99 +1672,109 @@ impl Sim {
         swin.resize_with(shards, Vec::new);
         souts.resize_with(shards, Vec::new);
         self.queue.begin_staging();
-        while let Some(t0) = self.queue.peek_time() {
-            if t0 > max_time {
-                break;
-            }
-            // Same inclusive-horizon arithmetic as the windowed engine.
-            let horizon = t0.saturating_add(self.lookahead().saturating_sub(1)).min(max_time);
-            if self.queue.len() < MIN_PARALLEL_WINDOW {
-                self.queue.flush_staging();
-                let mut window = std::mem::take(&mut self.window);
-                self.queue.drain_upto(horizon, &mut window);
-                for (at, event) in window.drain(..) {
-                    self.queue.set_now(at);
-                    self.handle_event(at, event);
+        'drain: loop {
+            while let Some(t0) = self.queue.peek_time() {
+                if t0 > max_time {
+                    break;
                 }
-                self.window = window;
-                continue;
-            }
+                // Same inclusive-horizon arithmetic as the windowed engine.
+                let horizon = t0.saturating_add(self.lookahead().saturating_sub(1)).min(max_time);
+                if self.queue.len() < MIN_PARALLEL_WINDOW {
+                    self.queue.flush_staging();
+                    let mut window = std::mem::take(&mut self.window);
+                    self.queue.drain_upto(horizon, &mut window);
+                    for (at, event) in window.drain(..) {
+                        self.queue.set_now(at);
+                        self.handle_event(at, event);
+                    }
+                    self.window = window;
+                    continue;
+                }
 
-            // --- parallel phase: one worker per shard, end to end.
-            {
-                let n_nodes = self.nodes.len();
-                let base = self.nodes.as_mut_ptr();
-                let (queues, chans, node_shard) = self.queue.split_shards();
-                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = queues
-                    .iter_mut()
-                    .zip(chans.iter_mut())
-                    .zip(swin.iter_mut().zip(souts.iter_mut()))
-                    .enumerate()
-                    .map(|(s, ((queue, chan), (win, outs)))| {
-                        let node_shard: &[u16] = node_shard;
-                        let nbase = NodeBase(base);
-                        Box::new(move || {
-                            // Rebind so the closure captures the Send
-                            // wrapper, not its raw-pointer field (2021
-                            // closures capture disjoint fields).
-                            let nbase = nbase;
-                            for (at, seq, e) in chan.drain() {
-                                queue.insert_keyed(at, seq, e);
-                            }
-                            win.clear();
-                            queue.drain_keyed_upto(horizon, win);
-                            outs.clear();
-                            for (_, _, event) in win.iter() {
-                                if let Event::Deliver { to, from, bytes, .. } = event {
-                                    // Hard ownership check: the router
-                                    // pins every Deliver to its node's
-                                    // shard, so the `&mut Node` below
-                                    // aliases no other worker's.
-                                    assert!(
-                                        *to < n_nodes
-                                            && node_shard.get(*to).copied().unwrap_or(0) as usize
-                                                == s,
-                                        "delivery to node {to} outside shard {s}"
-                                    );
-                                    // SAFETY: bounds-checked offset; the
-                                    // shards partition node ids (asserted
-                                    // above); `parallel_safe` proved the
-                                    // nodes hold no Rc telemetry state
-                                    // (see the NodeSlot safety comment).
-                                    let node = unsafe { &mut *nbase.0.add(*to) };
-                                    outs.push(Some(process_deliver(node, *from, bytes)));
-                                } else {
-                                    outs.push(None);
+                // --- parallel phase: one worker per shard, end to end.
+                {
+                    let n_nodes = self.nodes.len();
+                    let base = self.nodes.as_mut_ptr();
+                    let (queues, chans, node_shard) = self.queue.split_shards();
+                    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = queues
+                        .iter_mut()
+                        .zip(chans.iter_mut())
+                        .zip(swin.iter_mut().zip(souts.iter_mut()))
+                        .enumerate()
+                        .map(|(s, ((queue, chan), (win, outs)))| {
+                            let node_shard: &[u16] = node_shard;
+                            let nbase = NodeBase(base);
+                            Box::new(move || {
+                                // Rebind so the closure captures the Send
+                                // wrapper, not its raw-pointer field (2021
+                                // closures capture disjoint fields).
+                                let nbase = nbase;
+                                for (at, seq, e) in chan.drain() {
+                                    queue.insert_keyed(at, seq, e);
                                 }
-                            }
-                        }) as Box<dyn FnOnce() + Send + '_>
-                    })
-                    .collect();
-                pool.run_batch(jobs);
-            }
-            let drained: Vec<usize> = swin.iter().map(|w| w.len()).collect();
-            self.queue.note_parallel_drain(&drained);
+                                win.clear();
+                                queue.drain_keyed_upto(horizon, win);
+                                outs.clear();
+                                for (_, _, event) in win.iter() {
+                                    if let Event::Deliver { to, from, bytes, .. } = event {
+                                        // Hard ownership check: the router
+                                        // pins every Deliver to its node's
+                                        // shard, so the `&mut Node` below
+                                        // aliases no other worker's.
+                                        assert!(
+                                            *to < n_nodes
+                                                && node_shard.get(*to).copied().unwrap_or(0)
+                                                    as usize
+                                                    == s,
+                                            "delivery to node {to} outside shard {s}"
+                                        );
+                                        // SAFETY: bounds-checked offset; the
+                                        // shards partition node ids (asserted
+                                        // above); `parallel_safe` proved the
+                                        // nodes hold no Rc telemetry state
+                                        // (see the NodeSlot safety comment).
+                                        let node = unsafe { &mut *nbase.0.add(*to) };
+                                        outs.push(Some(process_deliver(node, *from, bytes)));
+                                    } else {
+                                        outs.push(None);
+                                    }
+                                }
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.run_batch(jobs);
+                }
+                let drained: Vec<usize> = swin.iter().map(|w| w.len()).collect();
+                self.queue.note_parallel_drain(&drained);
 
-            // --- commit phase: k-way merge on (time, seq), all global
-            // effects serially in exactly the serial engine's order.
-            let mut iters: Vec<_> = swin.iter_mut().map(|w| w.drain(..).peekable()).collect();
-            let mut taken = vec![0usize; shards];
-            loop {
-                let mut best: Option<((SimTime, u64), usize)> = None;
-                for (s, it) in iters.iter_mut().enumerate() {
-                    if let Some((at, seq, _)) = it.peek() {
-                        let key = (*at, *seq);
-                        if best.is_none_or(|(bk, _)| key < bk) {
-                            best = Some((key, s));
+                // --- commit phase: k-way merge on (time, seq), all global
+                // effects serially in exactly the serial engine's order.
+                let mut iters: Vec<_> = swin.iter_mut().map(|w| w.drain(..).peekable()).collect();
+                let mut taken = vec![0usize; shards];
+                loop {
+                    let mut best: Option<((SimTime, u64), usize)> = None;
+                    for (s, it) in iters.iter_mut().enumerate() {
+                        if let Some((at, seq, _)) = it.peek() {
+                            let key = (*at, *seq);
+                            if best.is_none_or(|(bk, _)| key < bk) {
+                                best = Some((key, s));
+                            }
                         }
                     }
+                    let Some((_, s)) = best else { break };
+                    let (at, _seq, event) = iters[s].next().expect("peeked iterator must yield");
+                    let outcome = souts[s][taken[s]].take();
+                    taken[s] += 1;
+                    self.commit_one(at, event, outcome);
                 }
-                let Some((_, s)) = best else { break };
-                let (at, _seq, event) = iters[s].next().expect("peeked iterator must yield");
-                let outcome = souts[s][taken[s]].take();
-                taken[s] += 1;
-                self.commit_one(at, event, outcome);
             }
+            // End-of-run drain, exactly as in the serial engine (flushed
+            // deliveries go through the staging mailboxes like any other
+            // commit-side schedule).
+            if self.staged_sends.is_empty() {
+                break 'drain;
+            }
+            self.flush_staged();
         }
         self.queue.end_staging();
         self.shard_windows = swin;
@@ -1586,6 +1788,7 @@ impl Sim {
     /// node-local half already computed in the parallel phase.
     fn commit_one(&mut self, at: SimTime, event: Event, outcome: Option<ParOutcome>) {
         self.queue.set_now(at);
+        self.maybe_flush_staged(at);
         self.stats.last_event_at = at;
         match event {
             Event::Deliver { to, bytes, .. } => {
@@ -1595,9 +1798,10 @@ impl Sim {
                 match outcome.expect("every Deliver got an outcome") {
                     ParOutcome::DecodeError => self.stats.decode_errors += 1,
                     ParOutcome::Orphaned => self.stats.orphaned_deliveries += 1,
-                    ParOutcome::Processed(outputs) => {
+                    ParOutcome::Processed(outputs, staged) => {
                         self.apply_local(to, &outputs);
                         self.dispatch(to, outputs, None);
+                        self.absorb_staged(to, staged);
                     }
                 }
             }
@@ -1673,6 +1877,9 @@ impl Sim {
         self.nodes[me].neighbor_nodes.remove(&id);
         self.nodes[me].ids_by_node.remove(&peer);
         self.nodes[me].pending_out.remove(&id);
+        if let Some(staged) = self.staged_sends.get_mut(&me) {
+            staged.remove(&id);
+        }
         let root = if self.sink.enabled() {
             self.sink.record_at(
                 self.queue.now(),
@@ -1749,6 +1956,119 @@ impl Sim {
                 self.queue.schedule(self.mrai, Event::Flush { node, neighbor });
             }
         }
+        // A coalescing speaker returns no Send* outputs from the calls
+        // that produced `outputs`; it staged them internally. Absorb
+        // that delta here, under the committing clock — every serial
+        // mutation site (deliveries, originations, session bring-up and
+        // teardown) funnels through this function.
+        if self.coalesce && self.nodes[node].speaker.has_pending_sends() {
+            let staged = self.nodes[node].speaker.take_pending_sends();
+            self.absorb_staged(node, staged);
+        }
+    }
+
+    /// Merge one event's worth of speaker-staged sends into the
+    /// sim-level staging area, stamped with the current commit clock.
+    /// Absorption happens only at event commit, which all engines
+    /// perform in the global `(time, seq)` order — so the staged
+    /// contents, the flush points and the flushed frames are identical
+    /// across the serial, windowed and sharded engines.
+    fn absorb_staged(&mut self, node: NodeId, staged: PendingSends) {
+        if staged.is_empty() {
+            return;
+        }
+        self.staged_at = self.queue.now();
+        let slot = self.staged_sends.entry(node).or_default();
+        for (neighbor, elems) in staged {
+            // Per-prefix inserts overwrite: last write wins, matching
+            // the implicit-withdraw semantics of a per-change stream.
+            slot.entry(neighbor).or_default().extend(elems);
+        }
+    }
+
+    /// The time barrier: flush every staged send the moment an event
+    /// with a strictly later time commits (events sharing the staging
+    /// timestamp still precede the flush, so same-instant updates
+    /// coalesce into one frame).
+    #[inline]
+    fn maybe_flush_staged(&mut self, at: SimTime) {
+        if !self.staged_sends.is_empty() && at > self.staged_at {
+            self.flush_staged();
+        }
+    }
+
+    /// Flush every staged coalesced send, packing each neighbor's batch
+    /// into one multi-NLRI frame (withdrawals first, then IA bodies
+    /// from the encode cache — byte-identical to a fresh encode), in
+    /// canonical (node, neighbor, prefix) order. With `mrai > 0` the
+    /// batch instead joins the neighbor's MRAI window, composing the
+    /// two coalescing layers. Coalesced frames carry no per-element
+    /// trace causes (`trace: None`).
+    fn flush_staged(&mut self) {
+        let staged = std::mem::take(&mut self.staged_sends);
+        for (node, per_neighbor) in staged {
+            for (neighbor, elems) in per_neighbor {
+                let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { continue };
+                if self.mrai > 0 {
+                    let pending = self.nodes[node].pending_out.entry(neighbor).or_default();
+                    for (prefix, ia) in elems {
+                        pending.insert(prefix, (ia, None));
+                    }
+                    if self.nodes[node].flush_armed.insert(neighbor) {
+                        self.queue.schedule(self.mrai, Event::Flush { node, neighbor });
+                    }
+                    continue;
+                }
+                let mut withdrawn = Vec::new();
+                let mut ias = Vec::with_capacity(elems.len());
+                for (prefix, ia) in elems {
+                    match ia {
+                        Some(ia) => ias.push(ia),
+                        None => withdrawn.push(prefix),
+                    }
+                }
+                let count = withdrawn.len() + ias.len();
+                let t = self.phase_now();
+                let bytes = if withdrawn.is_empty() && ias.len() == 1 {
+                    self.cached_wire(node, &ias[0]).1
+                } else {
+                    let bodies: Vec<Bytes> =
+                        ias.iter().map(|ia| self.cached_wire(node, ia).0).collect();
+                    if bodies.is_empty() {
+                        self.stats.updates_encoded += 1;
+                    }
+                    DbgpUpdate::encode_frame(&withdrawn, &bodies)
+                };
+                self.phase_add(t, Phase::Encode);
+                if count > 1 {
+                    self.stats.frames_coalesced += (count - 1) as u64;
+                }
+                self.metrics.registry.observe(self.metrics.flush_batch, count as u64);
+                let t = self.phase_now();
+                self.deliver_on_link(node, to, bytes, None);
+                self.phase_add(t, Phase::Queue);
+            }
+        }
+    }
+
+    /// Start an instrumented span, when phase timing is on.
+    #[inline]
+    fn phase_now(&self) -> Option<std::time::Instant> {
+        self.phase_timing.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Close an instrumented span into its [`PhaseTimes`] bucket.
+    #[inline]
+    fn phase_add(&mut self, start: Option<std::time::Instant>, phase: Phase) {
+        if let (Some(start), Some(pt)) = (start, self.phase_timing.as_deref_mut()) {
+            let ns = start.elapsed().as_nanos() as u64;
+            match phase {
+                Phase::Decode => pt.decode_ns += ns,
+                Phase::Decide => pt.decide_ns += ns,
+                Phase::Encode => pt.encode_ns += ns,
+                Phase::Queue => pt.queue_ns += ns,
+            }
+        }
     }
 
     /// Record the per-element trace events for one outgoing frame
@@ -1822,6 +2142,7 @@ impl Sim {
     ) {
         let Some(&to) = self.nodes[node].neighbor_nodes.get(&neighbor) else { return };
         let announce = ia.is_some();
+        let t = self.phase_now();
         let bytes = match ia {
             Some(ia) => self.cached_wire(node, &ia).1,
             None => {
@@ -1829,6 +2150,7 @@ impl Sim {
                 DbgpUpdate::encode_frame(std::slice::from_ref(&prefix), &[])
             }
         };
+        self.phase_add(t, Phase::Encode);
         let trace = if self.sink.enabled() {
             let element = self.record_element(node, to, prefix, announce, cause);
             let frame = self.sink.record_at(
@@ -1843,7 +2165,9 @@ impl Sim {
         } else {
             None
         };
+        let t = self.phase_now();
         self.deliver_on_link(node, to, bytes, trace);
+        self.phase_add(t, Phase::Queue);
     }
 
     fn flush(&mut self, node: NodeId, neighbor: NeighborId) {
@@ -1880,6 +2204,7 @@ impl Sim {
         // Announce frames for a single IA are cached whole; batched
         // frames are assembled from cached bodies (byte-identical to a
         // fresh `DbgpUpdate::encode`, see `encode_frame`).
+        let t = self.phase_now();
         let bytes = if withdrawn.is_empty() && ias.len() == 1 {
             self.cached_wire(node, &ias[0]).1
         } else {
@@ -1889,6 +2214,7 @@ impl Sim {
             }
             DbgpUpdate::encode_frame(&withdrawn, &bodies)
         };
+        self.phase_add(t, Phase::Encode);
         self.metrics
             .registry
             .observe(self.metrics.flush_batch, (withdrawn.len() + ias.len()) as u64);
@@ -1914,7 +2240,9 @@ impl Sim {
         } else {
             None
         };
+        let t = self.phase_now();
         self.deliver_on_link(node, to, bytes, trace);
+        self.phase_add(t, Phase::Queue);
     }
 
     /// Schedule a control-plane delivery across the `node -> to` link,
